@@ -1,0 +1,249 @@
+// Command retri-experiments regenerates the data behind every figure in
+// the paper's evaluation (Figures 1-4) plus the ablations catalogued in
+// DESIGN.md.
+//
+// Usage:
+//
+//	retri-experiments -figure all
+//	retri-experiments -figure 4 -trials 10 -duration 2m
+//	retri-experiments -ablation mac
+//	retri-experiments -ablation all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"retri/internal/energy"
+	"retri/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "retri-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("retri-experiments", flag.ContinueOnError)
+	var (
+		figure   = fs.String("figure", "", "figure to regenerate: 1, 2, 3, 4, scaling or all")
+		ablation = fs.String("ablation", "", "ablation to run: window, hidden, mac, lengths, flood, estimator, lifetime, churn or all")
+		trials   = fs.Int("trials", 10, "trials per configuration (figure 4 and ablations)")
+		duration = fs.Duration("duration", 2*time.Minute, "simulated time per trial")
+		seed     = fs.Uint64("seed", 1, "master random seed")
+		quick    = fs.Bool("quick", false, "shrink trials/duration for a fast pass")
+		format   = fs.String("format", "table", "output format for figures: table or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *figure == "" && *ablation == "" {
+		*figure, *ablation = "all", "all"
+	}
+	if *quick {
+		*trials = 3
+		*duration = 20 * time.Second
+	}
+
+	base := experiment.DefaultFigure4Config()
+	base.Seed = *seed
+	base.Trials = *trials
+	base.Duration = *duration
+
+	useCSV := *format == "csv"
+	figures := map[string]func() error{
+		"1": func() error { return printEfficiencyFigure(1, useCSV) },
+		"2": func() error { return printEfficiencyFigure(2, useCSV) },
+		"3": func() error {
+			fig := experiment.Figure3()
+			if useCSV {
+				fmt.Print(fig.CSV())
+				return nil
+			}
+			fmt.Println("=== Figure 3 ===")
+			fmt.Println(fig.Render())
+			return nil
+		},
+		"4": func() error {
+			res, err := experiment.Figure4(base)
+			if err != nil {
+				return err
+			}
+			if useCSV {
+				fmt.Print(res.CSV())
+				return nil
+			}
+			fmt.Println("=== Figure 4 ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+		"scaling": func() error {
+			cfg := experiment.DefaultScalingConfig()
+			cfg.Seed = *seed
+			if *quick {
+				cfg.GridSizes = []int{3, 6}
+				cfg.Duration = 20 * time.Second
+				cfg.Trials = 2
+			}
+			res, err := experiment.RunScaling(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Scaling: identifier size vs network size ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+	}
+	ablations := map[string]func() error{
+		"window": func() error {
+			res, err := experiment.AblationListeningWindow(base, 6, []int{1, 2, 5, 10, 20, 40})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Ablation: listening window ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+		"hidden": func() error {
+			res, err := experiment.AblationHiddenTerminal(base, 5,
+				[]experiment.SelectorKind{experiment.SelUniform, experiment.SelListening, experiment.SelListeningNotify})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Ablation: hidden terminals ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+		"mac": func() error {
+			cfg := experiment.DefaultEfficiencyConfig(experiment.Scheme{})
+			cfg.Seed = *seed
+			cfg.Duration = *duration
+			cfg.PacketSize = 2 // few-bit sensor messages (Section 4.4's regime)
+			res, err := experiment.AblationMACOverhead(cfg,
+				[]experiment.Scheme{
+					experiment.AFFScheme(9, experiment.SelUniform),
+					experiment.StaticScheme(16),
+					experiment.StaticScheme(32),
+				},
+				[]energy.MACProfile{energy.BareProfile(), energy.RPCProfile(), energy.IEEE80211Profile()})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Ablation: MAC framing overhead ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+		"lengths": func() error {
+			res, err := experiment.AblationTransactionLengths(base, 6, []int{20, 80, 200})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Ablation: transaction lengths ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+		"flood": func() error {
+			cfg := experiment.DefaultFloodConfig()
+			cfg.Seed = *seed
+			if *quick {
+				cfg.Grid = 4
+				cfg.Duration = 20 * time.Second
+				cfg.Trials = 2
+			}
+			res, err := experiment.AblationFloodIDBits(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Ablation: flood duplicate-suppression identifiers ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+		"estimator": func() error {
+			res, err := experiment.AblationEstimator(base, 6)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Ablation: density estimators ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+		"lifetime": func() error {
+			cfg := experiment.DefaultLifetimeConfig(*seed)
+			if *quick {
+				cfg.Duration = 15 * time.Second
+			}
+			res, err := experiment.RunLifetime(cfg, experiment.DefaultLifetimeSchemes())
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Ablation: energy per useful bit / network lifetime ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+		"churn": func() error {
+			cfg := experiment.DefaultChurnConfig()
+			cfg.Seed = *seed
+			if *quick {
+				cfg.Duration = time.Minute
+			}
+			res, err := experiment.AblationDynAddrChurn(cfg,
+				[]time.Duration{10 * time.Second, 30 * time.Second, 2 * time.Minute})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Ablation: dynamic allocation under churn ===")
+			fmt.Println(res.Render())
+			return nil
+		},
+	}
+
+	runSet := func(sel string, m map[string]func() error, order []string) error {
+		if sel == "" {
+			return nil
+		}
+		if sel == "all" {
+			for _, k := range order {
+				if err := m[k](); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		fn, ok := m[sel]
+		if !ok {
+			return fmt.Errorf("unknown selection %q", sel)
+		}
+		return fn()
+	}
+
+	if err := runSet(*figure, figures, []string{"1", "2", "3", "4", "scaling"}); err != nil {
+		return err
+	}
+	return runSet(*ablation, ablations, []string{"window", "hidden", "mac", "lengths", "flood", "estimator", "lifetime", "churn"})
+}
+
+func printEfficiencyFigure(n int, useCSV bool) error {
+	var (
+		fig experiment.EfficiencyFigure
+		err error
+	)
+	if n == 1 {
+		fig, err = experiment.Figure1()
+	} else {
+		fig, err = experiment.Figure2()
+	}
+	if err != nil {
+		return err
+	}
+	if useCSV {
+		fmt.Print(fig.CSV())
+		return nil
+	}
+	fmt.Printf("=== Figure %d ===\n", n)
+	fmt.Println(fig.Render())
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestRunAnalyticFigures(t *testing.T) {
+	for _, fig := range []string{"1", "2", "3"} {
+		if err := run([]string{"-figure", fig}); err != nil {
+			t.Errorf("figure %s: %v", fig, err)
+		}
+		if err := run([]string{"-figure", fig, "-format", "csv"}); err != nil {
+			t.Errorf("figure %s csv: %v", fig, err)
+		}
+	}
+}
+
+func TestRunFigure4Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	if err := run([]string{"-figure", "4", "-trials", "1", "-duration", "5s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownSelections(t *testing.T) {
+	if err := run([]string{"-figure", "7"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-ablation", "nonsense"}); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunQuickAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	if err := run([]string{"-ablation", "lengths", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Command retri-model prints the paper's analytic model (Section 4):
+// efficiency curves, collision probabilities and optimal identifier sizes
+// for arbitrary parameters.
+//
+// Usage:
+//
+//	retri-model -data 16 -t 16                # one AFF curve + optimum
+//	retri-model -data 128 -t 256 -static 32   # compare with a static line
+//	retri-model -collision -t 5               # Eq. 4 collision rates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"retri/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "retri-model:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("retri-model", flag.ContinueOnError)
+	var (
+		dataBits  = fs.Int("data", 16, "data size D in bits")
+		density   = fs.Float64("t", 16, "transaction density T")
+		hMin      = fs.Int("hmin", 1, "smallest identifier width")
+		hMax      = fs.Int("hmax", 32, "largest identifier width")
+		static    = fs.Int("static", 0, "also print a static line with this address width")
+		collision = fs.Bool("collision", false, "print Eq. 4 collision rates instead of efficiency")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *collision {
+		fmt.Printf("Collision rate at T=%g\n", *density)
+		fmt.Printf("%6s %12s %14s %14s\n", "bits", "Eq.4", "exp-lengths", "listening(2T)")
+		w := 2 * int(*density)
+		for h := *hMin; h <= *hMax; h++ {
+			fmt.Printf("%6d %12.6f %14.6f %14.6f\n", h,
+				model.CollisionRate(h, *density),
+				model.CollisionRatePoisson(h, *density),
+				model.CollisionRateListening(h, *density, w))
+		}
+		return nil
+	}
+
+	curve, err := model.AFFCurve(*dataBits, *density, *hMin, *hMax)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("AFF efficiency (Eq. 3), D=%d bits, T=%g\n", *dataBits, *density)
+	if *static > 0 {
+		fmt.Printf("%6s %12s %12s\n", "bits", "E_aff", fmt.Sprintf("E_static(%d)", *static))
+	} else {
+		fmt.Printf("%6s %12s\n", "bits", "E_aff")
+	}
+	for _, p := range curve {
+		if *static > 0 {
+			fmt.Printf("%6d %12.6f %12.6f\n", p.H, p.E, model.EStatic(*dataBits, *static))
+		} else {
+			fmt.Printf("%6d %12.6f\n", p.H, p.E)
+		}
+	}
+	h, e := model.OptimalBits(*dataBits, *density, *hMax)
+	fmt.Printf("optimum: %d bits (E=%.6f)\n", h, e)
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunEfficiencyCurve(t *testing.T) {
+	if err := run([]string{"-data", "16", "-t", "16", "-hmax", "12"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithStaticLine(t *testing.T) {
+	if err := run([]string{"-data", "128", "-t", "256", "-static", "32"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCollisionTable(t *testing.T) {
+	if err := run([]string{"-collision", "-t", "5", "-hmin", "2", "-hmax", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadRange(t *testing.T) {
+	if err := run([]string{"-hmin", "10", "-hmax", "2"}); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunDefaultScenarioTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	if err := run([]string{"-duration", "5s", "-bits", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunListeningHidden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	if err := run([]string{"-duration", "5s", "-bits", "5", "-selector", "listening", "-hidden"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownSelector(t *testing.T) {
+	if err := run([]string{"-duration", "1s", "-selector", "psychic"}); err == nil {
+		t.Error("unknown selector accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-wat"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,55 @@
+// Churn demonstrates the Section 2.3 argument: in a dynamic network,
+// nodes running AFF start communicating the instant they join, while nodes
+// that must first acquire a locally unique address through a
+// claim-listen-defend protocol pay control traffic and configuration
+// latency on every join. This example runs both schemes through the same
+// churn schedule and prints the bill.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"retri/internal/experiment"
+	"retri/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := experiment.DefaultChurnConfig()
+	cfg.Nodes = 6
+	cfg.Duration = 3 * time.Minute
+
+	fmt.Printf("%d nodes send a %d-byte reading every %v for %v; each node is replaced after an\n",
+		cfg.Nodes, cfg.PacketSize, cfg.DataInterval, cfg.Duration)
+	fmt.Println("exponential lifetime (a re-join = a fresh, unconfigured device).")
+	fmt.Println()
+	fmt.Printf("%10s %10s | %9s %9s | %13s %9s\n",
+		"lifetime", "scheme", "E (Eq.1)", "delivered", "control bits", "rejoins")
+
+	for _, lifetime := range []time.Duration{15 * time.Second, time.Minute, 3 * time.Minute} {
+		run := cfg
+		run.Lifetime = lifetime
+		for _, scheme := range []string{"aff", "dynaddr"} {
+			out, err := experiment.RunChurnTrial(run, scheme,
+				xrand.NewSource(1).Child("example-churn", scheme, lifetime.String()))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%10v %10s | %9.4f %9d | %13d %9d\n",
+				lifetime, scheme, out.E(), out.PacketsDelivered, out.ControlBits, out.Rejoins)
+		}
+	}
+	fmt.Println()
+	fmt.Println("AFF's efficiency is flat across churn rates — there is nothing to configure.")
+	fmt.Println("The allocator's control traffic grows as lifetimes shrink; that overhead is")
+	fmt.Println("amortized over a data rate of a few bytes per second, exactly the regime the")
+	fmt.Println("paper calls 'potentially very inefficient'.")
+	return nil
+}

@@ -1,0 +1,56 @@
+// Fragmentation compares the two designs of the paper head to head on the
+// same workload: five sensors streaming small packets at a sink, once with
+// address-free fragmentation (9-bit RETRI identifiers) and once with the
+// statically addressed baseline (16- and 32-bit addresses). It prints the
+// measured Equation 1 efficiency beside the model's prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"retri/internal/experiment"
+	"retri/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	schemes := []experiment.Scheme{
+		experiment.AFFScheme(9, experiment.SelUniform),
+		experiment.AFFScheme(9, experiment.SelListening),
+		experiment.StaticScheme(16),
+		experiment.StaticScheme(32),
+	}
+
+	fmt.Println("workload: 5 sensors streaming 80-byte packets for 60 simulated seconds")
+	fmt.Printf("%-24s %12s %12s %14s\n", "scheme", "E (framed)", "E (protocol)", "delivered")
+	for _, s := range schemes {
+		cfg := experiment.DefaultEfficiencyConfig(s)
+		cfg.Duration = time.Minute
+		out, err := experiment.RunEfficiencyTrial(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %12.4f %12.4f %14d\n",
+			s.Label(), out.E(), out.EProtocol(), out.PacketsDelivered)
+	}
+
+	fmt.Println()
+	fmt.Println("analytic model at D=640 bits (80-byte packets), T=5:")
+	for _, h := range []int{9, 16, 32} {
+		fmt.Printf("  EAFF(h=%2d) = %.4f   EStatic(h=%2d) = %.4f\n",
+			h, model.EAFF(640, h, 5), h, model.EStatic(640, h))
+	}
+	fmt.Println()
+	fmt.Println("(simulated efficiency sits below the model: real fragments pay a")
+	fmt.Println(" per-fragment header and an introduction frame, while the model")
+	fmt.Println(" prices a single header per transaction — the shape, AFF > static")
+	fmt.Println(" and 16-bit static > 32-bit static, is what carries over.)")
+	return nil
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a simulated sensor network, broadcast a packet through
+// the address-free fragmentation service, and watch it arrive — no node
+// addresses anywhere on the air.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"retri"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A full-mesh network of 27-byte-frame radios, like the paper's
+	// five-laptop testbed.
+	net := retri.NewNetwork(retri.WithSeed(42))
+
+	sensor, err := net.AddNode(1)
+	if err != nil {
+		return err
+	}
+	sink, err := net.AddNode(2)
+	if err != nil {
+		return err
+	}
+
+	sink.OnPacket(func(p []byte) {
+		fmt.Printf("sink received %d bytes: %q\n", len(p), p)
+	})
+
+	// An 80-byte packet fragments into 1 introduction + 4 data frames,
+	// all tagged with one random, ephemeral 9-bit identifier.
+	msg := []byte("motion detected in the north-east quadrant; confidence 0.92 -- padding!")
+	if err := sensor.Send(msg); err != nil {
+		return err
+	}
+
+	net.Run()
+
+	fmt.Printf("sensor sent %d packet(s); sink delivered %d\n", sensor.Sent(), sink.Delivered())
+	fmt.Printf("frames on air: %d, energy at sink: %d bits received\n",
+		net.Counters().Sent, sink.Energy().RxBits)
+
+	// The model says a 9-bit identifier is optimal for 16-bit data at
+	// T=16 concurrent transactions:
+	bits, e := retri.OptimalIdentifierBits(16, 16, 32)
+	fmt.Printf("model: optimal identifier width for D=16, T=16 is %d bits (E=%.3f)\n", bits, e)
+	return nil
+}

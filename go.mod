@@ -1,0 +1,3 @@
+module retri
+
+go 1.22

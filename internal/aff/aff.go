@@ -1,0 +1,194 @@
+// Package aff implements the paper's Address-Free Fragmentation service
+// (Sections 3 and 5).
+//
+// The fragmenter accepts packets of up to 64 KiB, draws one RETRI
+// identifier per packet from a core.Selector, and splits the packet into a
+// "packet introduction" fragment (identifier, total length, checksum)
+// followed by data fragments (identifier, byte offset, data) sized to the
+// radio MTU. The reassembler collects fragments by identifier, delivers a
+// packet when every byte is covered and the checksum verifies, and treats
+// any inconsistency — conflicting introductions, overlapping fragments
+// with different content, offsets beyond the announced length — as
+// evidence of an identifier collision, discarding the transaction.
+// "Packets that suffer from identifier collisions are never delivered
+// because of checksum failures or other inconsistencies" (Section 5).
+package aff
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"retri/internal/checksum"
+	"retri/internal/core"
+	"retri/internal/frame"
+)
+
+var (
+	// ErrPacketTooLarge is returned for packets beyond the 64 KiB driver
+	// limit.
+	ErrPacketTooLarge = errors.New("aff: packet exceeds 64KiB limit")
+	// ErrEmptyPacket is returned for zero-length packets.
+	ErrEmptyPacket = errors.New("aff: empty packet")
+	// ErrMTUTooSmall is returned when no payload fits in a data fragment.
+	ErrMTUTooSmall = errors.New("aff: MTU too small for fragment header")
+)
+
+// Config parameterizes a fragmenter/reassembler pair. Both ends of a
+// deployment must agree on Space, Checksum and Instrument (they define the
+// wire format).
+type Config struct {
+	// Space is the RETRI identifier pool.
+	Space core.Space
+	// MTU is the radio's maximum frame size in bytes (default 27).
+	MTU int
+	// Checksum selects the packet checksum algorithm (default Internet).
+	Checksum checksum.Kind
+	// Instrument adds the ground-truth trailer to every fragment
+	// (Section 5.1 methodology).
+	Instrument bool
+	// ReassemblyTimeout evicts partial packets idle this long (default
+	// 30s). Identifier reuse by later transactions depends on stale state
+	// not lingering.
+	ReassemblyTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MTU == 0 {
+		c.MTU = 27
+	}
+	if c.Checksum == 0 {
+		c.Checksum = checksum.Internet
+	}
+	if c.ReassemblyTimeout == 0 {
+		c.ReassemblyTimeout = 30 * time.Second
+	}
+	return c
+}
+
+func (c Config) codec() frame.AFFCodec {
+	return frame.AFFCodec{IDBits: c.Space.Bits(), Instrument: c.Instrument}
+}
+
+// Fragment is one encoded radio frame of a transaction.
+type Fragment struct {
+	// Bytes is the encoded frame.
+	Bytes []byte
+	// Bits is the number of meaningful bits (airtime/energy accounting).
+	Bits int
+}
+
+// Transaction is a fragmented packet ready for transmission. In the
+// paper's terms, transmitting all of these frames is one transaction.
+type Transaction struct {
+	// ID is the RETRI identifier drawn for this packet.
+	ID uint64
+	// Fragments holds the introduction first, then data fragments in
+	// offset order.
+	Fragments []Fragment
+	// DataBits is the packet's payload size in bits (the "useful bits"
+	// numerator of Equation 1).
+	DataBits int
+}
+
+// TotalBits sums the meaningful bits across all fragments (the
+// protocol-level "total bits transmitted" denominator of Equation 1,
+// excluding MAC framing).
+func (t Transaction) TotalBits() int {
+	sum := 0
+	for _, f := range t.Fragments {
+		sum += f.Bits
+	}
+	return sum
+}
+
+// Fragmenter splits packets into address-free fragments.
+type Fragmenter struct {
+	cfg   Config
+	codec frame.AFFCodec
+	sel   core.Selector
+	node  uint32
+	seq   uint32
+}
+
+// NewFragmenter returns a fragmenter drawing identifiers from sel.
+// truthNode is only used when cfg.Instrument is set, to stamp the
+// ground-truth trailer.
+func NewFragmenter(cfg Config, sel core.Selector, truthNode uint32) (*Fragmenter, error) {
+	cfg = cfg.withDefaults()
+	if sel == nil {
+		return nil, errors.New("aff: nil selector")
+	}
+	if sel.Space() != cfg.Space {
+		return nil, fmt.Errorf("aff: selector space %d bits != config space %d bits",
+			sel.Space().Bits(), cfg.Space.Bits())
+	}
+	codec := cfg.codec()
+	if codec.MaxPayload(cfg.MTU) <= 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMTUTooSmall, cfg.MTU)
+	}
+	if (codec.IntroBits()+7)/8 > cfg.MTU {
+		return nil, fmt.Errorf("%w: intro needs %d bytes", ErrMTUTooSmall, (codec.IntroBits()+7)/8)
+	}
+	return &Fragmenter{cfg: cfg, codec: codec, sel: sel, node: truthNode}, nil
+}
+
+// Config returns the effective configuration (defaults applied).
+func (f *Fragmenter) Config() Config { return f.cfg }
+
+// Selector returns the identifier selector in use.
+func (f *Fragmenter) Selector() core.Selector { return f.sel }
+
+// Fragment draws a fresh identifier and splits packet into fragments:
+// one introduction plus ceil(len/payload) data fragments.
+func (f *Fragmenter) Fragment(packet []byte) (Transaction, error) {
+	if len(packet) == 0 {
+		return Transaction{}, ErrEmptyPacket
+	}
+	if len(packet) > frame.MaxPacketLen {
+		return Transaction{}, fmt.Errorf("%w: %d bytes", ErrPacketTooLarge, len(packet))
+	}
+	id := f.sel.Next()
+	var truth *frame.Truth
+	if f.cfg.Instrument {
+		truth = &frame.Truth{Node: f.node, Seq: f.seq}
+		f.seq++
+	}
+
+	maxPayload := f.codec.MaxPayload(f.cfg.MTU)
+	nData := (len(packet) + maxPayload - 1) / maxPayload
+	tx := Transaction{
+		ID:        id,
+		Fragments: make([]Fragment, 0, nData+1),
+		DataBits:  8 * len(packet),
+	}
+
+	introBytes, introBits, err := f.codec.EncodeIntro(frame.Intro{
+		ID:       id,
+		TotalLen: len(packet),
+		Checksum: checksum.Sum(f.cfg.Checksum, packet),
+		Truth:    truth,
+	})
+	if err != nil {
+		return Transaction{}, fmt.Errorf("aff: encode intro: %w", err)
+	}
+	tx.Fragments = append(tx.Fragments, Fragment{Bytes: introBytes, Bits: introBits})
+
+	for off := 0; off < len(packet); off += maxPayload {
+		end := off + maxPayload
+		if end > len(packet) {
+			end = len(packet)
+		}
+		dataBytes, dataBits, err := f.codec.EncodeData(frame.Data{
+			ID:      id,
+			Offset:  off,
+			Payload: packet[off:end],
+			Truth:   truth,
+		})
+		if err != nil {
+			return Transaction{}, fmt.Errorf("aff: encode data at %d: %w", off, err)
+		}
+		tx.Fragments = append(tx.Fragments, Fragment{Bytes: dataBytes, Bits: dataBits})
+	}
+	return tx, nil
+}

@@ -1,0 +1,124 @@
+package aff
+
+import (
+	"testing"
+
+	"retri/internal/checksum"
+	"retri/internal/core"
+	"retri/internal/xrand"
+)
+
+// Misconfiguration interop tests: mismatched ends must fail safe — no
+// delivery of corrupted payloads, ever.
+
+func TestChecksumKindMismatchFailsSafe(t *testing.T) {
+	// Sender uses CRC16, receiver verifies with the Internet checksum:
+	// every reassembly fails verification; nothing corrupt is delivered.
+	sendCfg := testConfig(9)
+	sendCfg.Checksum = checksum.CRC16
+	recvCfg := testConfig(9)
+	recvCfg.Checksum = checksum.Internet
+
+	sel := core.NewUniformSelector(sendCfg.Space, xrand.NewSource(1).Stream("mc"))
+	f, err := NewFragmenter(sendCfg, sel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	r := NewReassembler(recvCfg, nil, func(Packet) { delivered++ })
+	for i := 0; i < 5; i++ {
+		pkt := make([]byte, 60)
+		for j := range pkt {
+			pkt[j] = byte(i*7 + j)
+		}
+		tx, err := f.Fragment(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fr := range tx.Fragments {
+			r.Ingest(fr.Bytes)
+		}
+	}
+	if delivered != 0 {
+		t.Errorf("delivered %d packets across a checksum-kind mismatch", delivered)
+	}
+	if r.Stats().ChecksumFailures != 5 {
+		t.Errorf("ChecksumFailures = %d, want 5", r.Stats().ChecksumFailures)
+	}
+}
+
+func TestIDWidthMismatchNeverDeliversCorrupt(t *testing.T) {
+	// Sender packs 9-bit identifiers; receiver parses 12-bit ones. Field
+	// boundaries shift, so everything downstream is misinterpreted — the
+	// checksum must stop all of it.
+	sendCfg := testConfig(9)
+	recvCfg := testConfig(12)
+
+	sel := core.NewUniformSelector(sendCfg.Space, xrand.NewSource(2).Stream("mw"))
+	f, err := NewFragmenter(sendCfg, sel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := make(map[string]bool)
+	corrupt := 0
+	r := NewReassembler(recvCfg, nil, func(p Packet) {
+		if !sent[string(p.Data)] {
+			corrupt++
+		}
+	})
+	for i := 0; i < 10; i++ {
+		pkt := make([]byte, 40)
+		for j := range pkt {
+			pkt[j] = byte(i + j*3)
+		}
+		sent[string(pkt)] = true
+		tx, err := f.Fragment(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fr := range tx.Fragments {
+			r.Ingest(fr.Bytes)
+		}
+	}
+	if corrupt != 0 {
+		t.Errorf("%d corrupted packets delivered across an id-width mismatch", corrupt)
+	}
+}
+
+func TestInstrumentMismatchNeverDeliversCorrupt(t *testing.T) {
+	// Sender instruments (64 extra header bits); receiver does not expect
+	// them. The receiver misparses offsets/payloads; nothing corrupt may
+	// surface.
+	sendCfg := instrumentedConfig(9)
+	recvCfg := testConfig(9)
+
+	sel := core.NewUniformSelector(sendCfg.Space, xrand.NewSource(3).Stream("mi"))
+	f, err := NewFragmenter(sendCfg, sel, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := make(map[string]bool)
+	corrupt := 0
+	r := NewReassembler(recvCfg, nil, func(p Packet) {
+		if !sent[string(p.Data)] {
+			corrupt++
+		}
+	})
+	for i := 0; i < 10; i++ {
+		pkt := make([]byte, 50)
+		for j := range pkt {
+			pkt[j] = byte(i ^ j)
+		}
+		sent[string(pkt)] = true
+		tx, err := f.Fragment(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fr := range tx.Fragments {
+			r.Ingest(fr.Bytes)
+		}
+	}
+	if corrupt != 0 {
+		t.Errorf("%d corrupted packets delivered across an instrumentation mismatch", corrupt)
+	}
+}

@@ -1,0 +1,270 @@
+package aff
+
+import (
+	"time"
+
+	"retri/internal/checksum"
+	"retri/internal/frame"
+)
+
+// Stats counts reassembler outcomes. Conflicts and ChecksumFailures are the
+// two ways an identifier collision surfaces at a receiver.
+type Stats struct {
+	// Delivered counts packets reassembled and checksum-verified.
+	Delivered int64
+	// DeliveredBits sums the payload bits of delivered packets (the
+	// "useful bits received" of Equation 1).
+	DeliveredBits int64
+	// ChecksumFailures counts complete reassemblies whose checksum failed.
+	ChecksumFailures int64
+	// Conflicts counts transactions dropped for internal inconsistency:
+	// two introductions disagreeing, overlapping fragments with different
+	// bytes, or offsets beyond the announced length.
+	Conflicts int64
+	// Timeouts counts partial packets evicted after inactivity.
+	Timeouts int64
+	// FragmentsIn counts well-formed fragments ingested.
+	FragmentsIn int64
+	// Malformed counts undecodable frames.
+	Malformed int64
+}
+
+// Packet is a reassembled, verified packet.
+type Packet struct {
+	// ID is the AFF identifier the packet was reassembled under.
+	ID uint64
+	// Data is the packet payload.
+	Data []byte
+	// Truth is the instrumentation ground truth from the introduction
+	// fragment, nil when the codec is uninstrumented. It exists for the
+	// measurement harness only.
+	Truth *frame.Truth
+}
+
+// Reassembler rebuilds packets from address-free fragments, keyed solely by
+// the AFF identifier — the system under test.
+type Reassembler struct {
+	cfg     Config
+	codec   frame.AFFCodec
+	now     func() time.Duration
+	deliver func(Packet)
+
+	pending map[uint64]*pending
+	stats   Stats
+
+	// observer, when set, is told each identifier heard and whether the
+	// fragment was an introduction (a transaction start). The node layer
+	// wires introductions to a listening selector — the paper's window is
+	// the most recent 2T *transactions* — and every fragment to the
+	// density estimator.
+	observer func(id uint64, intro bool)
+
+	// onConflict, when set, is told each identifier dropped for
+	// inconsistency. The node layer's collision-notification extension
+	// (Section 3.2's "explicit identifier collision notification")
+	// broadcasts these.
+	onConflict func(id uint64)
+}
+
+// pending accumulates one identifier's fragments.
+type pending struct {
+	haveIntro bool
+	totalLen  int
+	sum       uint16
+	truth     *frame.Truth
+
+	buf      []byte
+	covered  []bool
+	gotBytes int
+
+	// early buffers data fragments that arrive before the introduction.
+	early []*frame.Data
+
+	lastActivity time.Duration
+}
+
+// maxEarlyFragments bounds pre-introduction buffering per identifier so a
+// lost introduction cannot pin unbounded state.
+const maxEarlyFragments = 1 << 12
+
+// NewReassembler returns a reassembler that calls deliver for each verified
+// packet. now supplies virtual time for timeout eviction (pass the engine's
+// clock); a nil now disables timeouts.
+func NewReassembler(cfg Config, now func() time.Duration, deliver func(Packet)) *Reassembler {
+	cfg = cfg.withDefaults()
+	if now == nil {
+		now = func() time.Duration { return 0 }
+		cfg.ReassemblyTimeout = 0
+	}
+	return &Reassembler{
+		cfg:     cfg,
+		codec:   cfg.codec(),
+		now:     now,
+		deliver: deliver,
+		pending: make(map[uint64]*pending),
+	}
+}
+
+// Stats returns a snapshot of the reassembler's counters.
+func (r *Reassembler) Stats() Stats { return r.stats }
+
+// PendingCount reports identifiers with partial state, for tests and
+// leak checks.
+func (r *Reassembler) PendingCount() int { return len(r.pending) }
+
+// SetObserver installs a callback invoked with the identifier of every
+// well-formed fragment heard and whether it was a transaction-starting
+// introduction. This is the "listening" tap of Section 3.2.
+func (r *Reassembler) SetObserver(fn func(id uint64, intro bool)) { r.observer = fn }
+
+// SetConflictHandler installs a callback invoked with each identifier
+// dropped for internal inconsistency — the receiver-side trigger for the
+// paper's optional collision-notification heuristic.
+func (r *Reassembler) SetConflictHandler(fn func(id uint64)) { r.onConflict = fn }
+
+// Ingest processes one received frame.
+func (r *Reassembler) Ingest(frameBytes []byte) {
+	r.expire()
+	decoded, err := r.codec.Decode(frameBytes)
+	if err != nil {
+		r.stats.Malformed++
+		return
+	}
+	r.stats.FragmentsIn++
+	switch fr := decoded.(type) {
+	case *frame.Intro:
+		if r.observer != nil {
+			r.observer(fr.ID, true)
+		}
+		r.ingestIntro(fr)
+	case *frame.Data:
+		if r.observer != nil {
+			r.observer(fr.ID, false)
+		}
+		r.ingestData(fr)
+	}
+}
+
+func (r *Reassembler) ingestIntro(in *frame.Intro) {
+	p, ok := r.pending[in.ID]
+	if !ok {
+		p = &pending{}
+		r.pending[in.ID] = p
+	}
+	p.lastActivity = r.now()
+	if p.haveIntro {
+		if p.totalLen != in.TotalLen || p.sum != in.Checksum {
+			// Two transactions announced under one identifier.
+			r.conflict(in.ID)
+		}
+		// A byte-identical duplicate introduction is harmless.
+		return
+	}
+	p.haveIntro = true
+	p.totalLen = in.TotalLen
+	p.sum = in.Checksum
+	p.truth = in.Truth
+	p.buf = make([]byte, in.TotalLen)
+	p.covered = make([]bool, in.TotalLen)
+
+	early := p.early
+	p.early = nil
+	for _, d := range early {
+		if !r.apply(in.ID, p, d) {
+			return // conflict dropped the state
+		}
+	}
+	r.maybeComplete(in.ID, p)
+}
+
+func (r *Reassembler) ingestData(d *frame.Data) {
+	p, ok := r.pending[d.ID]
+	if !ok {
+		p = &pending{}
+		r.pending[d.ID] = p
+	}
+	p.lastActivity = r.now()
+	if !p.haveIntro {
+		// Introduction not yet seen (reordering is impossible on our
+		// radio, but the introduction frame itself can be lost).
+		if len(p.early) < maxEarlyFragments {
+			p.early = append(p.early, d)
+		}
+		return
+	}
+	if !r.apply(d.ID, p, d) {
+		return
+	}
+	r.maybeComplete(d.ID, p)
+}
+
+// apply merges a data fragment into a pending packet with a known length.
+// It reports false if the fragment triggered a conflict drop.
+func (r *Reassembler) apply(id uint64, p *pending, d *frame.Data) bool {
+	end := d.Offset + len(d.Payload)
+	if end > p.totalLen {
+		r.conflict(id)
+		return false
+	}
+	// Overlap with different content is direct evidence that two senders
+	// share this identifier.
+	for i, b := range d.Payload {
+		at := d.Offset + i
+		if p.covered[at] && p.buf[at] != b {
+			r.conflict(id)
+			return false
+		}
+	}
+	for i, b := range d.Payload {
+		at := d.Offset + i
+		if !p.covered[at] {
+			p.covered[at] = true
+			p.gotBytes++
+		}
+		p.buf[at] = b
+	}
+	return true
+}
+
+// maybeComplete delivers or rejects a fully covered packet.
+func (r *Reassembler) maybeComplete(id uint64, p *pending) {
+	if !p.haveIntro || p.gotBytes != p.totalLen {
+		return
+	}
+	delete(r.pending, id)
+	if checksum.Sum(r.cfg.Checksum, p.buf) != p.sum {
+		r.stats.ChecksumFailures++
+		return
+	}
+	r.stats.Delivered++
+	r.stats.DeliveredBits += int64(8 * len(p.buf))
+	if r.deliver != nil {
+		r.deliver(Packet{ID: id, Data: p.buf, Truth: p.truth})
+	}
+}
+
+// conflict drops all state for an identifier.
+func (r *Reassembler) conflict(id uint64) {
+	delete(r.pending, id)
+	r.stats.Conflicts++
+	if r.onConflict != nil {
+		r.onConflict(id)
+	}
+}
+
+// expire evicts partial packets idle longer than the configured timeout.
+func (r *Reassembler) expire() {
+	if r.cfg.ReassemblyTimeout <= 0 {
+		return
+	}
+	cutoff := r.now() - r.cfg.ReassemblyTimeout
+	if cutoff <= 0 {
+		return
+	}
+	for id, p := range r.pending {
+		if p.lastActivity < cutoff {
+			delete(r.pending, id)
+			r.stats.Timeouts++
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package checksum provides the 16-bit checksums used by the AFF
+// fragmentation service.
+//
+// The paper's packet-introduction fragment carries a checksum over the whole
+// packet; reassembled packets whose checksum fails are discarded, which is
+// also how identifier collisions surface (Section 5). Two algorithms are
+// provided: the RFC 1071 Internet checksum (cheap, what an embedded driver
+// of the era would use) and CRC-16/CCITT-FALSE (stronger, used to
+// cross-check collision-detection sensitivity in tests and ablations).
+package checksum
+
+// Kind selects a checksum algorithm.
+type Kind int
+
+const (
+	// Internet is the RFC 1071 ones'-complement checksum.
+	Internet Kind = iota + 1
+	// CRC16 is CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+	CRC16
+)
+
+// String returns the algorithm name.
+func (k Kind) String() string {
+	switch k {
+	case Internet:
+		return "internet"
+	case CRC16:
+		return "crc16-ccitt"
+	default:
+		return "unknown"
+	}
+}
+
+// Sum computes the checksum of data using algorithm k. Unknown kinds fall
+// back to the Internet checksum so a zero-configured service still detects
+// corruption.
+func Sum(k Kind, data []byte) uint16 {
+	switch k {
+	case CRC16:
+		return SumCRC16(data)
+	default:
+		return SumInternet(data)
+	}
+}
+
+// SumInternet computes the RFC 1071 Internet checksum: the ones'-complement
+// of the ones'-complement sum of data taken as big-endian 16-bit words, with
+// an implicit zero pad byte when len(data) is odd.
+func SumInternet(data []byte) uint16 {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// crc16Table is the CRC-16/CCITT lookup table for polynomial 0x1021.
+var crc16Table = makeCRC16Table()
+
+func makeCRC16Table() [256]uint16 {
+	var table [256]uint16
+	const poly = 0x1021
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		table[i] = crc
+	}
+	return table
+}
+
+// SumCRC16 computes CRC-16/CCITT-FALSE (init 0xFFFF, no reflection, no
+// final XOR) of data.
+func SumCRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
+	}
+	return crc
+}

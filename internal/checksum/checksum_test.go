@@ -1,0 +1,152 @@
+package checksum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumInternetKnownVectors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+		want uint16
+	}{
+		// Classic RFC 1071 worked example.
+		{"rfc1071", []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}, ^uint16(0xddf2)},
+		{"empty", nil, 0xFFFF},
+		{"single zero byte", []byte{0x00}, 0xFFFF},
+		{"single byte", []byte{0xAB}, ^uint16(0xAB00)},
+		{"two bytes", []byte{0x12, 0x34}, ^uint16(0x1234)},
+		{"odd length", []byte{0x12, 0x34, 0x56}, ^uint16(0x1234 + 0x5600)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SumInternet(tt.data); got != tt.want {
+				t.Errorf("SumInternet(%x) = %04x, want %04x", tt.data, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSumInternetCarryFolding(t *testing.T) {
+	// Many 0xFFFF words force repeated carry folds.
+	data := make([]byte, 1<<16)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	// Ones'-complement sum of N 0xffff words is 0xffff, so checksum is 0.
+	if got := SumInternet(data); got != 0 {
+		t.Errorf("SumInternet(all-ff) = %04x, want 0000", got)
+	}
+}
+
+func TestSumCRC16KnownVectors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+		want uint16
+	}{
+		// Standard CRC-16/CCITT-FALSE check value.
+		{"123456789", []byte("123456789"), 0x29B1},
+		{"empty", nil, 0xFFFF},
+		{"single A", []byte("A"), 0xB915},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SumCRC16(tt.data); got != tt.want {
+				t.Errorf("SumCRC16(%q) = %04x, want %04x", tt.data, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSumDispatch(t *testing.T) {
+	data := []byte("hello sensor world")
+	if got, want := Sum(Internet, data), SumInternet(data); got != want {
+		t.Errorf("Sum(Internet) = %04x, want %04x", got, want)
+	}
+	if got, want := Sum(CRC16, data), SumCRC16(data); got != want {
+		t.Errorf("Sum(CRC16) = %04x, want %04x", got, want)
+	}
+	// Unknown kind falls back to Internet.
+	if got, want := Sum(Kind(99), data), SumInternet(data); got != want {
+		t.Errorf("Sum(unknown) = %04x, want %04x", got, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Internet.String() != "internet" {
+		t.Errorf("Internet.String() = %q", Internet.String())
+	}
+	if CRC16.String() != "crc16-ccitt" {
+		t.Errorf("CRC16.String() = %q", CRC16.String())
+	}
+	if Kind(0).String() != "unknown" {
+		t.Errorf("Kind(0).String() = %q", Kind(0).String())
+	}
+}
+
+// TestSingleBitFlipDetected verifies both algorithms detect any single-bit
+// corruption, the dominant physical error mode the AFF driver relies on the
+// checksum to catch.
+func TestSingleBitFlipDetected(t *testing.T) {
+	f := func(data []byte, pos uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		bit := int(pos) % (8 * len(data))
+		orig16 := SumCRC16(data)
+		origIn := SumInternet(data)
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[bit/8] ^= 1 << uint(bit%8)
+		return SumCRC16(mut) != orig16 && SumInternet(mut) != origIn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInternetChecksumIncrementalEquivalence: checksumming x||y equals
+// folding the two half-sums, a standard Internet-checksum identity that the
+// implementation must preserve for even-length prefixes.
+func TestInternetChecksumEvenSplit(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a)%2 == 1 {
+			a = a[:len(a)-len(a)%2]
+		}
+		joined := append(append([]byte{}, a...), b...)
+		sumA := uint32(^SumInternet(a))
+		sumB := uint32(^SumInternet(b))
+		total := sumA + sumB
+		for total>>16 != 0 {
+			total = (total & 0xFFFF) + total>>16
+		}
+		return SumInternet(joined) == ^uint16(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSumInternet(b *testing.B) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		SumInternet(data)
+	}
+}
+
+func BenchmarkSumCRC16(b *testing.B) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		SumCRC16(data)
+	}
+}

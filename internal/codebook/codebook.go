@@ -1,0 +1,307 @@
+// Package codebook implements the paper's second RETRI application
+// (Section 6): attribute-based name compression.
+//
+// "The attributes and associated values might be quite large, but the same
+// attribute/value pairs might be used frequently by a node. This problem
+// has traditionally been solved by creation of a 'codebook' mapping small
+// identifiers to long lists of attributes. Nodes using codebooks can
+// choose RETRI identifiers instead of traditional alternatives."
+//
+// A sender announces a binding (code -> full name) once, then tags each
+// reading with the short code. Receivers cache bindings with a TTL — the
+// binding's lifetime is the transaction. Two senders announcing different
+// names under one code is a RETRI collision: receivers detect the
+// disagreement, drop the binding, and subsequent readings under that code
+// are discarded until a fresh announcement, exactly the
+// loss-not-resolution discipline of Section 3.1.
+package codebook
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"retri/internal/bitio"
+	"retri/internal/core"
+	"retri/internal/naming"
+)
+
+// Message kinds on the wire.
+const (
+	kindAnnounce = 0
+	kindReading  = 1
+)
+
+var (
+	// ErrUnknownCode is returned when a reading references no live
+	// binding.
+	ErrUnknownCode = errors.New("codebook: unknown code")
+	// ErrBadMessage is returned for undecodable messages.
+	ErrBadMessage = errors.New("codebook: malformed message")
+)
+
+// Announcement binds a short code to a full name.
+type Announcement struct {
+	Code uint64
+	Name naming.Name
+}
+
+// Reading is a sensor value tagged with a code standing in for its name.
+type Reading struct {
+	Code  uint64
+	Value []byte
+}
+
+// Encoder is the sender side: it assigns RETRI codes to names and packs
+// announcements and readings.
+type Encoder struct {
+	space core.Space
+	sel   core.Selector
+	// codes maps canonical name keys to live codes.
+	codes map[string]uint64
+
+	// Bits accounting for the compression comparison.
+	announceBits int64
+	readingBits  int64
+	fullBits     int64 // what the readings would have cost carrying names
+}
+
+// NewEncoder returns an encoder drawing codes from sel.
+func NewEncoder(sel core.Selector) *Encoder {
+	return &Encoder{
+		space: sel.Space(),
+		sel:   sel,
+		codes: make(map[string]uint64),
+	}
+}
+
+// CodeFor returns the live code for a name, allocating a fresh one (and
+// the announcement to broadcast) when none exists. announcement is nil
+// when the binding was already live.
+func (e *Encoder) CodeFor(name naming.Name) (code uint64, announcement []byte, bits int, err error) {
+	key := name.Key()
+	if code, ok := e.codes[key]; ok {
+		return code, nil, 0, nil
+	}
+	code = e.sel.Next()
+	buf, bits, err := EncodeAnnouncement(e.space, Announcement{Code: code, Name: name})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	e.codes[key] = code
+	e.announceBits += int64(bits)
+	return code, buf, bits, nil
+}
+
+// Retire drops a binding so the next use of the name draws a fresh code —
+// ending the transaction. Retiring keeps collisions ephemeral.
+func (e *Encoder) Retire(name naming.Name) {
+	delete(e.codes, name.Key())
+}
+
+// EncodeReading packs a reading under the name's live code.
+func (e *Encoder) EncodeReading(name naming.Name, value []byte) (msg []byte, announcement []byte, err error) {
+	code, ann, _, err := e.CodeFor(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf, bits, err := EncodeReadingMsg(e.space, Reading{Code: code, Value: value})
+	if err != nil {
+		return nil, nil, err
+	}
+	e.readingBits += int64(bits)
+	nameBits, err := name.EncodedBits()
+	if err == nil {
+		// The uncompressed alternative: every reading carries the name.
+		e.fullBits += int64(nameBits + 8*len(value) + 8)
+	}
+	return buf, ann, nil
+}
+
+// BitsStats reports the encoder's accounting: announcement bits spent,
+// reading bits spent, and the bits the same readings would have cost with
+// full names inline.
+func (e *Encoder) BitsStats() (announce, readings, fullNames int64) {
+	return e.announceBits, e.readingBits, e.fullBits
+}
+
+// Decoder is the receiver side: it learns bindings and resolves readings.
+type Decoder struct {
+	space core.Space
+	ttl   time.Duration
+	now   func() time.Duration
+
+	bindings map[uint64]*binding
+	stats    DecoderStats
+}
+
+type binding struct {
+	name     naming.Name
+	lastSeen time.Duration
+	dead     bool // killed by a collision; stays dead until TTL expiry
+}
+
+// DecoderStats counts decoder outcomes.
+type DecoderStats struct {
+	// Announcements counts bindings learned or refreshed.
+	Announcements int64
+	// Collisions counts conflicting announcements (two names, one code).
+	Collisions int64
+	// Resolved counts readings successfully mapped to names.
+	Resolved int64
+	// Unresolved counts readings with no live binding.
+	Unresolved int64
+}
+
+// NewDecoder returns a decoder whose bindings live for ttl. A nil now
+// disables expiry.
+func NewDecoder(space core.Space, ttl time.Duration, now func() time.Duration) *Decoder {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+		ttl = 0
+	}
+	return &Decoder{
+		space:    space,
+		ttl:      ttl,
+		now:      now,
+		bindings: make(map[uint64]*binding),
+	}
+}
+
+// Stats returns a snapshot of decoder counters.
+func (d *Decoder) Stats() DecoderStats { return d.stats }
+
+// HandleAnnouncement learns or refreshes a binding. A conflicting
+// announcement — same code, different name — kills the binding: both
+// transactions lose, and the code stays dead until the TTL clears it.
+func (d *Decoder) HandleAnnouncement(a Announcement) {
+	d.expire()
+	b, ok := d.bindings[a.Code]
+	if !ok {
+		d.bindings[a.Code] = &binding{name: a.Name, lastSeen: d.now()}
+		d.stats.Announcements++
+		return
+	}
+	b.lastSeen = d.now()
+	if b.dead {
+		return
+	}
+	if !naming.Equal(b.name, a.Name) {
+		b.dead = true
+		d.stats.Collisions++
+		return
+	}
+	d.stats.Announcements++
+}
+
+// Resolve maps a reading to its full name.
+func (d *Decoder) Resolve(r Reading) (naming.Name, error) {
+	d.expire()
+	b, ok := d.bindings[r.Code]
+	if !ok || b.dead {
+		d.stats.Unresolved++
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCode, r.Code)
+	}
+	b.lastSeen = d.now()
+	d.stats.Resolved++
+	return b.name, nil
+}
+
+// Ingest decodes a raw message and dispatches it, returning the resolved
+// reading name when the message was a resolvable reading.
+func (d *Decoder) Ingest(p []byte) (name naming.Name, value []byte, isReading bool, err error) {
+	msg, err := Decode(d.space, p)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	switch m := msg.(type) {
+	case *Announcement:
+		d.HandleAnnouncement(*m)
+		return nil, nil, false, nil
+	case *Reading:
+		n, err := d.Resolve(*m)
+		if err != nil {
+			return nil, nil, true, err
+		}
+		return n, m.Value, true, nil
+	default:
+		return nil, nil, false, ErrBadMessage
+	}
+}
+
+func (d *Decoder) expire() {
+	if d.ttl <= 0 {
+		return
+	}
+	cutoff := d.now() - d.ttl
+	if cutoff <= 0 {
+		return
+	}
+	for code, b := range d.bindings {
+		if b.lastSeen < cutoff {
+			delete(d.bindings, code)
+		}
+	}
+}
+
+// EncodeAnnouncement packs an announcement: kind bit, code, full name.
+func EncodeAnnouncement(space core.Space, a Announcement) ([]byte, int, error) {
+	if !space.Contains(a.Code) {
+		return nil, 0, fmt.Errorf("%w: code %d outside space", ErrBadMessage, a.Code)
+	}
+	nameBytes, err := a.Name.Encode()
+	if err != nil {
+		return nil, 0, err
+	}
+	w := bitio.NewWriter()
+	must(w, kindAnnounce, 1)
+	must(w, a.Code, space.Bits())
+	w.Align()
+	w.WriteBytes(nameBytes)
+	return w.Bytes(), w.Len(), nil
+}
+
+// EncodeReadingMsg packs a reading: kind bit, code, value bytes.
+func EncodeReadingMsg(space core.Space, r Reading) ([]byte, int, error) {
+	if !space.Contains(r.Code) {
+		return nil, 0, fmt.Errorf("%w: code %d outside space", ErrBadMessage, r.Code)
+	}
+	w := bitio.NewWriter()
+	must(w, kindReading, 1)
+	must(w, r.Code, space.Bits())
+	w.Align()
+	w.WriteBytes(r.Value)
+	return w.Bytes(), w.Len(), nil
+}
+
+// Decode parses a message, returning *Announcement or *Reading.
+func Decode(space core.Space, p []byte) (any, error) {
+	r := bitio.NewReader(p)
+	kind, err := r.ReadBits(1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	code, err := r.ReadBits(space.Bits())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	r.Align()
+	rest := make([]byte, r.Remaining()/8)
+	if err := r.ReadBytes(rest); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if kind == kindAnnounce {
+		name, err := naming.Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		return &Announcement{Code: code, Name: name}, nil
+	}
+	return &Reading{Code: code, Value: rest}, nil
+}
+
+func must(w *bitio.Writer, v uint64, bits int) {
+	if err := w.WriteBits(v, bits); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,237 @@
+package codebook
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"retri/internal/core"
+	"retri/internal/naming"
+	"retri/internal/xrand"
+)
+
+func testName() naming.Name {
+	return naming.Name{
+		{Key: "type", Op: naming.Is, Value: "temperature"},
+		{Key: "quadrant", Op: naming.Is, Value: "north-east"},
+		{Key: "unit", Op: naming.Is, Value: "celsius"},
+	}
+}
+
+func otherName() naming.Name {
+	return naming.Name{
+		{Key: "type", Op: naming.Is, Value: "humidity"},
+	}
+}
+
+func newEncoder(t *testing.T, bits int, seed uint64) *Encoder {
+	t.Helper()
+	space := core.MustSpace(bits)
+	sel := core.NewUniformSelector(space, xrand.NewSource(seed).Stream("cb", t.Name()))
+	return NewEncoder(sel)
+}
+
+func TestAnnounceOncePerName(t *testing.T) {
+	e := newEncoder(t, 8, 1)
+	code1, ann1, bits, err := e.CodeFor(testName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann1 == nil || bits == 0 {
+		t.Fatal("first use should produce an announcement")
+	}
+	code2, ann2, _, err := e.CodeFor(testName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code2 != code1 {
+		t.Errorf("second use drew a new code: %d vs %d", code2, code1)
+	}
+	if ann2 != nil {
+		t.Error("second use should not re-announce")
+	}
+}
+
+func TestRetireDrawsFreshCode(t *testing.T) {
+	e := newEncoder(t, 16, 2)
+	code1, _, _, err := e.CodeFor(testName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Retire(testName())
+	code2, ann, _, err := e.CodeFor(testName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann == nil {
+		t.Error("post-retire use should re-announce")
+	}
+	if code1 == code2 {
+		t.Error("retired name re-drew the same code (possible but 1/65536; treat as failure)")
+	}
+}
+
+func TestEndToEndReadingFlow(t *testing.T) {
+	space := core.MustSpace(8)
+	e := newEncoder(t, 8, 3)
+	d := NewDecoder(space, 0, nil)
+
+	msg, ann, err := e.EncodeReading(testName(), []byte{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann == nil {
+		t.Fatal("first reading must carry an announcement")
+	}
+	if _, _, _, err := d.Ingest(ann); err != nil {
+		t.Fatalf("ingest announcement: %v", err)
+	}
+	name, value, isReading, err := d.Ingest(msg)
+	if err != nil || !isReading {
+		t.Fatalf("ingest reading: %v (reading=%v)", err, isReading)
+	}
+	if !naming.Equal(name, testName()) {
+		t.Errorf("resolved name %v, want %v", name, testName())
+	}
+	if !bytes.Equal(value, []byte{42}) {
+		t.Errorf("value = %v, want [42]", value)
+	}
+	if d.Stats().Resolved != 1 {
+		t.Errorf("Resolved = %d, want 1", d.Stats().Resolved)
+	}
+}
+
+func TestReadingWithoutAnnouncementUnresolved(t *testing.T) {
+	space := core.MustSpace(8)
+	d := NewDecoder(space, 0, nil)
+	msg, _, err := EncodeReadingMsg(space, Reading{Code: 7, Value: []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := d.Ingest(msg); !errors.Is(err, ErrUnknownCode) {
+		t.Errorf("err = %v, want ErrUnknownCode", err)
+	}
+	if d.Stats().Unresolved != 1 {
+		t.Errorf("Unresolved = %d, want 1", d.Stats().Unresolved)
+	}
+}
+
+func TestCodeCollisionKillsBinding(t *testing.T) {
+	// Two senders announce different names under one code: the decoder
+	// must refuse to resolve readings for that code — the Section 3.1
+	// "collisions are losses" discipline.
+	space := core.MustSpace(4)
+	d := NewDecoder(space, 0, nil)
+	d.HandleAnnouncement(Announcement{Code: 5, Name: testName()})
+	d.HandleAnnouncement(Announcement{Code: 5, Name: otherName()})
+	if d.Stats().Collisions != 1 {
+		t.Fatalf("Collisions = %d, want 1", d.Stats().Collisions)
+	}
+	if _, err := d.Resolve(Reading{Code: 5}); !errors.Is(err, ErrUnknownCode) {
+		t.Errorf("resolve of dead binding err = %v", err)
+	}
+	// A re-announcement while dead does not resurrect it.
+	d.HandleAnnouncement(Announcement{Code: 5, Name: testName()})
+	if _, err := d.Resolve(Reading{Code: 5}); err == nil {
+		t.Error("dead binding resurrected before TTL")
+	}
+}
+
+func TestDuplicateAnnouncementRefreshes(t *testing.T) {
+	space := core.MustSpace(4)
+	d := NewDecoder(space, 0, nil)
+	d.HandleAnnouncement(Announcement{Code: 3, Name: testName()})
+	d.HandleAnnouncement(Announcement{Code: 3, Name: testName()})
+	if d.Stats().Collisions != 0 {
+		t.Error("identical announcements flagged as collision")
+	}
+	if d.Stats().Announcements != 2 {
+		t.Errorf("Announcements = %d, want 2", d.Stats().Announcements)
+	}
+}
+
+func TestTTLExpiryEndsTransaction(t *testing.T) {
+	space := core.MustSpace(4)
+	now := time.Duration(0)
+	d := NewDecoder(space, 10*time.Second, func() time.Duration { return now })
+	d.HandleAnnouncement(Announcement{Code: 2, Name: testName()})
+	if _, err := d.Resolve(Reading{Code: 2}); err != nil {
+		t.Fatal(err)
+	}
+	now = time.Minute
+	if _, err := d.Resolve(Reading{Code: 2}); !errors.Is(err, ErrUnknownCode) {
+		t.Errorf("expired binding still resolves: %v", err)
+	}
+	// Expiry also clears dead bindings, letting the code be reused.
+	d.HandleAnnouncement(Announcement{Code: 2, Name: otherName()})
+	if _, err := d.Resolve(Reading{Code: 2}); err != nil {
+		t.Errorf("code not reusable after expiry: %v", err)
+	}
+}
+
+func TestCompressionAccounting(t *testing.T) {
+	e := newEncoder(t, 8, 4)
+	for i := 0; i < 50; i++ {
+		if _, _, err := e.EncodeReading(testName(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	announce, readings, full := e.BitsStats()
+	if announce == 0 || readings == 0 || full == 0 {
+		t.Fatalf("accounting incomplete: %d/%d/%d", announce, readings, full)
+	}
+	// The whole point: one announcement plus 50 short readings costs far
+	// less than 50 readings carrying the full name.
+	if announce+readings >= full {
+		t.Errorf("codebook (%d bits) should beat inline names (%d bits)",
+			announce+readings, full)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	space := core.MustSpace(9)
+	ann := Announcement{Code: 300, Name: testName()}
+	buf, bits, err := EncodeAnnouncement(space, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits <= 0 {
+		t.Error("zero bits")
+	}
+	got, err := Decode(space, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, ok := got.(*Announcement)
+	if !ok || ga.Code != 300 || !naming.Equal(ga.Name, ann.Name) {
+		t.Errorf("announcement round trip failed: %+v", got)
+	}
+
+	rd := Reading{Code: 300, Value: []byte{1, 2, 3}}
+	buf, _, err = EncodeReadingMsg(space, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(space, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, ok := got.(*Reading)
+	if !ok || gr.Code != 300 || !bytes.Equal(gr.Value, rd.Value) {
+		t.Errorf("reading round trip failed: %+v", got)
+	}
+}
+
+func TestWireValidation(t *testing.T) {
+	space := core.MustSpace(4)
+	if _, _, err := EncodeAnnouncement(space, Announcement{Code: 16}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("oversize code err = %v", err)
+	}
+	if _, _, err := EncodeReadingMsg(space, Reading{Code: 16}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("oversize code err = %v", err)
+	}
+	if _, err := Decode(space, nil); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("empty decode err = %v", err)
+	}
+}

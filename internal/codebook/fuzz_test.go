@@ -1,0 +1,43 @@
+package codebook
+
+import (
+	"testing"
+
+	"retri/internal/core"
+)
+
+// FuzzDecode: message decoding must never panic on arbitrary bytes, across
+// identifier widths, and accepted messages must re-encode.
+func FuzzDecode(f *testing.F) {
+	space := core.MustSpace(8)
+	ann, _, _ := EncodeAnnouncement(space, Announcement{Code: 7})
+	rd, _, _ := EncodeReadingMsg(space, Reading{Code: 7, Value: []byte{1}})
+	f.Add(ann, 8)
+	f.Add(rd, 8)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0x80, 0x01}, 16)
+
+	f.Fuzz(func(t *testing.T, p []byte, bits int) {
+		b := ((bits % 32) + 32) % 32
+		if b == 0 {
+			b = 1
+		}
+		space := core.MustSpace(b)
+		msg, err := Decode(space, p)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *Announcement:
+			if _, _, err := EncodeAnnouncement(space, *m); err != nil {
+				t.Fatalf("decoded announcement failed to re-encode: %v", err)
+			}
+		case *Reading:
+			if _, _, err := EncodeReadingMsg(space, *m); err != nil {
+				t.Fatalf("decoded reading failed to re-encode: %v", err)
+			}
+		default:
+			t.Fatalf("unexpected type %T", msg)
+		}
+	})
+}

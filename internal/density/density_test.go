@@ -1,0 +1,122 @@
+package density
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+type clock struct{ t time.Duration }
+
+func (c *clock) now() time.Duration { return c.t }
+
+func TestFreshEstimatorReportsOne(t *testing.T) {
+	e := New(0, 0, nil)
+	if got := e.Estimate(); got != 1 {
+		t.Errorf("Estimate() = %v, want 1 before any observation", got)
+	}
+	if got := e.Window(); got != 2 {
+		t.Errorf("Window() = %d, want 2", got)
+	}
+	if got := e.Active(); got != 0 {
+		t.Errorf("Active() = %d, want 0", got)
+	}
+}
+
+func TestActiveCountsDistinctIDs(t *testing.T) {
+	c := &clock{}
+	e := New(time.Second, 1, c.now)
+	e.Observe(1)
+	e.Observe(2)
+	e.Observe(2)
+	e.Observe(3)
+	if got := e.Active(); got != 3 {
+		t.Errorf("Active() = %d, want 3", got)
+	}
+}
+
+func TestIdleGapExpiresTransactions(t *testing.T) {
+	c := &clock{}
+	e := New(time.Second, 1, c.now)
+	e.Observe(1)
+	c.t = 500 * time.Millisecond
+	e.Observe(2)
+	if got := e.Active(); got != 2 {
+		t.Fatalf("Active() = %d, want 2", got)
+	}
+	c.t = 1600 * time.Millisecond // id 1 idle 1.6s, id 2 idle 1.1s
+	if got := e.Active(); got != 0 {
+		t.Errorf("Active() = %d, want 0 after idle gap", got)
+	}
+	// Re-observation revives the identifier.
+	e.Observe(2)
+	if got := e.Active(); got != 1 {
+		t.Errorf("Active() = %d, want 1", got)
+	}
+}
+
+func TestContinuedFragmentsKeepTransactionAlive(t *testing.T) {
+	c := &clock{}
+	e := New(time.Second, 1, c.now)
+	for i := 0; i < 10; i++ {
+		e.Observe(7)
+		c.t += 900 * time.Millisecond // always within the gap
+	}
+	if got := e.Active(); got != 1 {
+		t.Errorf("Active() = %d, want 1 for a long-lived transaction", got)
+	}
+}
+
+func TestEstimateConvergesToSteadyDensity(t *testing.T) {
+	// Five senders interleaving fragments forever: the estimate should
+	// settle near 5 (the paper's testbed density).
+	c := &clock{}
+	e := New(time.Second, DefaultAlpha, c.now)
+	for round := 0; round < 200; round++ {
+		for id := uint64(0); id < 5; id++ {
+			e.Observe(id)
+			c.t += 10 * time.Millisecond
+		}
+	}
+	got := e.Estimate()
+	if math.Abs(got-5) > 0.5 {
+		t.Errorf("Estimate() = %v, want ~5", got)
+	}
+	if w := e.Window(); w != 10 {
+		t.Errorf("Window() = %d, want 10 (2T)", w)
+	}
+}
+
+func TestEstimateNeverBelowOne(t *testing.T) {
+	c := &clock{}
+	e := New(time.Second, 1, c.now)
+	e.Observe(1)
+	c.t = time.Hour
+	if got := e.Estimate(); got < 1 {
+		t.Errorf("Estimate() = %v, want >= 1", got)
+	}
+}
+
+func TestWindowRoundsUp(t *testing.T) {
+	// Force a fractional EMA: seed at 2 then observe density 1.
+	c := &clock{}
+	e := New(time.Second, 0.5, c.now)
+	e.Observe(1)
+	e.Observe(2) // ema seeded at 1, then 0.5*2+0.5*1 = 1.5
+	if got := e.Estimate(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("Estimate() = %v, want 1.5", got)
+	}
+	if got := e.Window(); got != 4 {
+		t.Errorf("Window() = %d, want 4 (2*ceil(1.5))", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	e := New(-1, 5, nil)
+	if e.idleGap != DefaultIdleGap {
+		t.Errorf("idleGap = %v, want default", e.idleGap)
+	}
+	if e.alpha != DefaultAlpha {
+		t.Errorf("alpha = %v, want default", e.alpha)
+	}
+}

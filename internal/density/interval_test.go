@@ -1,0 +1,124 @@
+package density
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestIntervalFreshReportsOne(t *testing.T) {
+	e := NewInterval(0, 0, nil)
+	if e.Estimate() != 1 {
+		t.Errorf("Estimate() = %v, want 1", e.Estimate())
+	}
+	if e.Window() != 2 {
+		t.Errorf("Window() = %d, want 2", e.Window())
+	}
+}
+
+func TestIntervalSteadyConcurrency(t *testing.T) {
+	// Five transactions continuously alive: time-averaged concurrency 5.
+	c := &clock{}
+	e := NewInterval(5*time.Second, time.Second, c.now)
+	for step := 0; step < 1000; step++ {
+		for id := uint64(0); id < 5; id++ {
+			e.Observe(id)
+		}
+		c.t += 50 * time.Millisecond
+	}
+	got := e.Estimate()
+	if math.Abs(got-5) > 0.3 {
+		t.Errorf("Estimate() = %v, want ~5", got)
+	}
+	if w := e.Window(); w != 10 {
+		t.Errorf("Window() = %d, want 10", w)
+	}
+}
+
+func TestIntervalHalfDutyCycle(t *testing.T) {
+	// One identifier alive half the time: time-averaged density ~0.5,
+	// clamped to 1. Two identifiers alternating -> ~1.
+	c := &clock{}
+	e := NewInterval(10*time.Second, 100*time.Millisecond, c.now)
+	for cycle := 0; cycle < 20; cycle++ {
+		// 500ms active...
+		for i := 0; i < 10; i++ {
+			e.Observe(uint64(cycle)) // fresh id per burst
+			c.t += 50 * time.Millisecond
+		}
+		// ...500ms silent.
+		c.t += 500 * time.Millisecond
+	}
+	got := e.Estimate()
+	if got > 1.2 {
+		t.Errorf("Estimate() = %v for 50%% duty single stream, want ~<=1.2", got)
+	}
+}
+
+// TestIntervalBeatsEMAOnBurstyTraffic is the motivation for the second
+// estimator: fragment-sampled EMA overweights busy instants, while the
+// time average matches the model's definition. Traffic: 4 concurrent
+// transactions for 1s, then 4s of silence — true time-averaged T = 0.8
+// (clamped to 1); the EMA, sampling only within bursts, reports ~4.
+func TestIntervalBeatsEMAOnBurstyTraffic(t *testing.T) {
+	c := &clock{}
+	ema := New(time.Second, DefaultAlpha, c.now)
+	ivl := NewInterval(20*time.Second, time.Second, c.now)
+	id := uint64(0)
+	for cycle := 0; cycle < 10; cycle++ {
+		id += 4
+		for step := 0; step < 20; step++ {
+			for k := uint64(0); k < 4; k++ {
+				ema.Observe(id + k)
+				ivl.Observe(id + k)
+			}
+			c.t += 50 * time.Millisecond
+		}
+		c.t += 4 * time.Second
+	}
+	trueT := 1.0 // 0.8 clamped
+	emaErr := math.Abs(ema.Estimate() - trueT)
+	ivlErr := math.Abs(ivl.Estimate() - trueT)
+	if ivlErr >= emaErr {
+		t.Errorf("interval error %.3f should beat EMA error %.3f (ema=%.2f ivl=%.2f)",
+			ivlErr, emaErr, ema.Estimate(), ivl.Estimate())
+	}
+	if ivl.Estimate() > 2.5 {
+		t.Errorf("interval estimate %.2f far above true bursty density ~1", ivl.Estimate())
+	}
+}
+
+func TestIntervalPrunesOldIntervals(t *testing.T) {
+	c := &clock{}
+	e := NewInterval(2*time.Second, 100*time.Millisecond, c.now)
+	for i := 0; i < 100; i++ {
+		e.Observe(uint64(i))
+		c.t += 10 * time.Millisecond
+	}
+	c.t += time.Minute
+	if got := e.Estimate(); got != 1 {
+		t.Errorf("Estimate() = %v after long silence, want 1", got)
+	}
+	if len(e.closed) != 0 {
+		t.Errorf("closed intervals not pruned: %d", len(e.closed))
+	}
+}
+
+func TestIntervalContinuedFragmentsExtendInterval(t *testing.T) {
+	c := &clock{}
+	e := NewInterval(10*time.Second, time.Second, c.now)
+	// One transaction spanning 3s of a 10s window: density 0.3 -> clamp 1.
+	for i := 0; i < 30; i++ {
+		e.Observe(42)
+		c.t += 100 * time.Millisecond
+	}
+	c.t += 7 * time.Second
+	if got := e.Estimate(); got != 1 {
+		t.Errorf("Estimate() = %v, want clamp to 1", got)
+	}
+}
+
+func TestTEstimatorInterface(t *testing.T) {
+	var _ TEstimator = New(0, 0, nil)
+	var _ TEstimator = NewInterval(0, 0, nil)
+}

@@ -1,0 +1,129 @@
+package dynaddr
+
+import (
+	"testing"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+func TestStartIsIdempotent(t *testing.T) {
+	eng, _, nodes := testSetup(t, 1)
+	nodes[0].Start()
+	nodes[0].Start() // claiming: no-op
+	eng.Run()
+	nodes[0].Start() // assigned: no-op
+	if got := nodes[0].Allocator().Stats().Acquisitions; got != 1 {
+		t.Errorf("Acquisitions = %d, want 1 despite repeated Start", got)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	_, _, nodes := testSetup(t, 1)
+	if nodes[0].Radio() == nil {
+		t.Error("Radio() = nil")
+	}
+	if nodes[0].Reassembler() == nil {
+		t.Error("Reassembler() = nil")
+	}
+	if _, ok := nodes[0].Allocator().Addr(); ok {
+		t.Error("Addr ok before assignment")
+	}
+}
+
+func TestNewNodeNilRadio(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewNode(eng, nil, Config{}, xrand.NewSource(1).Stream("n")); err == nil {
+		t.Error("nil radio accepted")
+	}
+}
+
+func TestHeardTableExpires(t *testing.T) {
+	eng := sim.NewEngine()
+	src := xrand.NewSource(51).Child("ttl")
+	med := radio.NewMedium(eng, radio.FullMesh{}, radio.DefaultParams(), src.Stream("m"))
+	r := med.MustAttach(1)
+	cfg := Config{AddrBits: 4, HeardTTL: time.Second}
+	n, err := NewNode(eng, r, cfg, src.Stream("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the allocator's heard table with every address.
+	for addr := uint64(0); addr < 16; addr++ {
+		n.Allocator().HandleControl(Control{Kind: MsgAnnounce, Addr: addr, Nonce: 1})
+	}
+	// With the whole space heard, a claim must still be possible (uniform
+	// fallback); and after the TTL, the table clears.
+	eng.RunUntil(5 * time.Second)
+	n.Start()
+	eng.Run()
+	if _, ok := n.Allocator().Addr(); !ok {
+		t.Error("node never acquired an address after heard-table saturation")
+	}
+}
+
+func TestDefendAgainstAnnounce(t *testing.T) {
+	// A claiming node that hears an ANNOUNCE for its candidate aborts.
+	eng := sim.NewEngine()
+	src := xrand.NewSource(52).Child("ann")
+	med := radio.NewMedium(eng, radio.FullMesh{}, radio.DefaultParams(), src.Stream("m"))
+	r := med.MustAttach(1)
+	n, err := NewNode(eng, r, Config{AddrBits: 10}, src.Stream("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	// Snatch the candidate mid-claim.
+	cand := n.Allocator().addr
+	n.Allocator().HandleControl(Control{Kind: MsgAnnounce, Addr: cand, Nonce: 99})
+	if n.Allocator().State() == Claiming && n.Allocator().addr == cand {
+		t.Error("claim not aborted on ANNOUNCE for candidate")
+	}
+	eng.Run()
+	if addr, ok := n.Allocator().Addr(); !ok {
+		t.Error("node never re-acquired")
+	} else if addr == cand && n.Allocator().Stats().Conflicts == 0 {
+		t.Error("conflict unrecorded")
+	}
+}
+
+func TestDefendAgainstDefend(t *testing.T) {
+	eng := sim.NewEngine()
+	src := xrand.NewSource(53).Child("def")
+	med := radio.NewMedium(eng, radio.FullMesh{}, radio.DefaultParams(), src.Stream("m"))
+	r := med.MustAttach(1)
+	n, err := NewNode(eng, r, Config{AddrBits: 10}, src.Stream("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	cand := n.Allocator().addr
+	n.Allocator().HandleControl(Control{Kind: MsgDefend, Addr: cand, Nonce: 7})
+	if n.Allocator().Stats().Conflicts != 1 {
+		t.Errorf("Conflicts = %d, want 1 after DEFEND", n.Allocator().Stats().Conflicts)
+	}
+	eng.Run()
+	if _, ok := n.Allocator().Addr(); !ok {
+		t.Error("node never recovered after DEFEND")
+	}
+}
+
+func TestTransmitFailsWhenRadioDown(t *testing.T) {
+	eng, _, nodes := testSetup(t, 1)
+	nodes[0].Radio().SetUp(false)
+	nodes[0].Start()
+	eng.Run()
+	// Claims could not be transmitted; control-bit accounting stays zero.
+	if got := nodes[0].Allocator().Stats().ControlBits; got != 0 {
+		t.Errorf("ControlBits = %d with radio down, want 0", got)
+	}
+}
+
+func TestControlBitsConstant(t *testing.T) {
+	c := codec{addrBits: 10}
+	if got := c.controlBits(); got != 1+2+10+16 {
+		t.Errorf("controlBits = %d, want 29", got)
+	}
+}

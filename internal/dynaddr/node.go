@@ -1,0 +1,137 @@
+package dynaddr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/sim"
+	"retri/internal/staticaddr"
+)
+
+// ErrNoAddress is returned by SendPacket before an address is acquired —
+// the cost in *availability* that dynamic allocation imposes and AFF does
+// not.
+var ErrNoAddress = errors.New("dynaddr: no address assigned yet")
+
+// Node is a complete dynamically addressed stack: the claim-listen-defend
+// allocator plus the short-address fragmentation driver, demultiplexed
+// over one radio.
+type Node struct {
+	eng   *sim.Engine
+	r     *radio.Radio
+	alloc *Allocator
+	codec codec
+
+	fragCfg staticaddr.Config
+	frag    *staticaddr.Fragmenter
+	reasm   *staticaddr.Reassembler
+
+	handler func(data []byte)
+	sent    int64
+}
+
+// NewNode builds a dynamically addressed node. Data packets can be sent
+// only after the allocator acquires an address; call Start to begin
+// claiming.
+func NewNode(eng *sim.Engine, r *radio.Radio, cfg Config, rng *rand.Rand) (*Node, error) {
+	if r == nil {
+		return nil, errors.New("dynaddr: nil radio")
+	}
+	cfg = cfg.withDefaults()
+	n := &Node{
+		eng:   eng,
+		r:     r,
+		codec: codec{addrBits: cfg.AddrBits},
+		fragCfg: staticaddr.Config{
+			AddrBits: cfg.AddrBits,
+			// Data frames carry the demux prefix, so the fragmenter must
+			// leave one byte of headroom.
+			MTU:               mtuOf(r) - 1,
+			ReassemblyTimeout: 30 * time.Second,
+		},
+	}
+	n.alloc = NewAllocator(eng, r, cfg, rng, n.onAssigned)
+	n.reasm = staticaddr.NewReassembler(n.fragCfg, r.Now, func(p staticaddr.Packet) {
+		if n.handler != nil {
+			n.handler(p.Data)
+		}
+	})
+	r.SetHandler(n.onFrame)
+	return n, nil
+}
+
+func mtuOf(r *radio.Radio) int {
+	// The radio's medium enforces the MTU on Send; the fragment sizing
+	// needs the same figure. DefaultParams uses 27.
+	return 27
+}
+
+// Start begins address acquisition.
+func (n *Node) Start() { n.alloc.Start() }
+
+// Allocator exposes the allocation state machine.
+func (n *Node) Allocator() *Allocator { return n.alloc }
+
+// Radio returns the underlying radio.
+func (n *Node) Radio() *radio.Radio { return n.r }
+
+// SetPacketHandler installs the delivery callback.
+func (n *Node) SetPacketHandler(h func(data []byte)) { n.handler = h }
+
+// PacketsSent reports data packets accepted for transmission.
+func (n *Node) PacketsSent() int64 { return n.sent }
+
+// PacketsDelivered reports data packets reassembled at this node.
+func (n *Node) PacketsDelivered() int64 { return n.reasm.Stats().Delivered }
+
+// Reassembler exposes the data reassembler for stats.
+func (n *Node) Reassembler() *staticaddr.Reassembler { return n.reasm }
+
+// SendPacket fragments and queues a data packet under the node's acquired
+// short address. It fails with ErrNoAddress until allocation completes.
+func (n *Node) SendPacket(p []byte) error {
+	if n.frag == nil {
+		return ErrNoAddress
+	}
+	tx, err := n.frag.Fragment(p)
+	if err != nil {
+		return err
+	}
+	for _, fr := range tx.Fragments {
+		payload, bits := wrapData(fr.Bytes, fr.Bits)
+		if err := n.r.Send(payload, bits); err != nil {
+			return fmt.Errorf("dynaddr: send fragment: %w", err)
+		}
+	}
+	n.sent++
+	return nil
+}
+
+// onAssigned (re)builds the data fragmenter under the new address.
+func (n *Node) onAssigned(addr uint64) {
+	frag, err := staticaddr.NewFragmenter(n.fragCfg, addr)
+	if err != nil {
+		// Configuration error; leave the node data-mute rather than
+		// panic inside a simulation event.
+		n.frag = nil
+		return
+	}
+	n.frag = frag
+}
+
+// onFrame demultiplexes received frames between the allocator and the
+// data reassembler.
+func (n *Node) onFrame(f radio.Frame) {
+	ctrl, data, isControl, err := n.codec.decode(f.Payload)
+	if err != nil {
+		return
+	}
+	if isControl {
+		n.alloc.HandleControl(ctrl)
+		return
+	}
+	n.reasm.Ingest(data)
+}

@@ -1,0 +1,90 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.AddTx(100)
+	m.AddTx(50)
+	m.AddRx(30)
+	m.AddListen(2 * time.Second)
+	if m.TxBits != 150 || m.TxFrames != 2 {
+		t.Errorf("Tx: bits=%d frames=%d, want 150/2", m.TxBits, m.TxFrames)
+	}
+	if m.RxBits != 30 || m.RxFrames != 1 {
+		t.Errorf("Rx: bits=%d frames=%d, want 30/1", m.RxBits, m.RxFrames)
+	}
+	if m.ListenFor != 2*time.Second {
+		t.Errorf("ListenFor = %v, want 2s", m.ListenFor)
+	}
+}
+
+func TestMeterNegativeListenIgnored(t *testing.T) {
+	var m Meter
+	m.AddListen(-time.Second)
+	if m.ListenFor != 0 {
+		t.Errorf("ListenFor = %v, want 0 after negative add", m.ListenFor)
+	}
+}
+
+func TestMeterAddMerges(t *testing.T) {
+	var a, b Meter
+	a.AddTx(10)
+	a.AddListen(time.Second)
+	b.AddRx(20)
+	b.AddTx(5)
+	a.Add(b)
+	if a.TxBits != 15 || a.TxFrames != 2 || a.RxBits != 20 || a.RxFrames != 1 {
+		t.Errorf("merged meter = %+v", a)
+	}
+}
+
+func TestModelJoules(t *testing.T) {
+	mo := Model{TxJPerBit: 2, RxJPerBit: 3, ListenW: 4}
+	m := Meter{TxBits: 10, RxBits: 5, ListenFor: 2 * time.Second}
+	got := mo.Joules(m)
+	want := 10.0*2 + 5.0*3 + 2.0*4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Joules = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultModelPlausible(t *testing.T) {
+	mo := DefaultModel()
+	if mo.TxJPerBit <= 0 || mo.RxJPerBit <= 0 || mo.ListenW <= 0 {
+		t.Errorf("DefaultModel has non-positive parameters: %+v", mo)
+	}
+	if mo.TxJPerBit <= mo.RxJPerBit {
+		t.Errorf("TX per-bit (%v) should exceed RX per-bit (%v)", mo.TxJPerBit, mo.RxJPerBit)
+	}
+	// A low-power radio should spend well under a millijoule per bit.
+	if mo.TxJPerBit > 1e-3 {
+		t.Errorf("TxJPerBit = %v, implausibly large", mo.TxJPerBit)
+	}
+}
+
+func TestMACProfilesOrdering(t *testing.T) {
+	bare, rpc, wifi := BareProfile(), RPCProfile(), IEEE80211Profile()
+	if bare.PerFrameOverhead != 0 {
+		t.Errorf("bare overhead = %d, want 0", bare.PerFrameOverhead)
+	}
+	if !(rpc.PerFrameOverhead > bare.PerFrameOverhead) {
+		t.Error("RPC profile should cost more than bare")
+	}
+	// Section 4.4: 802.11 adds *hundreds* of bits per frame.
+	if wifi.PerFrameOverhead < 200 {
+		t.Errorf("802.11 overhead = %d bits, want hundreds", wifi.PerFrameOverhead)
+	}
+	if !(wifi.PerFrameOverhead > 5*rpc.PerFrameOverhead) {
+		t.Errorf("802.11 (%d) should dwarf RPC (%d)", wifi.PerFrameOverhead, rpc.PerFrameOverhead)
+	}
+	for _, p := range []MACProfile{bare, rpc, wifi} {
+		if p.Name == "" {
+			t.Error("profile missing name")
+		}
+	}
+}

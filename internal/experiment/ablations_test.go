@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/radio"
+)
+
+func TestAblationListeningWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := quickConfig()
+	cfg.Trials = 2
+	cfg.Duration = 10 * time.Second
+	res, err := AblationListeningWindow(cfg, 6, []int{1, 10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series.Len() != 3 {
+		t.Fatalf("series has %d windows, want 3", res.Series.Len())
+	}
+	// A window of 1 barely avoids anything; a window of 10 (=2T) should
+	// do measurably better.
+	w1, _ := res.Series.At(1)
+	w10, _ := res.Series.At(10)
+	if w10.Mean >= w1.Mean {
+		t.Errorf("window 10 (%.4f) should beat window 1 (%.4f)", w10.Mean, w1.Mean)
+	}
+	if res.Adaptive.N == 0 {
+		t.Error("adaptive baseline missing")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "2T (adapt)") {
+		t.Error("Render() missing adaptive row")
+	}
+}
+
+func TestAblationHiddenTerminal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := quickConfig()
+	cfg.Trials = 2
+	cfg.Duration = 10 * time.Second
+	res, err := AblationHiddenTerminal(cfg, 5, []SelectorKind{SelUniform, SelListening})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full mesh: listening beats uniform.
+	if res.FullMesh[SelListening].Mean >= res.FullMesh[SelUniform].Mean {
+		t.Errorf("full mesh: listening (%.4f) should beat uniform (%.4f)",
+			res.FullMesh[SelListening].Mean, res.FullMesh[SelUniform].Mean)
+	}
+	// Hidden senders: listening's edge over uniform shrinks (footnote 3:
+	// senders cannot hear each other, so there is little to learn from).
+	edgeFull := res.FullMesh[SelUniform].Mean - res.FullMesh[SelListening].Mean
+	edgeHidden := res.Hidden[SelUniform].Mean - res.Hidden[SelListening].Mean
+	if edgeHidden > edgeFull {
+		t.Errorf("listening edge should shrink when hidden: full=%.4f hidden=%.4f",
+			edgeFull, edgeHidden)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "hidden senders") {
+		t.Error("Render() missing hidden column")
+	}
+}
+
+func TestHiddenStarTopologyShape(t *testing.T) {
+	topo := HiddenStarTopology(3, 0)
+	for i := 1; i <= 3; i++ {
+		if !topo.Connected(0, radio.NodeID(i)) || !topo.Connected(radio.NodeID(i), 0) {
+			t.Errorf("transmitter %d not linked to receiver", i)
+		}
+	}
+	if topo.Connected(1, 2) || topo.Connected(2, 3) {
+		t.Error("transmitters should be mutually hidden")
+	}
+}
+
+func TestAblationTransactionLengths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := quickConfig()
+	cfg.Trials = 2
+	cfg.Duration = 10 * time.Second
+	res, err := AblationTransactionLengths(cfg, 6, []int{20, 80, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fixed.N != 2 || res.Mixed.N != 2 {
+		t.Fatalf("trial counts: fixed %d, mixed %d", res.Fixed.N, res.Mixed.N)
+	}
+	for _, v := range []float64{res.Fixed.Mean, res.Mixed.Mean} {
+		if v < 0 || v > 1 {
+			t.Errorf("collision rate %v outside [0,1]", v)
+		}
+	}
+	// The extended model's prediction accompanies Eq. 4.
+	if res.ModelPoisson <= 0 || res.ModelPoisson >= res.Model {
+		t.Errorf("ModelPoisson = %v, want in (0, Eq4=%v) (exponential durations collide slightly less)",
+			res.ModelPoisson, res.Model)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "equal lengths (Eq. 4)") || !strings.Contains(out, "exponential lengths") {
+		t.Error("Render() missing model rows")
+	}
+}

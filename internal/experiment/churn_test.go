@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/xrand"
+)
+
+func quickChurnConfig() ChurnConfig {
+	cfg := DefaultChurnConfig()
+	cfg.Nodes = 4
+	cfg.Duration = 60 * time.Second
+	cfg.Lifetime = 15 * time.Second
+	cfg.DataInterval = time.Second
+	return cfg
+}
+
+func TestRunChurnTrialAFF(t *testing.T) {
+	out, err := RunChurnTrial(quickChurnConfig(), "aff", xrand.NewSource(1).Child("aff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PacketsDelivered == 0 {
+		t.Fatal("sink delivered nothing")
+	}
+	if out.ControlBits != 0 {
+		t.Errorf("AFF ControlBits = %d, want 0", out.ControlBits)
+	}
+	if out.SendFailures != 0 {
+		t.Errorf("AFF SendFailures = %d, want 0 (no configuration wait)", out.SendFailures)
+	}
+	if e := out.E(); e <= 0 || e >= 1 {
+		t.Errorf("E = %v", e)
+	}
+}
+
+func TestRunChurnTrialDynaddr(t *testing.T) {
+	out, err := RunChurnTrial(quickChurnConfig(), "dynaddr", xrand.NewSource(1).Child("dyn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PacketsDelivered == 0 {
+		t.Fatal("sink delivered nothing")
+	}
+	if out.ControlBits == 0 {
+		t.Error("dynaddr spent no control bits despite churn")
+	}
+	if out.Rejoins == 0 {
+		t.Error("no churn occurred in 60s with 15s lifetimes")
+	}
+}
+
+func TestRunChurnTrialUnknownScheme(t *testing.T) {
+	if _, err := RunChurnTrial(quickChurnConfig(), "ipv6", xrand.NewSource(1).Child("x")); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestAblationDynAddrChurnShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := quickChurnConfig()
+	res, err := AblationDynAddrChurn(cfg, []time.Duration{10 * time.Second, 45 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AFF beats dynaddr at every lifetime (it pays no control overhead
+	// and never waits for configuration).
+	for i := range res.Lifetimes {
+		affE := res.Outcomes["aff"][i].E()
+		dynE := res.Outcomes["dynaddr"][i].E()
+		if affE <= dynE {
+			t.Errorf("lifetime %v: AFF E=%.4f should beat dynaddr E=%.4f",
+				res.Lifetimes[i], affE, dynE)
+		}
+	}
+	// More churn, more control traffic.
+	if res.Outcomes["dynaddr"][0].ControlBits <= res.Outcomes["dynaddr"][1].ControlBits {
+		t.Errorf("control bits should grow with churn: 10s -> %d, 45s -> %d",
+			res.Outcomes["dynaddr"][0].ControlBits, res.Outcomes["dynaddr"][1].ControlBits)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "dynaddr E") || !strings.Contains(out, "control bits") {
+		t.Error("Render() missing columns")
+	}
+}

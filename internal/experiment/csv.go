@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CSV renderers for the figure results, for plotting outside the repo.
+// Each emits a header row and one record per (x, series) sample.
+
+// CSV renders a Figure 1/2 result: bits, series label, efficiency.
+func (fig EfficiencyFigure) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"bits", "series", "efficiency"})
+	curves := append(append([]Curve{}, fig.AFF...), fig.Static...)
+	for _, c := range curves {
+		for _, p := range c.Points {
+			_ = w.Write([]string{
+				strconv.Itoa(p.H),
+				c.Label,
+				formatFloat(p.E),
+			})
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders a Figure 3 result: load, series, efficiency, defined.
+func (fig LoadFigure) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"load", "series", "efficiency", "defined"})
+	for i, t := range fig.Loads {
+		_ = w.Write([]string{
+			formatFloat(t),
+			fmt.Sprintf("AFF %d-bit", fig.AFFBits),
+			formatFloat(fig.AFF[i].E),
+			strconv.FormatBool(fig.AFF[i].Defined),
+		})
+		_ = w.Write([]string{
+			formatFloat(t),
+			staticLabel(fig.StaticBits),
+			formatFloat(fig.Static[i].E),
+			strconv.FormatBool(fig.Static[i].Defined),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders a Figure 4 result: bits, series, collision rate, stddev, n.
+func (res Figure4Result) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"bits", "series", "collision_rate", "stddev", "trials"})
+	for _, mp := range res.Model {
+		_ = w.Write([]string{
+			strconv.Itoa(mp.H), "model", formatFloat(mp.E), "0", "0",
+		})
+	}
+	kinds := make([]SelectorKind, 0, len(res.Measured))
+	for k := range res.Measured {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		for _, p := range res.Measured[k].Points() {
+			_ = w.Write([]string{
+				strconv.Itoa(int(p.X)),
+				string(k),
+				formatFloat(p.Y.Mean),
+				formatFloat(p.Y.StdDev),
+				strconv.Itoa(p.Y.N),
+			})
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestEfficiencyFigureCSV(t *testing.T) {
+	fig, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, fig.CSV())
+	// Header + 5 curves x 32 points.
+	if want := 1 + 5*32; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	if rows[0][0] != "bits" || rows[0][2] != "efficiency" {
+		t.Errorf("header = %v", rows[0])
+	}
+	seen := make(map[string]bool)
+	for _, r := range rows[1:] {
+		seen[r[1]] = true
+	}
+	for _, label := range []string{"AFF T=16", "static 16-bit"} {
+		if !seen[label] {
+			t.Errorf("missing series %q", label)
+		}
+	}
+}
+
+func TestLoadFigureCSV(t *testing.T) {
+	rows := parseCSV(t, Figure3().CSV())
+	if len(rows) != 1+2*19 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The undefined static tail must be flagged.
+	foundUndefined := false
+	for _, r := range rows[1:] {
+		if strings.HasPrefix(r[1], "static") && r[3] == "false" {
+			foundUndefined = true
+		}
+	}
+	if !foundUndefined {
+		t.Error("no undefined static rows in CSV")
+	}
+}
+
+func TestFigure4CSV(t *testing.T) {
+	cfg := quickConfig()
+	cfg.IDBits = []int{6}
+	cfg.Trials = 1
+	cfg.Duration = 5 * time.Second
+	res, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, res.CSV())
+	// Header + 1 model row + 2 selector rows.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	series := map[string]bool{}
+	for _, r := range rows[1:] {
+		series[r[1]] = true
+		if len(r) != 5 {
+			t.Fatalf("row width %d: %v", len(r), r)
+		}
+	}
+	for _, want := range []string{"model", "uniform", "listening"} {
+		if !series[want] {
+			t.Errorf("missing series %q", want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/energy"
+)
+
+func quickEfficiencyConfig(s Scheme) EfficiencyConfig {
+	cfg := DefaultEfficiencyConfig(s)
+	cfg.Duration = 15 * time.Second
+	return cfg
+}
+
+func TestEfficiencyTrialBasics(t *testing.T) {
+	out, err := RunEfficiencyTrial(quickEfficiencyConfig(AFFScheme(9, SelUniform)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PacketsDelivered == 0 || out.UsefulBits == 0 {
+		t.Fatalf("nothing delivered: %+v", out)
+	}
+	if out.OnAirBits <= out.ProtocolBits {
+		t.Error("on-air bits should exceed protocol bits (MAC framing)")
+	}
+	if e := out.E(); e <= 0 || e >= 1 {
+		t.Errorf("E = %v, want in (0,1)", e)
+	}
+	if out.EProtocol() <= out.E() {
+		t.Error("protocol-only efficiency should exceed framed efficiency")
+	}
+	if out.Joules <= 0 {
+		t.Errorf("Joules = %v", out.Joules)
+	}
+}
+
+// TestAFFBeatsStaticAtSmallData is the paper's core claim measured end to
+// end: with small packets and modest density, a 9-bit AFF pool delivers
+// more useful bits per transmitted bit than 32-bit static addressing.
+func TestAFFBeatsStaticOnProtocolBits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	affOut, err := RunEfficiencyTrial(quickEfficiencyConfig(AFFScheme(9, SelUniform)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stOut, err := RunEfficiencyTrial(quickEfficiencyConfig(StaticScheme(32)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if affOut.EProtocol() <= stOut.EProtocol() {
+		t.Errorf("AFF 9-bit E=%.4f should beat static 32-bit E=%.4f",
+			affOut.EProtocol(), stOut.EProtocol())
+	}
+}
+
+func TestStaticDeliversEverythingItReceives(t *testing.T) {
+	out, err := RunEfficiencyTrial(quickEfficiencyConfig(StaticScheme(16)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PacketsDelivered == 0 {
+		t.Fatal("static scheme delivered nothing")
+	}
+}
+
+func TestEfficiencyUnknownScheme(t *testing.T) {
+	cfg := quickEfficiencyConfig(Scheme{Kind: "carrier-pigeon", Bits: 8})
+	if _, err := RunEfficiencyTrial(cfg, nil); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeLabels(t *testing.T) {
+	if got := AFFScheme(9, SelListening).Label(); !strings.Contains(got, "9-bit") || !strings.Contains(got, "listening") {
+		t.Errorf("AFF label = %q", got)
+	}
+	if got := StaticScheme(48).Label(); !strings.Contains(got, "48") {
+		t.Errorf("static label = %q", got)
+	}
+	if AFFScheme(9, "").Selector != SelUniform {
+		t.Error("empty selector should default to uniform")
+	}
+}
+
+func TestAblationMACOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	base := quickEfficiencyConfig(Scheme{})
+	base.Duration = 10 * time.Second
+	// Few-bit sensor messages: one data fragment per packet under both
+	// schemes, isolating the header-bits effect Section 4.4 describes.
+	base.PacketSize = 2
+	schemes := []Scheme{AFFScheme(9, SelUniform), StaticScheme(32)}
+	profiles := []energy.MACProfile{energy.BareProfile(), energy.RPCProfile(), energy.IEEE80211Profile()}
+	res, err := AblationMACOverhead(base, schemes, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affLabel, stLabel := schemes[0].Label(), schemes[1].Label()
+
+	// Under every profile both schemes produce some efficiency.
+	for _, p := range profiles {
+		for _, label := range []string{affLabel, stLabel} {
+			if res.E[p.Name][label] <= 0 {
+				t.Errorf("E[%s][%s] = %v", p.Name, label, res.E[p.Name][label])
+			}
+		}
+	}
+	// Section 4.4's claim: AFF's relative advantage shrinks as framing
+	// overhead grows.
+	advantage := func(profile string) float64 {
+		return res.E[profile][affLabel] / res.E[profile][stLabel]
+	}
+	bare, rpc, wifi := advantage("bare"), advantage("rpc-like"), advantage("802.11-like")
+	if !(bare > wifi) || !(rpc > wifi) {
+		t.Errorf("AFF advantage should shrink under heavy MAC: bare=%.3f rpc=%.3f wifi=%.3f",
+			bare, rpc, wifi)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "802.11-like") || !strings.Contains(out, affLabel) {
+		t.Error("Render() missing rows/columns")
+	}
+}

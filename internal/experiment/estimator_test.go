@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/xrand"
+)
+
+func TestRunCollisionTrialWithIntervalEstimator(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Duration = 10 * time.Second
+	cfg.Estimator = EstInterval
+	out, err := RunCollisionTrial(cfg, SelListening, 6, xrand.NewSource(8).Child("ivl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TruthDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Under continuous load the interval estimator should also land near
+	// the transmitter count.
+	if out.EstimatedT < 2 || out.EstimatedT > 10 {
+		t.Errorf("EstimatedT = %v, want near 5", out.EstimatedT)
+	}
+}
+
+func TestAblationEstimatorShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := quickConfig()
+	cfg.Trials = 2
+	cfg.Duration = 20 * time.Second
+	res, err := AblationEstimator(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continuous: both estimators near T=5.
+	for _, est := range []EstimatorKind{EstEMA, EstInterval} {
+		got := res.EstimatedT["continuous"][est].Mean
+		if got < 2.5 || got > 8 {
+			t.Errorf("continuous %s estimate = %.2f, want near 5", est, got)
+		}
+	}
+	// Bursty: the interval estimator must report lower density than the
+	// EMA (closer to the low true time-average).
+	ema := res.EstimatedT["bursty"][EstEMA].Mean
+	ivl := res.EstimatedT["bursty"][EstInterval].Mean
+	if ivl >= ema {
+		t.Errorf("bursty: interval estimate (%.2f) should sit below EMA (%.2f)", ivl, ema)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "bursty") || !strings.Contains(out, "interval") {
+		t.Error("Render() missing rows")
+	}
+}

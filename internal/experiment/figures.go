@@ -1,0 +1,127 @@
+// Package experiment regenerates every figure in the paper's evaluation
+// and the ablations DESIGN.md calls out.
+//
+// Figures 1-3 are analytic (the paper plots the Section 4 model); Figure 4
+// is the Section 5 validation experiment, reproduced on the simulated
+// radio testbed. Each figure has one entry point returning typed results
+// plus a text renderer used by cmd/retri-experiments and EXPERIMENTS.md.
+package experiment
+
+import (
+	"retri/internal/model"
+)
+
+// Defaults shared by the analytic figures, matching the paper's plots.
+var (
+	// Figure1Densities are the transaction densities plotted in Figure 1:
+	// "cases where 16, 256, and 65,536 transactions are simultaneously
+	// visible to individual nodes".
+	Figure1Densities = []float64{16, 256, 65536}
+	// StaticComparisonBits are the static identifier sizes plotted as
+	// flat lines: optimal 16-bit allocation and conservative 32-bit.
+	StaticComparisonBits = []int{16, 32}
+)
+
+// Curve is one named series of an efficiency figure.
+type Curve struct {
+	// Label describes the series (e.g. "AFF T=16", "static 16-bit").
+	Label string
+	// T is the transaction density for AFF curves, 0 for static lines.
+	T float64
+	// Points sample efficiency against identifier bits.
+	Points []model.Point
+}
+
+// EfficiencyFigure is the Figure 1/2 layout: efficiency vs identifier size
+// for a fixed data size.
+type EfficiencyFigure struct {
+	// DataBits is the payload size D.
+	DataBits int
+	// HMin, HMax bound the identifier sweep.
+	HMin, HMax int
+	// AFF holds one curve per transaction density.
+	AFF []Curve
+	// Static holds one flat line per static identifier size.
+	Static []Curve
+	// Optima records the best identifier width per AFF curve.
+	Optima map[float64]model.Point
+}
+
+// EfficiencyCurves computes a Figure 1/2-style figure for the given data
+// size, densities and static comparison widths.
+func EfficiencyCurves(dataBits int, densities []float64, staticBits []int, hMin, hMax int) (EfficiencyFigure, error) {
+	fig := EfficiencyFigure{
+		DataBits: dataBits,
+		HMin:     hMin,
+		HMax:     hMax,
+		Optima:   make(map[float64]model.Point, len(densities)),
+	}
+	for _, t := range densities {
+		pts, err := model.AFFCurve(dataBits, t, hMin, hMax)
+		if err != nil {
+			return EfficiencyFigure{}, err
+		}
+		fig.AFF = append(fig.AFF, Curve{
+			Label:  affLabel(t),
+			T:      t,
+			Points: pts,
+		})
+		h, e := model.OptimalBits(dataBits, t, hMax)
+		fig.Optima[t] = model.Point{H: h, E: e}
+	}
+	for _, h := range staticBits {
+		e := model.EStatic(dataBits, h)
+		line := make([]model.Point, 0, hMax-hMin+1)
+		for x := hMin; x <= hMax; x++ {
+			line = append(line, model.Point{H: x, E: e})
+		}
+		fig.Static = append(fig.Static, Curve{
+			Label:  staticLabel(h),
+			Points: line,
+		})
+	}
+	return fig, nil
+}
+
+// Figure1 reproduces Figure 1: 16-bit data, AFF at T in {16, 256, 65536}
+// against 16- and 32-bit static allocation, identifier sizes 1..32.
+func Figure1() (EfficiencyFigure, error) {
+	return EfficiencyCurves(16, Figure1Densities, StaticComparisonBits, 1, 32)
+}
+
+// Figure2 reproduces Figure 2: the same sweep with 128-bit data.
+func Figure2() (EfficiencyFigure, error) {
+	return EfficiencyCurves(128, Figure1Densities, StaticComparisonBits, 1, 32)
+}
+
+// LoadFigure is the Figure 3 layout: efficiency vs offered load for fixed
+// identifier sizes.
+type LoadFigure struct {
+	DataBits int
+	Loads    []float64
+	// AFFBits and StaticBits identify the plotted schemes.
+	AFFBits    int
+	StaticBits int
+	AFF        []model.LoadPoint
+	Static     []model.LoadPoint
+}
+
+// Figure3 reproduces Figure 3: 16-bit data, a 16-bit AFF pool against a
+// 16-bit static space, over loads spanning 1 to 2^18 concurrent
+// transactions. Static is flat until its space is exhausted at 2^16 and
+// undefined beyond; AFF continues, degraded.
+func Figure3() LoadFigure {
+	loads := make([]float64, 0, 19)
+	for e := 0; e <= 18; e++ {
+		loads = append(loads, float64(uint64(1)<<uint(e)))
+	}
+	const dataBits, bits = 16, 16
+	return LoadFigure{
+		DataBits:   dataBits,
+		Loads:      loads,
+		AFFBits:    bits,
+		StaticBits: bits,
+		AFF:        model.AFFLoadCurve(dataBits, bits, loads),
+		Static:     model.StaticLoadCurve(dataBits, bits, loads),
+	}
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"retri/internal/model"
+)
+
+func TestFigure1Content(t *testing.T) {
+	fig, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.DataBits != 16 {
+		t.Errorf("DataBits = %d, want 16", fig.DataBits)
+	}
+	if len(fig.AFF) != 3 {
+		t.Fatalf("AFF curves = %d, want 3", len(fig.AFF))
+	}
+	if len(fig.Static) != 2 {
+		t.Fatalf("static lines = %d, want 2", len(fig.Static))
+	}
+	// The paper's headline: optimum at 9 bits for T=16.
+	if opt := fig.Optima[16]; opt.H != 9 {
+		t.Errorf("optimum for T=16 = %d bits, want 9", opt.H)
+	}
+	// Static lines at their documented heights.
+	if e := fig.Static[0].Points[0].E; math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("16-bit static line = %v, want 0.5", e)
+	}
+	if e := fig.Static[1].Points[0].E; math.Abs(e-1.0/3.0) > 1e-12 {
+		t.Errorf("32-bit static line = %v, want 1/3", e)
+	}
+	// Every curve spans the full sweep.
+	for _, c := range append(fig.AFF, fig.Static...) {
+		if len(c.Points) != 32 {
+			t.Errorf("curve %q has %d points, want 32", c.Label, len(c.Points))
+		}
+	}
+}
+
+func TestFigure2Content(t *testing.T) {
+	fig1, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.DataBits != 128 {
+		t.Errorf("DataBits = %d, want 128", fig2.DataBits)
+	}
+	for _, tt := range Figure1Densities {
+		if fig2.Optima[tt].H <= fig1.Optima[tt].H {
+			t.Errorf("T=%v: 128-bit optimum (%d) should exceed 16-bit optimum (%d)",
+				tt, fig2.Optima[tt].H, fig1.Optima[tt].H)
+		}
+	}
+}
+
+func TestEfficiencyCurvesValidation(t *testing.T) {
+	if _, err := EfficiencyCurves(16, []float64{4}, nil, 5, 2); err == nil {
+		t.Error("inverted H range accepted")
+	}
+}
+
+func TestFigure3Content(t *testing.T) {
+	fig := Figure3()
+	if len(fig.Loads) != 19 || fig.Loads[0] != 1 || fig.Loads[18] != 1<<18 {
+		t.Fatalf("loads = %v", fig.Loads)
+	}
+	// Static defined through 2^16, undefined past it.
+	for i, p := range fig.Static {
+		wantDefined := fig.Loads[i] <= 65536
+		if p.Defined != wantDefined {
+			t.Errorf("static at T=%v: Defined=%v, want %v", fig.Loads[i], p.Defined, wantDefined)
+		}
+	}
+	// AFF always defined, monotone non-increasing.
+	for i, p := range fig.AFF {
+		if !p.Defined {
+			t.Errorf("AFF undefined at T=%v", fig.Loads[i])
+		}
+		if i > 0 && p.E > fig.AFF[i-1].E {
+			t.Errorf("AFF efficiency rose with load at T=%v", fig.Loads[i])
+		}
+	}
+}
+
+func TestEfficiencyFigureRender(t *testing.T) {
+	fig, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.Render()
+	for _, want := range []string{"AFF T=16", "AFF T=256", "AFF T=64K", "static 16-bit", "static 32-bit", "optimum for T=16: 9 bits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q", want)
+		}
+	}
+}
+
+func TestLoadFigureRender(t *testing.T) {
+	out := Figure3().Render()
+	if !strings.Contains(out, "undefined") {
+		t.Error("Render() should mark static as undefined past exhaustion")
+	}
+	if !strings.Contains(out, "static 16-bit") {
+		t.Error("Render() missing static column")
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{16, "16"},
+		{256, "256"},
+		{65536, "64K"},
+		{1024, "1K"},
+		{2.5, "2.5"},
+	}
+	for _, tt := range tests {
+		if got := formatCount(tt.in); got != tt.want {
+			t.Errorf("formatCount(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestModelColumnMatchesModelPackage(t *testing.T) {
+	fig, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fig.AFF {
+		for _, p := range c.Points {
+			want := model.EAFF(16, p.H, c.T)
+			if math.Abs(p.E-want) > 1e-12 {
+				t.Fatalf("curve %q at H=%d: %v != model %v", c.Label, p.H, p.E, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickFloodConfig() FloodConfig {
+	cfg := DefaultFloodConfig()
+	cfg.Grid = 4
+	cfg.IDBits = []int{3, 8}
+	cfg.Duration = 30 * time.Second
+	cfg.Trials = 2
+	return cfg
+}
+
+func TestAblationFloodIDBits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	res, err := AblationFloodIDBits(quickFloodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reach.Len() != 2 {
+		t.Fatalf("series holds %d widths, want 2", res.Reach.Len())
+	}
+	narrow, _ := res.Reach.At(3)
+	wide, _ := res.Reach.At(8)
+	// With 8 concurrent-ish floods in a 16-node grid, a 3-bit pool (8
+	// identifiers) suppresses many distinct events; an 8-bit pool should
+	// reach clearly further.
+	if wide.Mean <= narrow.Mean {
+		t.Errorf("reach did not improve with identifier bits: %d-bit %.2f vs %d-bit %.2f",
+			3, narrow.Mean, 8, wide.Mean)
+	}
+	// Every event reaches at least its neighbours on average at 8 bits.
+	if wide.Mean < 3 {
+		t.Errorf("8-bit reach %.2f implausibly low", wide.Mean)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "id bits") {
+		t.Error("Render() incomplete")
+	}
+}
+
+func TestAblationFloodValidation(t *testing.T) {
+	bad := quickFloodConfig()
+	bad.Grid = 1
+	if _, err := AblationFloodIDBits(bad); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	bad = quickFloodConfig()
+	bad.IDBits = nil
+	if _, err := AblationFloodIDBits(bad); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}

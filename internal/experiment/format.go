@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func affLabel(t float64) string {
+	return fmt.Sprintf("AFF T=%s", formatCount(t))
+}
+
+func staticLabel(h int) string {
+	return fmt.Sprintf("static %d-bit", h)
+}
+
+// formatCount renders densities the way the paper speaks about them
+// (16, 256, 64K).
+func formatCount(t float64) string {
+	if t >= 1024 && t == float64(int64(t)) && int64(t)%1024 == 0 {
+		return fmt.Sprintf("%dK", int64(t)/1024)
+	}
+	if t == float64(int64(t)) {
+		return fmt.Sprintf("%d", int64(t))
+	}
+	return fmt.Sprintf("%g", t)
+}
+
+// RenderEfficiencyFigure renders a Figure 1/2 result as a fixed-width
+// table: one row per identifier size, one column per curve.
+func (fig EfficiencyFigure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Efficiency vs identifier size, %d-bit data\n", fig.DataBits)
+
+	curves := make([]Curve, 0, len(fig.AFF)+len(fig.Static))
+	curves = append(curves, fig.AFF...)
+	curves = append(curves, fig.Static...)
+
+	fmt.Fprintf(&b, "%6s", "bits")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %14s", c.Label)
+	}
+	b.WriteByte('\n')
+
+	for i := 0; i <= fig.HMax-fig.HMin; i++ {
+		fmt.Fprintf(&b, "%6d", fig.HMin+i)
+		for _, c := range curves {
+			fmt.Fprintf(&b, " %14.4f", c.Points[i].E)
+		}
+		b.WriteByte('\n')
+	}
+
+	// Report the optima the paper calls out in the text.
+	ts := make([]float64, 0, len(fig.Optima))
+	for t := range fig.Optima {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+	for _, t := range ts {
+		opt := fig.Optima[t]
+		fmt.Fprintf(&b, "optimum for T=%s: %d bits (E=%.4f)\n", formatCount(t), opt.H, opt.E)
+	}
+	return b.String()
+}
+
+// Render renders Figure 3 as a table of efficiency vs offered load.
+func (fig LoadFigure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Efficiency vs offered load, %d-bit data, %d-bit identifiers\n",
+		fig.DataBits, fig.AFFBits)
+	fmt.Fprintf(&b, "%12s %14s %14s\n", "load T", "AFF", staticLabel(fig.StaticBits))
+	for i, t := range fig.Loads {
+		st := "undefined"
+		if fig.Static[i].Defined {
+			st = fmt.Sprintf("%.4f", fig.Static[i].E)
+		}
+		fmt.Fprintf(&b, "%12s %14.6f %14s\n", formatCount(t), fig.AFF[i].E, st)
+	}
+	return b.String()
+}
+
+// Render renders Figure 4 as a table: model prediction beside each
+// selector's measured mean ± stddev.
+func (res Figure4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Collision rate vs identifier size (T=%d, %d trials x %v, %d-byte packets)\n",
+		res.Config.Transmitters, res.Config.Trials, res.Config.Duration, res.Config.PacketSize)
+
+	kinds := make([]SelectorKind, 0, len(res.Measured))
+	for k := range res.Measured {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	fmt.Fprintf(&b, "%6s %12s", "bits", "model")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %24s", k)
+	}
+	b.WriteByte('\n')
+
+	for _, mp := range res.Model {
+		fmt.Fprintf(&b, "%6d %12.6f", mp.H, mp.E)
+		for _, k := range kinds {
+			if s, ok := res.Measured[k].At(float64(mp.H)); ok {
+				fmt.Fprintf(&b, " %15.6f ± %6.4f", s.Mean, s.StdDev)
+			} else {
+				fmt.Fprintf(&b, " %24s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "packets: ground truth delivered %d, AFF delivered %d\n",
+		res.TruthDelivered, res.AFFDelivered)
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickScalingConfig() ScalingConfig {
+	cfg := DefaultScalingConfig()
+	cfg.GridSizes = []int{3, 6}
+	cfg.Duration = 30 * time.Second
+	cfg.Trials = 2
+	return cfg
+}
+
+func TestRunScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	res, err := RunScaling(quickScalingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	small, large := res.Points[0], res.Points[1]
+	if small.Nodes != 9 || large.Nodes != 36 {
+		t.Fatalf("node counts: %d, %d", small.Nodes, large.Nodes)
+	}
+	// The headline claim: density (and with it the collision rate at a
+	// fixed identifier size) does not grow with network size, because
+	// interactions are local.
+	if large.MeanDensity.Mean > 3*small.MeanDensity.Mean+1 {
+		t.Errorf("density grew with network size: %.2f -> %.2f",
+			small.MeanDensity.Mean, large.MeanDensity.Mean)
+	}
+	if large.CollisionRate.Mean > small.CollisionRate.Mean+0.05 {
+		t.Errorf("collision rate grew with network size: %.4f -> %.4f",
+			small.CollisionRate.Mean, large.CollisionRate.Mean)
+	}
+	// Static allocation must grow.
+	if large.StaticBitsNeeded <= small.StaticBitsNeeded {
+		t.Errorf("static bits did not grow: %d -> %d",
+			small.StaticBitsNeeded, large.StaticBitsNeeded)
+	}
+	// Model efficiencies populated.
+	for _, p := range res.Points {
+		if p.EAFFModel <= 0 || p.EStaticModel <= 0 {
+			t.Errorf("model efficiencies missing: %+v", p)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "static bits") || !strings.Contains(out, "3x3") {
+		t.Error("Render() incomplete")
+	}
+}
+
+func TestRunScalingValidation(t *testing.T) {
+	bad := quickScalingConfig()
+	bad.GridSizes = nil
+	if _, err := RunScaling(bad); err == nil {
+		t.Error("empty grid list accepted")
+	}
+	bad = quickScalingConfig()
+	bad.Trials = 0
+	if _, err := RunScaling(bad); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestBitsForPopulation(t *testing.T) {
+	tests := []struct{ nodes, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {16, 4}, {17, 5}, {144, 8}, {65536, 16},
+	}
+	for _, tt := range tests {
+		if got := bitsForPopulation(tt.nodes); got != tt.want {
+			t.Errorf("bitsForPopulation(%d) = %d, want %d", tt.nodes, got, tt.want)
+		}
+	}
+	if math.Ceil(math.Log2(144)) != 8 {
+		t.Error("sanity")
+	}
+}

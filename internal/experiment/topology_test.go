@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/xrand"
+)
+
+func TestShadowedClusterTopologyShape(t *testing.T) {
+	const n = 8
+	topo := ShadowedClusterTopology(n, 0)
+	// Every transmitter must reach the receiver (guaranteed links).
+	for i := 1; i <= n; i++ {
+		if !topo.Connected(radio.NodeID(i), 0) || !topo.Connected(0, radio.NodeID(i)) {
+			t.Errorf("transmitter %d lost its receiver link", i)
+		}
+	}
+	// Shadowing must produce a genuinely partial mesh: some transmitter
+	// pairs hear each other, some do not.
+	heard, hidden := 0, 0
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if topo.Connected(radio.NodeID(i), radio.NodeID(j)) {
+				heard++
+			} else {
+				hidden++
+			}
+		}
+	}
+	if heard == 0 {
+		t.Error("no transmitter pair hears each other; cluster degenerated to the hidden star")
+	}
+	if hidden == 0 {
+		t.Error("every transmitter pair hears each other; cluster degenerated to the full mesh")
+	}
+	// The factory is deterministic: rebuilding yields identical links.
+	again := ShadowedClusterTopology(n, 0)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if topo.Connected(radio.NodeID(i), radio.NodeID(j)) != again.Connected(radio.NodeID(i), radio.NodeID(j)) {
+				t.Fatalf("topology not reproducible at pair (%d, %d)", i, j)
+			}
+		}
+	}
+}
+
+func TestScalingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := quickScalingConfig()
+	cfg.GridSizes = []int{3}
+	cfg.Trials = 1
+	cfg.Duration = 15 * time.Second
+	a, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0].CollisionRate.Mean != b.Points[0].CollisionRate.Mean ||
+		a.Points[0].MeanDensity.Mean != b.Points[0].MeanDensity.Mean {
+		t.Errorf("scaling runs diverged: %+v vs %+v", a.Points[0], b.Points[0])
+	}
+}
+
+func TestFloodTrialDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := quickFloodConfig()
+	cfg.Grid = 3
+	cfg.Duration = 15 * time.Second
+	a, err := runFloodTrial(cfg, 5, xrand.NewSource(4).Child("det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runFloodTrial(cfg, 5, xrand.NewSource(4).Child("det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("flood trials diverged: %v vs %v", a, b)
+	}
+}

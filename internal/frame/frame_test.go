@@ -1,0 +1,268 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAFFIntroRoundTrip(t *testing.T) {
+	c := AFFCodec{IDBits: 9}
+	in := Intro{ID: 0x1AB, TotalLen: 80, Checksum: 0xBEEF}
+	buf, bits, err := c.EncodeIntro(in)
+	if err != nil {
+		t.Fatalf("EncodeIntro: %v", err)
+	}
+	if want := 1 + 9 + 16 + 16; bits != want {
+		t.Errorf("intro bits = %d, want %d", bits, want)
+	}
+	if bits != c.IntroBits() {
+		t.Errorf("IntroBits() = %d, encoder produced %d", c.IntroBits(), bits)
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	gi, ok := got.(*Intro)
+	if !ok {
+		t.Fatalf("Decode returned %T, want *Intro", got)
+	}
+	if gi.ID != in.ID || gi.TotalLen != in.TotalLen || gi.Checksum != in.Checksum {
+		t.Errorf("round trip: got %+v, want %+v", gi, in)
+	}
+	if gi.Truth != nil {
+		t.Error("uninstrumented decode produced a Truth trailer")
+	}
+}
+
+func TestAFFDataRoundTrip(t *testing.T) {
+	c := AFFCodec{IDBits: 9}
+	d := Data{ID: 5, Offset: 48, Payload: []byte("sensor reading")}
+	buf, bits, err := c.EncodeData(d)
+	if err != nil {
+		t.Fatalf("EncodeData: %v", err)
+	}
+	// Header 26 bits aligns to 32, plus payload.
+	wantBits := ((1+9+16+7)/8)*8 + 8*len(d.Payload)
+	if bits != wantBits {
+		t.Errorf("data bits = %d, want %d", bits, wantBits)
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	gd, ok := got.(*Data)
+	if !ok {
+		t.Fatalf("Decode returned %T, want *Data", got)
+	}
+	if gd.ID != d.ID || gd.Offset != d.Offset || !bytes.Equal(gd.Payload, d.Payload) {
+		t.Errorf("round trip: got %+v, want %+v", gd, d)
+	}
+}
+
+func TestAFFInstrumentedRoundTrip(t *testing.T) {
+	c := AFFCodec{IDBits: 4, Instrument: true}
+	truth := &Truth{Node: 3, Seq: 41}
+	buf, _, err := c.EncodeIntro(Intro{ID: 7, TotalLen: 80, Checksum: 1, Truth: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := got.(*Intro)
+	if gi.Truth == nil || *gi.Truth != *truth {
+		t.Errorf("intro truth = %+v, want %+v", gi.Truth, truth)
+	}
+
+	buf, _, err = c.EncodeData(Data{ID: 7, Offset: 16, Payload: []byte{1}, Truth: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := got.(*Data)
+	if gd.Truth == nil || *gd.Truth != *truth {
+		t.Errorf("data truth = %+v, want %+v", gd.Truth, truth)
+	}
+}
+
+func TestAFFInstrumentNilTruthEncodesZero(t *testing.T) {
+	c := AFFCodec{IDBits: 4, Instrument: true}
+	buf, _, err := c.EncodeIntro(Intro{ID: 1, TotalLen: 2, Checksum: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := gi.(*Intro).Truth
+	if truth == nil || truth.Node != 0 || truth.Seq != 0 {
+		t.Errorf("nil truth should encode as zeros, got %+v", truth)
+	}
+}
+
+func TestAFFInstrumentationCostsBits(t *testing.T) {
+	plain := AFFCodec{IDBits: 9}
+	inst := AFFCodec{IDBits: 9, Instrument: true}
+	if inst.IntroBits() != plain.IntroBits()+64 {
+		t.Errorf("instrumented intro = %d bits, want %d", inst.IntroBits(), plain.IntroBits()+64)
+	}
+	if inst.DataHeaderBits() != plain.DataHeaderBits()+64 {
+		t.Errorf("instrumented data header = %d bits, want %d", inst.DataHeaderBits(), plain.DataHeaderBits()+64)
+	}
+}
+
+func TestAFFEncodeValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		c    AFFCodec
+		run  func(c AFFCodec) error
+	}{
+		{"id too wide", AFFCodec{IDBits: 4}, func(c AFFCodec) error {
+			_, _, err := c.EncodeIntro(Intro{ID: 16})
+			return err
+		}},
+		{"bad codec width 0", AFFCodec{IDBits: 0}, func(c AFFCodec) error {
+			_, _, err := c.EncodeIntro(Intro{})
+			return err
+		}},
+		{"bad codec width 33", AFFCodec{IDBits: 33}, func(c AFFCodec) error {
+			_, _, err := c.EncodeData(Data{Payload: []byte{1}})
+			return err
+		}},
+		{"negative length", AFFCodec{IDBits: 4}, func(c AFFCodec) error {
+			_, _, err := c.EncodeIntro(Intro{TotalLen: -1})
+			return err
+		}},
+		{"length too large", AFFCodec{IDBits: 4}, func(c AFFCodec) error {
+			_, _, err := c.EncodeIntro(Intro{TotalLen: MaxPacketLen + 1})
+			return err
+		}},
+		{"negative offset", AFFCodec{IDBits: 4}, func(c AFFCodec) error {
+			_, _, err := c.EncodeData(Data{Offset: -1, Payload: []byte{1}})
+			return err
+		}},
+		{"empty payload", AFFCodec{IDBits: 4}, func(c AFFCodec) error {
+			_, _, err := c.EncodeData(Data{})
+			return err
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.run(tt.c); !errors.Is(err, ErrBadField) {
+				t.Errorf("err = %v, want ErrBadField", err)
+			}
+		})
+	}
+}
+
+func TestAFFDecodeTruncated(t *testing.T) {
+	c := AFFCodec{IDBits: 9}
+	buf, _, err := c.EncodeIntro(Intro{ID: 1, TotalLen: 100, Checksum: 0xAA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := c.Decode(buf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Decode(%d/%d bytes) err = %v, want ErrTruncated", cut, len(buf), err)
+		}
+	}
+}
+
+func TestAFFDecodeEmptyDataPayload(t *testing.T) {
+	// Craft a data fragment header with no payload bytes after alignment.
+	c := AFFCodec{IDBits: 7}
+	buf, _, err := c.EncodeData(Data{ID: 1, Offset: 0, Payload: []byte{0xEE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerOnly := buf[:len(buf)-1]
+	if _, err := c.Decode(headerOnly); !errors.Is(err, ErrTruncated) {
+		t.Errorf("payload-less data fragment err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestAFFMaxPayload(t *testing.T) {
+	c := AFFCodec{IDBits: 9}
+	// Header: 26 bits -> 4 bytes. 27-byte MTU leaves 23.
+	if got := c.MaxPayload(27); got != 23 {
+		t.Errorf("MaxPayload(27) = %d, want 23", got)
+	}
+	if got := c.MaxPayload(4); got != 0 {
+		t.Errorf("MaxPayload(4) = %d, want 0", got)
+	}
+	inst := AFFCodec{IDBits: 9, Instrument: true}
+	if got := inst.MaxPayload(27); got != 27-12 {
+		t.Errorf("instrumented MaxPayload(27) = %d, want 15", got)
+	}
+}
+
+// TestAFFRoundTripProperty fuzzes id widths, offsets and payloads.
+func TestAFFRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		c := AFFCodec{IDBits: int(rng.Uint64N(32)) + 1, Instrument: rng.Uint64N(2) == 0}
+		id := rng.Uint64N(uint64(1) << uint(c.IDBits))
+		payload := make([]byte, rng.Uint64N(20)+1)
+		for i := range payload {
+			payload[i] = byte(rng.Uint64())
+		}
+		truth := &Truth{Node: uint32(rng.Uint64()), Seq: uint32(rng.Uint64())}
+		d := Data{ID: id, Offset: int(rng.Uint64N(MaxPacketLen + 1)), Payload: payload, Truth: truth}
+		buf, _, err := c.EncodeData(d)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decode(buf)
+		if err != nil {
+			return false
+		}
+		gd, ok := got.(*Data)
+		if !ok || gd.ID != d.ID || gd.Offset != d.Offset || !bytes.Equal(gd.Payload, d.Payload) {
+			return false
+		}
+		if c.Instrument && (gd.Truth == nil || *gd.Truth != *truth) {
+			return false
+		}
+		in := Intro{ID: id, TotalLen: int(rng.Uint64N(MaxPacketLen + 1)), Checksum: uint16(rng.Uint64()), Truth: truth}
+		buf, _, err = c.EncodeIntro(in)
+		if err != nil {
+			return false
+		}
+		got, err = c.Decode(buf)
+		if err != nil {
+			return false
+		}
+		gi, ok := got.(*Intro)
+		return ok && gi.ID == in.ID && gi.TotalLen == in.TotalLen && gi.Checksum == in.Checksum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAFFEncodeData(b *testing.B) {
+	c := AFFCodec{IDBits: 9}
+	payload := make([]byte, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = c.EncodeData(Data{ID: 5, Offset: 40, Payload: payload})
+	}
+}
+
+func BenchmarkAFFDecodeData(b *testing.B) {
+	c := AFFCodec{IDBits: 9}
+	buf, _, _ := c.EncodeData(Data{ID: 5, Offset: 40, Payload: make([]byte, 20)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Decode(buf)
+	}
+}

@@ -1,0 +1,98 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAFFDecode: the AFF decoder must never panic on arbitrary bytes, and
+// anything it does decode must re-encode to an equivalent fragment.
+func FuzzAFFDecode(f *testing.F) {
+	c := AFFCodec{IDBits: 9}
+	seedIntro, _, _ := c.EncodeIntro(Intro{ID: 5, TotalLen: 80, Checksum: 0xAB})
+	seedData, _, _ := c.EncodeData(Data{ID: 5, Offset: 20, Payload: []byte{1, 2, 3}})
+	f.Add(seedIntro, 9, false)
+	f.Add(seedData, 9, false)
+	f.Add([]byte{}, 1, true)
+	f.Add([]byte{0xFF, 0xFF, 0xFF}, 32, true)
+
+	f.Fuzz(func(t *testing.T, p []byte, idBits int, instrument bool) {
+		c := AFFCodec{IDBits: ((idBits % 32) + 32) % 32, Instrument: instrument}
+		if c.IDBits == 0 {
+			c.IDBits = 1
+		}
+		decoded, err := c.Decode(p)
+		if err != nil {
+			return
+		}
+		switch fr := decoded.(type) {
+		case *Intro:
+			buf, _, err := c.EncodeIntro(*fr)
+			if err != nil {
+				t.Fatalf("decoded intro failed to re-encode: %v (%+v)", err, fr)
+			}
+			re, err := c.Decode(buf)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			ri := re.(*Intro)
+			if ri.ID != fr.ID || ri.TotalLen != fr.TotalLen || ri.Checksum != fr.Checksum {
+				t.Fatalf("intro round trip drift: %+v vs %+v", fr, ri)
+			}
+		case *Data:
+			buf, _, err := c.EncodeData(*fr)
+			if err != nil {
+				t.Fatalf("decoded data failed to re-encode: %v (%+v)", err, fr)
+			}
+			re, err := c.Decode(buf)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			rd := re.(*Data)
+			if rd.ID != fr.ID || rd.Offset != fr.Offset || !bytes.Equal(rd.Payload, fr.Payload) {
+				t.Fatalf("data round trip drift")
+			}
+		default:
+			t.Fatalf("unexpected decode type %T", decoded)
+		}
+	})
+}
+
+// FuzzStaticDecode: same contract for the statically addressed format.
+func FuzzStaticDecode(f *testing.F) {
+	c := StaticCodec{AddrBits: 16, SeqBits: 16}
+	seedIntro, _, _ := c.EncodeIntro(StaticIntro{Src: 7, Seq: 3, TotalLen: 10, Checksum: 1})
+	seedData, _, _ := c.EncodeData(StaticData{Src: 7, Seq: 3, Offset: 0, Payload: []byte{9}})
+	f.Add(seedIntro, 16, 16)
+	f.Add(seedData, 16, 16)
+	f.Add([]byte{0x00}, 48, 16)
+
+	f.Fuzz(func(t *testing.T, p []byte, addrBits, seqBits int) {
+		c := StaticCodec{
+			AddrBits: ((addrBits % 64) + 64) % 64,
+			SeqBits:  ((seqBits % 32) + 32) % 32,
+		}
+		if c.AddrBits == 0 {
+			c.AddrBits = 1
+		}
+		if c.SeqBits == 0 {
+			c.SeqBits = 1
+		}
+		decoded, err := c.Decode(p)
+		if err != nil {
+			return
+		}
+		switch fr := decoded.(type) {
+		case *StaticIntro:
+			if _, _, err := c.EncodeIntro(*fr); err != nil {
+				t.Fatalf("decoded intro failed to re-encode: %v (%+v)", err, fr)
+			}
+		case *StaticData:
+			if _, _, err := c.EncodeData(*fr); err != nil {
+				t.Fatalf("decoded data failed to re-encode: %v (%+v)", err, fr)
+			}
+		default:
+			t.Fatalf("unexpected decode type %T", decoded)
+		}
+	})
+}

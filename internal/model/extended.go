@@ -1,0 +1,128 @@
+package model
+
+import "math"
+
+// This file extends the paper's Section 4 model in the two directions its
+// Section 8 names as future work: "capturing the effects of listening and
+// non-uniform transaction lengths in our model."
+//
+// Non-uniform lengths. Equation 4 assumes every transaction spans the same
+// time, giving each transaction exactly 2(T-1) contenders. Drop that
+// assumption and model transaction arrivals as a Poisson process of rate
+// lambda with i.i.d. durations of mean tau (an M/G/infinity channel). By
+// Slivnyak's theorem, the number of *other* transactions overlapping a
+// tagged transaction of duration s is Poisson with mean lambda*(s + tau):
+// those in progress at its start (lambda*tau, PASTA) plus those arriving
+// during it (lambda*s). Averaging the per-transaction success probability
+// (1 - 2^-H)^N over N ~ Poisson(m) uses the PGF E[z^N] = exp(-m(1-z)):
+//
+//	P = exp(-lambda*(s + tau) * 2^-H)
+//
+// and for s distributed with mean tau, the *expected* transaction success
+// averages over s. For exponentially distributed durations the average has
+// the closed form below. The density T relates to the load by T =
+// lambda*tau + 1 (the tagged transaction plus the stationary mean), so the
+// functions take T to stay comparable with Equation 4.
+//
+// Listening. The heuristic removes the w most recently heard identifiers
+// from a sender's pool. A first-order model: each of the 2(T-1) contenders
+// is avoided if its identifier was heard and still distinct within the
+// window; with perfect hearing, a contender collides only if it *arrives
+// later* and happens to draw the tagged identifier from its reduced pool
+// of 2^H - w. Earlier contenders are avoided outright. This halves the
+// exponent and shrinks the pool:
+//
+//	P_listen = (1 - 1/(2^H - w))^(T-1)
+//
+// It is an optimistic bound (real listening misses fragments and hidden
+// senders); the simulation's measured listening curve should fall between
+// this and Equation 4, which it does (EXPERIMENTS.md).
+
+// PSuccessPoisson is the equal-rate, exponential-duration analogue of
+// Equation 4: the expected success probability of a transaction when
+// transactions arrive as a Poisson process with density t (so
+// lambda*tau = t-1) and durations are exponential with mean tau.
+//
+// With s ~ Exp(1/tau) and per-transaction success exp(-lambda*(s+tau)/2^H):
+//
+//	P = exp(-(t-1)*2^-H) * 1/(1 + (t-1)*2^-H)
+func PSuccessPoisson(headerBits int, t float64) float64 {
+	if t < 1 {
+		t = 1
+	}
+	if headerBits <= 0 {
+		if t > 1 {
+			return 0
+		}
+		return 1
+	}
+	q := (t - 1) * math.Pow(2, -float64(headerBits))
+	return math.Exp(-q) / (1 + q)
+}
+
+// PSuccessFixedPoisson is the same Poisson-arrival model with
+// *deterministic* durations (every transaction spans exactly tau):
+//
+//	P = exp(-2*(t-1)*2^-H)
+//
+// Comparing it with Equation 4 shows the two agree to first order:
+// (1 - 2^-H)^(2(T-1)) ≈ exp(-2(T-1)*2^-H) for small 2^-H.
+func PSuccessFixedPoisson(headerBits int, t float64) float64 {
+	if t < 1 {
+		t = 1
+	}
+	if headerBits <= 0 {
+		if t > 1 {
+			return 0
+		}
+		return 1
+	}
+	return math.Exp(-2 * (t - 1) * math.Pow(2, -float64(headerBits)))
+}
+
+// PSuccessListening is the first-order listening model: with a window
+// covering w identifiers out of 2^H, only later-arriving contenders can
+// collide, each with probability 1/(2^H - w).
+//
+// The window is clamped to leave at least one usable identifier; w <= 0
+// degrades to half-exponent Equation 4 (perfect avoidance of earlier
+// contenders, no pool reduction).
+func PSuccessListening(headerBits int, t float64, window int) float64 {
+	if t < 1 {
+		t = 1
+	}
+	if headerBits <= 0 {
+		if t > 1 {
+			return 0
+		}
+		return 1
+	}
+	pool := math.Pow(2, float64(headerBits))
+	w := float64(window)
+	if w < 0 {
+		w = 0
+	}
+	if w > pool-1 {
+		w = pool - 1
+	}
+	return math.Pow(1-1/(pool-w), t-1)
+}
+
+// CollisionRatePoisson is 1 - PSuccessPoisson.
+func CollisionRatePoisson(headerBits int, t float64) float64 {
+	return 1 - PSuccessPoisson(headerBits, t)
+}
+
+// CollisionRateListening is 1 - PSuccessListening.
+func CollisionRateListening(headerBits int, t float64, window int) float64 {
+	return 1 - PSuccessListening(headerBits, t, window)
+}
+
+// EAFFListening is Equation 3 with the listening success model.
+func EAFFListening(dataBits, headerBits int, t float64, window int) float64 {
+	if dataBits <= 0 || headerBits < 0 {
+		return 0
+	}
+	return float64(dataBits) * PSuccessListening(headerBits, t, window) /
+		float64(dataBits+headerBits)
+}

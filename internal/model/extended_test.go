@@ -1,0 +1,164 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSuccessPoissonBoundaries(t *testing.T) {
+	if got := PSuccessPoisson(8, 1); got != 1 {
+		t.Errorf("lone transaction: %v, want 1", got)
+	}
+	if got := PSuccessPoisson(8, 0.5); got != 1 {
+		t.Errorf("sub-unit density clamps: %v, want 1", got)
+	}
+	if got := PSuccessPoisson(0, 5); got != 0 {
+		t.Errorf("zero-bit pool under contention: %v, want 0", got)
+	}
+	if got := PSuccessPoisson(0, 1); got != 1 {
+		t.Errorf("zero-bit pool alone: %v, want 1", got)
+	}
+}
+
+func TestPSuccessFixedPoissonApproximatesEq4(t *testing.T) {
+	// exp(-2(T-1)/2^H) is the first-order form of (1-2^-H)^(2(T-1)); the
+	// two must agree tightly once the pool is large.
+	for _, h := range []int{8, 12, 16} {
+		for _, tt := range []float64{2, 5, 16} {
+			a := PSuccess(h, tt)
+			b := PSuccessFixedPoisson(h, tt)
+			if math.Abs(a-b) > 0.001 {
+				t.Errorf("H=%d T=%v: Eq4 %v vs Poisson-fixed %v", h, tt, a, b)
+			}
+		}
+	}
+}
+
+func TestExponentialDurationsBeatFixed(t *testing.T) {
+	// Jensen: per-transaction survival is convex in the duration, so
+	// random (exponential) durations at the same mean give a slightly
+	// HIGHER expected success than deterministic ones.
+	f := func(hRaw, tRaw uint8) bool {
+		h := int(hRaw%16) + 1
+		tt := float64(tRaw%64) + 2
+		return PSuccessPoisson(h, tt) >= PSuccessFixedPoisson(h, tt)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSuccessPoissonMonotonicity(t *testing.T) {
+	f := func(hRaw, tRaw uint8) bool {
+		h := int(hRaw%20) + 1
+		tt := float64(tRaw%200) + 1
+		p := PSuccessPoisson(h, tt)
+		if p < 0 || p > 1 {
+			return false
+		}
+		return PSuccessPoisson(h+1, tt) >= p && PSuccessPoisson(h, tt+1) <= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSuccessListeningBeatsUniform(t *testing.T) {
+	// The listening bound dominates Equation 4 while the window stays
+	// small relative to the pool (w <= 2^H / 4 here).
+	for _, h := range []int{5, 6, 9} {
+		for _, tt := range []float64{2, 5, 8} {
+			w := 2 * int(tt)
+			if w > (1<<uint(h))/4 {
+				continue
+			}
+			uni := PSuccess(h, tt)
+			lis := PSuccessListening(h, tt, w)
+			if lis < uni {
+				t.Errorf("H=%d T=%v w=%d: listening %v below uniform %v", h, tt, w, lis, uni)
+			}
+			if lis > 1 || lis < 0 {
+				t.Errorf("listening out of range: %v", lis)
+			}
+		}
+	}
+}
+
+// TestListeningWindowCrossover: the model independently predicts what the
+// window ablation measures — a window that blankets too much of the pool
+// erases listening's advantage. At w = 2^H/2 the pool reduction cancels
+// the exponent halving to first order.
+func TestListeningWindowCrossover(t *testing.T) {
+	const h, tt = 6, 16.0
+	small := PSuccessListening(h, tt, 8)
+	half := PSuccessListening(h, tt, 32)
+	huge := PSuccessListening(h, tt, 56)
+	uni := PSuccess(h, tt)
+	if !(small > uni) {
+		t.Errorf("small window %v should beat uniform %v", small, uni)
+	}
+	if math.Abs(half-uni) > 0.05 {
+		t.Errorf("half-pool window %v should roughly match uniform %v", half, uni)
+	}
+	if !(huge < uni) {
+		t.Errorf("pool-blanketing window %v should fall below uniform %v", huge, uni)
+	}
+}
+
+func TestPSuccessListeningWindowClamps(t *testing.T) {
+	// A window covering the whole pool clamps to leave one identifier.
+	got := PSuccessListening(2, 5, 100)
+	want := math.Pow(1-1.0/1.0, 4) // pool 4, clamp w=3, 1/(4-3)=1 -> 0
+	if got != want {
+		t.Errorf("full-window clamp: %v, want %v", got, want)
+	}
+	// Negative window degrades gracefully.
+	if got := PSuccessListening(8, 5, -3); got != math.Pow(1-1.0/256, 4) {
+		t.Errorf("negative window: %v", got)
+	}
+	if got := PSuccessListening(0, 5, 0); got != 0 {
+		t.Errorf("zero-bit listening under contention: %v", got)
+	}
+	if got := PSuccessListening(8, 0.2, 4); got != 1 {
+		t.Errorf("clamped density: %v", got)
+	}
+}
+
+func TestCollisionComplementsExtended(t *testing.T) {
+	for _, h := range []int{3, 8} {
+		for _, tt := range []float64{1, 5, 64} {
+			if got := CollisionRatePoisson(h, tt) + PSuccessPoisson(h, tt); math.Abs(got-1) > 1e-12 {
+				t.Errorf("Poisson complement at H=%d T=%v: %v", h, tt, got)
+			}
+			if got := CollisionRateListening(h, tt, 10) + PSuccessListening(h, tt, 10); math.Abs(got-1) > 1e-12 {
+				t.Errorf("listening complement at H=%d T=%v: %v", h, tt, got)
+			}
+		}
+	}
+}
+
+func TestEAFFListeningShape(t *testing.T) {
+	// With listening, the efficiency peak shifts left: fewer bits suffice
+	// because collisions are partially avoided.
+	bestUniform, bestListen := 0, 0
+	var eu, el float64
+	for h := 1; h <= 32; h++ {
+		if e := EAFF(16, h, 16); e > eu {
+			eu, bestUniform = e, h
+		}
+		if e := EAFFListening(16, h, 16, 32); e > el {
+			el, bestListen = e, h
+		}
+	}
+	if bestListen > bestUniform {
+		t.Errorf("listening optimum (%d bits) should not exceed uniform optimum (%d bits)",
+			bestListen, bestUniform)
+	}
+	if el < eu {
+		t.Errorf("listening peak efficiency %v below uniform %v", el, eu)
+	}
+	if EAFFListening(0, 9, 16, 4) != 0 || EAFFListening(16, -1, 16, 4) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}

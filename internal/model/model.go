@@ -1,0 +1,141 @@
+// Package model implements the paper's analytic efficiency model
+// (Section 4).
+//
+// Efficiency is the cost-benefit ratio of transmitting bits (Eq. 1):
+//
+//	E = useful bits received / total bits transmitted
+//
+// Packets carry D data bits behind an H-bit header. Under static
+// allocation every transaction succeeds (Eq. 2). Under AFF a transaction
+// succeeds only if its identifier is unique among the 2(T-1) transactions
+// whose start or end it overlaps, with identifiers drawn uniformly from a
+// pool of 2^H (Eq. 4), giving Eq. 3 for the expected efficiency.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// EStatic is Equation 2: the efficiency of static allocation, D/(D+H).
+// Identifier collisions are impossible, so the ratio of data bits to total
+// bits is the whole story.
+func EStatic(dataBits, headerBits int) float64 {
+	if dataBits <= 0 || headerBits < 0 {
+		return 0
+	}
+	return float64(dataBits) / float64(dataBits+headerBits)
+}
+
+// PSuccess is Equation 4: the probability that a transaction's uniformly
+// drawn H-bit identifier avoids all 2(T-1) overlapping transactions,
+//
+//	P = (1 - 2^-H)^(2(T-1))
+//
+// T is the transaction density — the average number of concurrent
+// transactions visible at one point in the network. Values of T below 1
+// are treated as 1 (a lone transaction cannot collide).
+func PSuccess(headerBits int, t float64) float64 {
+	if headerBits <= 0 {
+		// A 0-bit pool has a single identifier: any contention collides.
+		if t > 1 {
+			return 0
+		}
+		return 1
+	}
+	if t < 1 {
+		t = 1
+	}
+	pool := math.Pow(2, float64(headerBits))
+	return math.Pow(1-1/pool, 2*(t-1))
+}
+
+// CollisionRate is 1 - PSuccess, the quantity plotted in Figure 4.
+func CollisionRate(headerBits int, t float64) float64 {
+	return 1 - PSuccess(headerBits, t)
+}
+
+// EAFF is Equation 3: the expected efficiency of address-free
+// identifiers, D * P(success) / (D + H).
+func EAFF(dataBits, headerBits int, t float64) float64 {
+	if dataBits <= 0 || headerBits < 0 {
+		return 0
+	}
+	return float64(dataBits) * PSuccess(headerBits, t) / float64(dataBits+headerBits)
+}
+
+// StaticSupports reports whether an H-bit statically allocated space can
+// accommodate a load of t concurrent transactions at all. Beyond 2^H the
+// address space is exhausted and static efficiency is undefined
+// (Figure 3).
+func StaticSupports(headerBits int, t float64) bool {
+	return t <= math.Pow(2, float64(headerBits))
+}
+
+// OptimalBits searches H in [1, maxBits] for the identifier width that
+// maximizes EAFF — the peak of the Figure 1/2 curves, balancing collision
+// probability against header overhead. It returns the width and the
+// efficiency there.
+func OptimalBits(dataBits int, t float64, maxBits int) (int, float64) {
+	bestH, bestE := 1, EAFF(dataBits, 1, t)
+	for h := 2; h <= maxBits; h++ {
+		if e := EAFF(dataBits, h, t); e > bestE {
+			bestH, bestE = h, e
+		}
+	}
+	return bestH, bestE
+}
+
+// Point is one sample of an efficiency-vs-identifier-size curve.
+type Point struct {
+	H int     // identifier bits
+	E float64 // efficiency
+}
+
+// AFFCurve samples EAFF over H in [hMin, hMax] for fixed data size and
+// transaction density — one AFF curve of Figure 1 or 2.
+func AFFCurve(dataBits int, t float64, hMin, hMax int) ([]Point, error) {
+	if hMin < 0 || hMax < hMin {
+		return nil, fmt.Errorf("model: invalid H range [%d, %d]", hMin, hMax)
+	}
+	pts := make([]Point, 0, hMax-hMin+1)
+	for h := hMin; h <= hMax; h++ {
+		pts = append(pts, Point{H: h, E: EAFF(dataBits, h, t)})
+	}
+	return pts, nil
+}
+
+// LoadPoint is one sample of an efficiency-vs-load curve (Figure 3).
+type LoadPoint struct {
+	T float64 // offered load: concurrent transactions
+	E float64 // efficiency; meaningless when !Defined
+	// Defined is false where the scheme cannot operate: a statically
+	// allocated space past exhaustion.
+	Defined bool
+}
+
+// AFFLoadCurve samples EAFF against the given loads for a fixed identifier
+// size. AFF is defined at every load (it degrades, never refuses).
+func AFFLoadCurve(dataBits, headerBits int, loads []float64) []LoadPoint {
+	pts := make([]LoadPoint, len(loads))
+	for i, t := range loads {
+		pts[i] = LoadPoint{T: t, E: EAFF(dataBits, headerBits, t), Defined: true}
+	}
+	return pts
+}
+
+// StaticLoadCurve samples static efficiency against the given loads.
+// Efficiency is constant while the space supports the load and undefined
+// beyond exhaustion.
+func StaticLoadCurve(dataBits, headerBits int, loads []float64) []LoadPoint {
+	pts := make([]LoadPoint, len(loads))
+	e := EStatic(dataBits, headerBits)
+	for i, t := range loads {
+		if StaticSupports(headerBits, t) {
+			pts[i] = LoadPoint{T: t, E: e, Defined: true}
+		} else {
+			pts[i] = LoadPoint{T: t, Defined: false}
+		}
+	}
+	return pts
+}

@@ -1,0 +1,257 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEStaticPaperValues(t *testing.T) {
+	// Section 4.2: "transmitting 16 bits of data with a 16- or 32-bit
+	// identifier always leads to a constant 50% or 33% efficiency".
+	if got := EStatic(16, 16); !almost(got, 0.5, 1e-12) {
+		t.Errorf("EStatic(16,16) = %v, want 0.5", got)
+	}
+	if got := EStatic(16, 32); !almost(got, 1.0/3.0, 1e-12) {
+		t.Errorf("EStatic(16,32) = %v, want 1/3", got)
+	}
+	// Figure 2 static lines for 128-bit data.
+	if got := EStatic(128, 16); !almost(got, 128.0/144.0, 1e-12) {
+		t.Errorf("EStatic(128,16) = %v", got)
+	}
+	if got := EStatic(128, 32); !almost(got, 0.8, 1e-12) {
+		t.Errorf("EStatic(128,32) = %v, want 0.8", got)
+	}
+}
+
+func TestEStaticDegenerate(t *testing.T) {
+	if EStatic(0, 16) != 0 || EStatic(-1, 16) != 0 || EStatic(16, -1) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+	if EStatic(16, 0) != 1 {
+		t.Error("zero-size header means perfect efficiency")
+	}
+}
+
+func TestPSuccessBoundaries(t *testing.T) {
+	// A lone transaction never collides.
+	if got := PSuccess(8, 1); got != 1 {
+		t.Errorf("PSuccess(8, T=1) = %v, want 1", got)
+	}
+	// T below 1 clamps to 1.
+	if got := PSuccess(8, 0.25); got != 1 {
+		t.Errorf("PSuccess(8, T=0.25) = %v, want 1", got)
+	}
+	// Zero-width pool with contention always collides.
+	if got := PSuccess(0, 5); got != 0 {
+		t.Errorf("PSuccess(0, T=5) = %v, want 0", got)
+	}
+	if got := PSuccess(0, 1); got != 1 {
+		t.Errorf("PSuccess(0, T=1) = %v, want 1", got)
+	}
+}
+
+func TestPSuccessEquationForm(t *testing.T) {
+	// Hand-computed Eq. 4 values.
+	if got, want := PSuccess(1, 2), 0.25; !almost(got, want, 1e-12) {
+		t.Errorf("PSuccess(1,2) = %v, want %v ((1-1/2)^2)", got, want)
+	}
+	if got, want := PSuccess(2, 2), 0.5625; !almost(got, want, 1e-12) {
+		t.Errorf("PSuccess(2,2) = %v, want %v ((3/4)^2)", got, want)
+	}
+	// Figure 4's model: T=5, exponent 8.
+	if got, want := PSuccess(3, 5), math.Pow(7.0/8.0, 8); !almost(got, want, 1e-12) {
+		t.Errorf("PSuccess(3,5) = %v, want %v", got, want)
+	}
+}
+
+func TestPSuccessMonotonicity(t *testing.T) {
+	f := func(hRaw, tRaw uint16) bool {
+		h := int(hRaw%30) + 1
+		tt := float64(tRaw%1000) + 1
+		// More identifier bits never hurt.
+		if PSuccess(h+1, tt) < PSuccess(h, tt) {
+			return false
+		}
+		// More contention never helps.
+		if PSuccess(h, tt+1) > PSuccess(h, tt) {
+			return false
+		}
+		p := PSuccess(h, tt)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollisionRateComplements(t *testing.T) {
+	for _, h := range []int{1, 4, 9, 16} {
+		for _, tt := range []float64{1, 5, 256} {
+			if got := CollisionRate(h, tt) + PSuccess(h, tt); !almost(got, 1, 1e-12) {
+				t.Errorf("CollisionRate+PSuccess = %v at H=%d T=%v", got, h, tt)
+			}
+		}
+	}
+}
+
+func TestEAFFReducesToStaticWithoutContention(t *testing.T) {
+	// With T=1 success is certain, so Eq. 3 degenerates to Eq. 2.
+	for _, h := range []int{1, 9, 16, 32} {
+		if got, want := EAFF(16, h, 1), EStatic(16, h); !almost(got, want, 1e-12) {
+			t.Errorf("EAFF(16,%d,1) = %v, want EStatic = %v", h, got, want)
+		}
+	}
+}
+
+// TestFigure1Shape verifies the paper's headline Figure 1 claims.
+func TestFigure1Shape(t *testing.T) {
+	// "AFF works optimally with only 9 identifier bits in a network where
+	// there are an average of 16 simultaneous transactions."
+	h, e := OptimalBits(16, 16, 32)
+	if h != 9 {
+		t.Errorf("OptimalBits(D=16, T=16) = %d bits, want 9", h)
+	}
+	// At its optimum it beats both static lines.
+	if e <= EStatic(16, 16) || e <= EStatic(16, 32) {
+		t.Errorf("optimal EAFF %v should beat static 0.5 and 0.333", e)
+	}
+
+	// "In an extreme case of 64K simultaneous transactions ... there is no
+	// room for AFF to improve; a 16-bit address space can be fully
+	// utilized."
+	_, e64k := OptimalBits(16, 65536, 32)
+	if e64k >= EStatic(16, 16) {
+		t.Errorf("EAFF optimum %v at T=64K should not beat a fully utilized 16-bit static space", e64k)
+	}
+}
+
+// TestFigure2Shape verifies the 128-bit-data claims: optima shift to more
+// bits and the AFF/static gap narrows.
+func TestFigure2Shape(t *testing.T) {
+	h16, e16 := OptimalBits(16, 16, 32)
+	h128, e128 := OptimalBits(128, 16, 32)
+	if h128 <= h16 {
+		t.Errorf("optimum with 128-bit data (%d) should exceed optimum with 16-bit data (%d)", h128, h16)
+	}
+	// AFF still wins at T=16 but by less.
+	gainSmall := e16 - EStatic(16, 16)
+	gainLarge := e128 - EStatic(128, 16)
+	if gainLarge <= 0 {
+		t.Errorf("AFF should still beat 16-bit static with 128-bit data (gain %v)", gainLarge)
+	}
+	if gainLarge >= gainSmall {
+		t.Errorf("gap should narrow with larger data: small-data gain %v, large-data gain %v", gainSmall, gainLarge)
+	}
+}
+
+// TestFigure1CurveShape: each AFF curve rises to a single peak and decays
+// toward the header-amortization asymptote.
+func TestFigure1CurveShape(t *testing.T) {
+	pts, err := AFFCurve(16, 16, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 32 {
+		t.Fatalf("len(curve) = %d, want 32", len(pts))
+	}
+	peak := 0
+	for i, p := range pts {
+		if p.E > pts[peak].E {
+			peak = i
+		}
+	}
+	// Strictly rising before the peak, strictly falling after.
+	for i := 1; i <= peak; i++ {
+		if pts[i].E <= pts[i-1].E {
+			t.Errorf("curve not rising at H=%d", pts[i].H)
+		}
+	}
+	for i := peak + 1; i < len(pts); i++ {
+		if pts[i].E >= pts[i-1].E {
+			t.Errorf("curve not falling at H=%d", pts[i].H)
+		}
+	}
+	// Far right of the curve approaches EStatic from below.
+	last := pts[len(pts)-1]
+	if diff := EStatic(16, last.H) - last.E; diff < 0 || diff > 0.01 {
+		t.Errorf("tail at H=%d is %v below static, want within 1%%", last.H, diff)
+	}
+}
+
+func TestAFFCurveValidation(t *testing.T) {
+	if _, err := AFFCurve(16, 16, -1, 5); err == nil {
+		t.Error("negative hMin accepted")
+	}
+	if _, err := AFFCurve(16, 16, 5, 4); err == nil {
+		t.Error("hMax < hMin accepted")
+	}
+}
+
+// TestFigure3Shape: static is flat then undefined; AFF is defined
+// everywhere and degrades gracefully.
+func TestFigure3Shape(t *testing.T) {
+	loads := []float64{1, 16, 256, 4096, 65536, 1 << 17, 1 << 18}
+	st := StaticLoadCurve(16, 16, loads)
+	aff := AFFLoadCurve(16, 16, loads)
+
+	for i, p := range st {
+		if p.T <= 65536 {
+			if !p.Defined || !almost(p.E, 0.5, 1e-12) {
+				t.Errorf("static at T=%v: %+v, want defined 0.5", p.T, p)
+			}
+		} else if p.Defined {
+			t.Errorf("static defined past address-space exhaustion at T=%v", p.T)
+		}
+		_ = i
+	}
+	for i, p := range aff {
+		if !p.Defined {
+			t.Errorf("AFF undefined at T=%v", p.T)
+		}
+		if i > 0 && p.E > aff[i-1].E {
+			t.Errorf("AFF efficiency increased with load at T=%v", p.T)
+		}
+	}
+	// AFF still does *something* past static exhaustion.
+	if last := aff[len(aff)-1]; last.E <= 0 {
+		t.Errorf("AFF efficiency at T=%v is %v, want > 0", last.T, last.E)
+	}
+}
+
+func TestStaticSupports(t *testing.T) {
+	if !StaticSupports(16, 65536) {
+		t.Error("16-bit space should support exactly 2^16 transactions")
+	}
+	if StaticSupports(16, 65537) {
+		t.Error("16-bit space should not support 2^16+1 transactions")
+	}
+}
+
+// TestOptimalBitsBalances: the paper's Section 4.2 explanation — larger
+// data raises the cost of a collision, pushing the optimum toward more
+// identifier bits; higher density does the same.
+func TestOptimalBitsMonotoneInDensity(t *testing.T) {
+	prev := 0
+	for _, tt := range []float64{2, 16, 256, 4096, 65536} {
+		h, _ := OptimalBits(16, tt, 32)
+		if h < prev {
+			t.Errorf("optimum decreased to %d bits at T=%v", h, tt)
+		}
+		prev = h
+	}
+}
+
+func BenchmarkPSuccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PSuccess(9, 16)
+	}
+}
+
+func BenchmarkOptimalBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		OptimalBits(16, 256, 32)
+	}
+}

@@ -1,0 +1,31 @@
+package naming
+
+import "testing"
+
+// FuzzDecode: the name decoder must never panic and must be left-inverse
+// of Encode for whatever it accepts.
+func FuzzDecode(f *testing.F) {
+	good, _ := (Name{
+		{Key: "type", Op: Is, Value: "motion"},
+		{Key: "quadrant", Op: EQ, Value: "ne"},
+	}).Encode()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 1, 1, 'k', 1, 'v'})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		n, err := Decode(p)
+		if err != nil {
+			return
+		}
+		buf, err := n.Encode()
+		if err != nil {
+			t.Fatalf("decoded name failed to encode: %v (%v)", err, n)
+		}
+		again, err := Decode(buf)
+		if err != nil || !Equal(n, again) {
+			t.Fatalf("round trip drift: %v vs %v (%v)", n, again, err)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package naming implements attribute-based data naming, the SCADDS-style
+// substrate (Section 3) the paper's applications assume: applications ask
+// "Was there motion detected in the north-east quadrant?" rather than
+// naming node addresses.
+//
+// A Name is a set of attribute tuples. Data carries facts (key = value);
+// interests carry predicates (key op value). An interest matches data when
+// every predicate is satisfied by some fact. Names also serialize to a
+// compact wire form, which is what the codebook application compresses.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"retri/internal/bitio"
+)
+
+// Op is a predicate operator.
+type Op int
+
+// Predicate operators. Is denotes a fact (data-side actual value).
+const (
+	Is Op = iota + 1
+	EQ
+	NE
+	GT
+	LT
+	GE
+	LE
+	Exists
+)
+
+var opNames = map[Op]string{
+	Is: "is", EQ: "==", NE: "!=", GT: ">", LT: "<", GE: ">=", LE: "<=", Exists: "exists",
+}
+
+// String renders the operator.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// Attribute is one tuple of a name.
+type Attribute struct {
+	Key   string
+	Op    Op
+	Value string
+}
+
+// String renders "key op value".
+func (a Attribute) String() string {
+	if a.Op == Exists {
+		return fmt.Sprintf("%s exists", a.Key)
+	}
+	return fmt.Sprintf("%s %s %s", a.Key, a.Op, a.Value)
+}
+
+// Name is a set of attributes: facts for data, predicates for interests.
+type Name []Attribute
+
+// String renders the name as a bracketed tuple list.
+func (n Name) String() string {
+	parts := make([]string, len(n))
+	for i, a := range n {
+		parts[i] = a.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Normalize returns a canonical copy: attributes sorted by key, then op,
+// then value. Canonical form makes Equal and codebook keys stable.
+func (n Name) Normalize() Name {
+	out := make(Name, len(n))
+	copy(out, n)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Equal reports whether two names are identical up to ordering.
+func Equal(a, b Name) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	na, nb := a.Normalize(), b.Normalize()
+	for i := range na {
+		if na[i] != nb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether every predicate of the interest is satisfied by
+// some fact in data. Data attributes are facts regardless of their Op
+// field's value; numeric comparisons parse both sides as floats and fail
+// closed on parse errors.
+func (interest Name) Matches(data Name) bool {
+	for _, pred := range interest {
+		if !satisfied(pred, data) {
+			return false
+		}
+	}
+	return true
+}
+
+func satisfied(pred Attribute, data Name) bool {
+	for _, fact := range data {
+		if fact.Key != pred.Key {
+			continue
+		}
+		switch pred.Op {
+		case Exists:
+			return true
+		case Is, EQ:
+			if fact.Value == pred.Value {
+				return true
+			}
+		case NE:
+			if fact.Value != pred.Value {
+				return true
+			}
+		case GT, LT, GE, LE:
+			fv, err1 := strconv.ParseFloat(fact.Value, 64)
+			pv, err2 := strconv.ParseFloat(pred.Value, 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			switch pred.Op {
+			case GT:
+				if fv > pv {
+					return true
+				}
+			case LT:
+				if fv < pv {
+					return true
+				}
+			case GE:
+				if fv >= pv {
+					return true
+				}
+			case LE:
+				if fv <= pv {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Wire format limits.
+const (
+	maxAttrs  = 255
+	maxString = 255
+)
+
+var (
+	// ErrNameTooLarge is returned when a name exceeds wire-format limits.
+	ErrNameTooLarge = errors.New("naming: name exceeds wire limits")
+	// ErrBadEncoding is returned for undecodable name bytes.
+	ErrBadEncoding = errors.New("naming: malformed encoding")
+)
+
+// Encode serializes the name: an attribute count, then per attribute an
+// operator byte and length-prefixed key and value strings.
+func (n Name) Encode() ([]byte, error) {
+	if len(n) > maxAttrs {
+		return nil, fmt.Errorf("%w: %d attributes", ErrNameTooLarge, len(n))
+	}
+	w := bitio.NewWriter()
+	must(w, uint64(len(n)), 8)
+	for _, a := range n {
+		if len(a.Key) > maxString || len(a.Value) > maxString {
+			return nil, fmt.Errorf("%w: string too long", ErrNameTooLarge)
+		}
+		must(w, uint64(a.Op), 8)
+		must(w, uint64(len(a.Key)), 8)
+		w.WriteBytes([]byte(a.Key))
+		must(w, uint64(len(a.Value)), 8)
+		w.WriteBytes([]byte(a.Value))
+	}
+	return w.Bytes(), nil
+}
+
+// EncodedBits reports the wire size of the name in bits.
+func (n Name) EncodedBits() (int, error) {
+	b, err := n.Encode()
+	if err != nil {
+		return 0, err
+	}
+	return 8 * len(b), nil
+}
+
+// Decode parses a name serialized by Encode.
+func Decode(p []byte) (Name, error) {
+	r := bitio.NewReader(p)
+	count, err := r.ReadBits(8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	name := make(Name, 0, count)
+	for i := uint64(0); i < count; i++ {
+		op, err := r.ReadBits(8)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+		if op < uint64(Is) || op > uint64(Exists) {
+			return nil, fmt.Errorf("%w: op %d", ErrBadEncoding, op)
+		}
+		key, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		value, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		name = append(name, Attribute{Key: key, Op: Op(op), Value: value})
+	}
+	return name, nil
+}
+
+func readString(r *bitio.Reader) (string, error) {
+	n, err := r.ReadBits(8)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	buf := make([]byte, n)
+	if err := r.ReadBytes(buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	return string(buf), nil
+}
+
+// Key returns a canonical string key for map lookups (codebooks).
+func (n Name) Key() string {
+	norm := n.Normalize()
+	var b strings.Builder
+	for _, a := range norm {
+		fmt.Fprintf(&b, "%d\x00%s\x00%s\x01", a.Op, a.Key, a.Value)
+	}
+	return b.String()
+}
+
+func must(w *bitio.Writer, v uint64, bits int) {
+	if err := w.WriteBits(v, bits); err != nil {
+		panic(err)
+	}
+}

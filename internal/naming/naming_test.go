@@ -1,0 +1,242 @@
+package naming
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sensorData() Name {
+	return Name{
+		{Key: "type", Op: Is, Value: "motion"},
+		{Key: "quadrant", Op: Is, Value: "north-east"},
+		{Key: "confidence", Op: Is, Value: "0.92"},
+	}
+}
+
+func TestMatchesPaperExample(t *testing.T) {
+	// "Was there motion detected in the north-east quadrant?"
+	interest := Name{
+		{Key: "type", Op: EQ, Value: "motion"},
+		{Key: "quadrant", Op: EQ, Value: "north-east"},
+	}
+	if !interest.Matches(sensorData()) {
+		t.Error("interest should match the sensor data")
+	}
+	elsewhere := Name{
+		{Key: "type", Op: EQ, Value: "motion"},
+		{Key: "quadrant", Op: EQ, Value: "south-west"},
+	}
+	if elsewhere.Matches(sensorData()) {
+		t.Error("wrong quadrant should not match")
+	}
+}
+
+func TestMatchOperators(t *testing.T) {
+	data := Name{{Key: "temp", Op: Is, Value: "21.5"}}
+	tests := []struct {
+		name string
+		pred Attribute
+		want bool
+	}{
+		{"eq hit", Attribute{Key: "temp", Op: EQ, Value: "21.5"}, true},
+		{"eq miss", Attribute{Key: "temp", Op: EQ, Value: "22"}, false},
+		{"ne hit", Attribute{Key: "temp", Op: NE, Value: "30"}, true},
+		{"ne miss", Attribute{Key: "temp", Op: NE, Value: "21.5"}, false},
+		{"gt hit", Attribute{Key: "temp", Op: GT, Value: "20"}, true},
+		{"gt miss", Attribute{Key: "temp", Op: GT, Value: "25"}, false},
+		{"lt hit", Attribute{Key: "temp", Op: LT, Value: "25"}, true},
+		{"lt miss", Attribute{Key: "temp", Op: LT, Value: "20"}, false},
+		{"ge equal", Attribute{Key: "temp", Op: GE, Value: "21.5"}, true},
+		{"le equal", Attribute{Key: "temp", Op: LE, Value: "21.5"}, true},
+		{"exists hit", Attribute{Key: "temp", Op: Exists}, true},
+		{"exists miss", Attribute{Key: "humidity", Op: Exists}, false},
+		{"missing key", Attribute{Key: "humidity", Op: EQ, Value: "40"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := (Name{tt.pred}).Matches(data)
+			if got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNumericComparisonFailsClosedOnGarbage(t *testing.T) {
+	data := Name{{Key: "state", Op: Is, Value: "on-fire"}}
+	pred := Name{{Key: "state", Op: GT, Value: "10"}}
+	if pred.Matches(data) {
+		t.Error("non-numeric comparison should fail closed")
+	}
+}
+
+func TestEmptyInterestMatchesEverything(t *testing.T) {
+	if !(Name{}).Matches(sensorData()) {
+		t.Error("empty interest should match anything")
+	}
+	if !(Name{}).Matches(Name{}) {
+		t.Error("empty interest should match empty data")
+	}
+}
+
+func TestNormalizeAndEqual(t *testing.T) {
+	a := Name{
+		{Key: "b", Op: Is, Value: "2"},
+		{Key: "a", Op: Is, Value: "1"},
+	}
+	b := Name{
+		{Key: "a", Op: Is, Value: "1"},
+		{Key: "b", Op: Is, Value: "2"},
+	}
+	if !Equal(a, b) {
+		t.Error("order should not affect equality")
+	}
+	if Equal(a, a[:1]) {
+		t.Error("different lengths equal")
+	}
+	c := Name{
+		{Key: "a", Op: Is, Value: "1"},
+		{Key: "b", Op: Is, Value: "3"},
+	}
+	if Equal(a, c) {
+		t.Error("different values equal")
+	}
+	// Normalize must not mutate the receiver.
+	orig := a[0]
+	_ = a.Normalize()
+	if a[0] != orig {
+		t.Error("Normalize mutated its receiver")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	n := sensorData()
+	buf, err := n.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(n, got) {
+		t.Errorf("round trip: %v -> %v", n, got)
+	}
+}
+
+func TestEncodeEmptyName(t *testing.T) {
+	buf, err := (Name{}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	big := make(Name, 256)
+	if _, err := big.Encode(); !errors.Is(err, ErrNameTooLarge) {
+		t.Errorf("256 attrs err = %v", err)
+	}
+	long := Name{{Key: strings.Repeat("k", 256), Op: Is, Value: "v"}}
+	if _, err := long.Encode(); !errors.Is(err, ErrNameTooLarge) {
+		t.Errorf("long key err = %v", err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	n := sensorData()
+	buf, err := n.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := Decode(buf[:cut]); err == nil {
+			// A shorter prefix can still be self-consistent only if the
+			// truncated count is satisfied; cut=0 is the only empty case
+			// and it errors on the count byte.
+			t.Errorf("Decode(%d/%d bytes) accepted", cut, len(buf))
+		}
+	}
+	if _, err := Decode([]byte{1, 99, 0, 0}); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("bad op err = %v", err)
+	}
+}
+
+func TestEncodedBits(t *testing.T) {
+	n := Name{{Key: "k", Op: Is, Value: "vv"}}
+	bits, err := n.EncodedBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 count + (1 op + 1 len + 1 key + 1 len + 2 value) bytes = 7 bytes.
+	if bits != 56 {
+		t.Errorf("EncodedBits = %d, want 56", bits)
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	a := Name{{Key: "x", Op: Is, Value: "1"}, {Key: "y", Op: Is, Value: "2"}}
+	b := Name{{Key: "y", Op: Is, Value: "2"}, {Key: "x", Op: Is, Value: "1"}}
+	if a.Key() != b.Key() {
+		t.Error("Key() should be order independent")
+	}
+	c := Name{{Key: "x", Op: Is, Value: "1"}}
+	if a.Key() == c.Key() {
+		t.Error("different names share a Key()")
+	}
+	// The separator must prevent concatenation ambiguity.
+	d := Name{{Key: "xy", Op: Is, Value: ""}}
+	e := Name{{Key: "x", Op: Is, Value: "y"}}
+	if d.Key() == e.Key() {
+		t.Error("ambiguous keys for distinct names")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	n := Name{{Key: "temp", Op: GT, Value: "20"}, {Key: "x", Op: Exists}}
+	s := n.String()
+	if !strings.Contains(s, "temp > 20") || !strings.Contains(s, "x exists") {
+		t.Errorf("String() = %q", s)
+	}
+	if Op(99).String() != "op?" {
+		t.Error("unknown op should render as op?")
+	}
+}
+
+// TestRoundTripProperty fuzzes names through encode/decode.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte, ops []uint8) bool {
+		var n Name
+		for i := 0; i < len(keys) && i < len(vals) && i < len(ops) && i < 20; i++ {
+			k, v := keys[i], vals[i]
+			if len(k) > 255 {
+				k = k[:255]
+			}
+			if len(v) > 255 {
+				v = v[:255]
+			}
+			n = append(n, Attribute{
+				Key:   string(k),
+				Op:    Op(int(ops[i])%int(Exists)) + 1,
+				Value: string(v),
+			})
+		}
+		buf, err := n.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return Equal(n, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

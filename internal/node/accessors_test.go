@@ -1,0 +1,112 @@
+package node
+
+import (
+	"errors"
+	"testing"
+
+	"retri/internal/core"
+	"retri/internal/radio"
+	"retri/internal/staticaddr"
+	"retri/internal/xrand"
+)
+
+func TestAFFAccessors(t *testing.T) {
+	r := newRig(t, radio.DefaultParams())
+	cfg := affConfig(9)
+	d := newAFFNode(t, r, 1, cfg, AFFOptions{})
+	if d.Selector() == nil {
+		t.Error("Selector() = nil")
+	}
+	if d.Radio() == nil || d.Radio().ID() != 1 {
+		t.Error("Radio() wrong")
+	}
+	if d.Reassembler() == nil {
+		t.Error("Reassembler() = nil")
+	}
+}
+
+func TestStaticAccessors(t *testing.T) {
+	r := newRig(t, radio.DefaultParams())
+	rad := r.med.MustAttach(7)
+	d, err := NewStatic(rad, staticaddr.Config{AddrBits: 16, MTU: 27}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Radio() == nil || d.Radio().ID() != 7 {
+		t.Error("Radio() wrong")
+	}
+	if d.Reassembler() == nil {
+		t.Error("Reassembler() = nil")
+	}
+}
+
+func TestAFFSendPacketErrors(t *testing.T) {
+	r := newRig(t, radio.DefaultParams())
+	cfg := affConfig(9)
+	d := newAFFNode(t, r, 1, cfg, AFFOptions{})
+	// Fragmenter-level failure: empty packet.
+	if err := d.SendPacket(nil); err == nil {
+		t.Error("empty packet accepted")
+	}
+	// Radio-level failure: radio down.
+	d.Radio().SetUp(false)
+	if err := d.SendPacket([]byte("x")); !errors.Is(err, radio.ErrRadioDown) {
+		t.Errorf("down radio err = %v, want ErrRadioDown", err)
+	}
+	if d.PacketsSent() != 0 {
+		t.Errorf("PacketsSent = %d after failures, want 0", d.PacketsSent())
+	}
+}
+
+func TestStaticSendPacketErrors(t *testing.T) {
+	r := newRig(t, radio.DefaultParams())
+	rad := r.med.MustAttach(1)
+	d, err := NewStatic(rad, staticaddr.Config{AddrBits: 16, MTU: 27}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SendPacket(nil); err == nil {
+		t.Error("empty packet accepted")
+	}
+	d.Radio().SetUp(false)
+	if err := d.SendPacket([]byte("x")); !errors.Is(err, radio.ErrRadioDown) {
+		t.Errorf("down radio err = %v, want ErrRadioDown", err)
+	}
+}
+
+func TestNewAFFBadConfig(t *testing.T) {
+	r := newRig(t, radio.DefaultParams())
+	rad := r.med.MustAttach(1)
+	// Selector space mismatch surfaces from the fragmenter.
+	cfg := affConfig(9)
+	badSel := core.NewUniformSelector(core.MustSpace(4), xrand.NewSource(1).Stream("bad"))
+	if _, err := NewAFF(rad, cfg, badSel, AFFOptions{}); err == nil {
+		t.Error("space mismatch accepted")
+	}
+}
+
+func TestNewStaticBadConfig(t *testing.T) {
+	r := newRig(t, radio.DefaultParams())
+	rad := r.med.MustAttach(1)
+	if _, err := NewStatic(rad, staticaddr.Config{AddrBits: 4, MTU: 27}, 99); err == nil {
+		t.Error("address wider than space accepted")
+	}
+}
+
+func TestNotifyCollisionsDefaultMTU(t *testing.T) {
+	// NotifyCollisions with a zero-MTU config must apply the default
+	// before reserving the discriminator byte.
+	r := newRig(t, radio.DefaultParams())
+	rad := r.med.MustAttach(1)
+	cfg := affConfig(9)
+	cfg.MTU = 0
+	sel := core.NewUniformSelector(cfg.Space, xrand.NewSource(5).Stream("mtu"))
+	d, err := NewAFF(rad, cfg, sel, AFFOptions{NotifyCollisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SendPacket(make([]byte, 200)); err != nil {
+		t.Fatalf("full-size packet with notification framing: %v", err)
+	}
+	r.eng.Run()
+}

@@ -1,0 +1,207 @@
+// Package node composes a radio with a fragmentation driver, forming one
+// sensor node's network stack.
+//
+// Two drivers are provided, mirroring the paper's comparison:
+//
+//   - AFFDriver: the address-free stack. It wires the reassembler's
+//     listening tap into the identifier selector and density estimator
+//     (Section 3.2/5.1), and optionally implements the receiver-driven
+//     "identifier collision notification" extension from Section 3.2's
+//     footnote.
+//   - StaticDriver: the statically addressed baseline stack.
+//
+// Both expose the same Driver interface so workloads and experiments can
+// run against either without caring which.
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"retri/internal/aff"
+	"retri/internal/core"
+	"retri/internal/density"
+	"retri/internal/radio"
+)
+
+// PacketHandler receives reassembled packets.
+type PacketHandler func(data []byte)
+
+// Driver is the packet-level service both stacks provide.
+type Driver interface {
+	// SendPacket fragments and queues a packet for broadcast.
+	SendPacket(p []byte) error
+	// SetPacketHandler installs the delivery callback.
+	SetPacketHandler(h PacketHandler)
+	// PacketsSent reports packets accepted for transmission.
+	PacketsSent() int64
+	// PacketsDelivered reports packets this node reassembled and
+	// delivered.
+	PacketsDelivered() int64
+	// Radio exposes the underlying radio (for energy meters and churn).
+	Radio() *radio.Radio
+}
+
+var errNilRadio = errors.New("node: nil radio")
+
+// AFFOptions tunes the address-free driver beyond its aff.Config.
+type AFFOptions struct {
+	// Estimator, when set, is fed every heard identifier and can drive an
+	// adaptive listening window. Both density estimators satisfy the
+	// interface.
+	Estimator density.TEstimator
+	// ObserveOwn also feeds the node's own chosen identifiers to the
+	// selector and estimator, preventing immediate self-reuse.
+	ObserveOwn bool
+	// NotifyCollisions enables the Section 3.2 extension: when this
+	// node's reassembler detects an identifier conflict it broadcasts a
+	// small notification, and senders hearing one treat the identifier as
+	// recently used. Enabling it prefixes every frame with one
+	// discriminator bit, which is charged to the efficiency accounting
+	// like any other header bit.
+	NotifyCollisions bool
+	// Truth, when set, runs a ground-truth reassembler alongside the one
+	// under test (requires cfg.Instrument; Section 5.1 methodology).
+	Truth *aff.TruthReassembler
+}
+
+// AFFDriver is the address-free fragmentation stack on one radio.
+type AFFDriver struct {
+	r     *radio.Radio
+	frag  *aff.Fragmenter
+	reasm *aff.Reassembler
+	sel   core.Selector
+	opts  AFFOptions
+
+	handler PacketHandler
+	sent    int64
+
+	notifBits int // size of a collision-notification frame, bits
+}
+
+var _ Driver = (*AFFDriver)(nil)
+
+// NewAFF builds the address-free stack on r. The selector's space must
+// match cfg.Space. The radio's handler is taken over by the driver.
+func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) (*AFFDriver, error) {
+	if r == nil {
+		return nil, errNilRadio
+	}
+	if opts.NotifyCollisions {
+		// The discriminator bit rides in front of every fragment; the
+		// fragmenter must leave it room within the radio MTU.
+		if cfg.MTU == 0 {
+			cfg.MTU = 27
+		}
+		cfg.MTU--
+	}
+	frag, err := aff.NewFragmenter(cfg, sel, uint32(r.ID()))
+	if err != nil {
+		return nil, err
+	}
+	d := &AFFDriver{
+		r:    r,
+		frag: frag,
+		sel:  sel,
+		opts: opts,
+	}
+	d.notifBits = 1 + cfg.Space.Bits()
+	d.reasm = aff.NewReassembler(cfg, r.Now, func(p aff.Packet) {
+		if d.handler != nil {
+			d.handler(p.Data)
+		}
+	})
+	d.reasm.SetObserver(func(id uint64, intro bool) {
+		// The paper's listening window is the most recent 2T
+		// *transactions*, so the selector only counts transaction starts;
+		// the density estimator keeps identifiers alive on every
+		// fragment.
+		if intro {
+			sel.Observe(id)
+		}
+		if opts.Estimator != nil {
+			opts.Estimator.Observe(id)
+		}
+	})
+	if opts.NotifyCollisions {
+		d.reasm.SetConflictHandler(func(id uint64) { d.sendNotification(id) })
+	}
+	r.SetHandler(d.onFrame)
+	return d, nil
+}
+
+// Reassembler exposes the reassembler under test (stats, pending counts).
+func (d *AFFDriver) Reassembler() *aff.Reassembler { return d.reasm }
+
+// Selector returns the identifier selector.
+func (d *AFFDriver) Selector() core.Selector { return d.sel }
+
+// Radio returns the underlying radio.
+func (d *AFFDriver) Radio() *radio.Radio { return d.r }
+
+// SetPacketHandler installs the delivery callback.
+func (d *AFFDriver) SetPacketHandler(h PacketHandler) { d.handler = h }
+
+// PacketsSent reports packets accepted for transmission.
+func (d *AFFDriver) PacketsSent() int64 { return d.sent }
+
+// PacketsDelivered reports packets delivered by the reassembler under test.
+func (d *AFFDriver) PacketsDelivered() int64 { return d.reasm.Stats().Delivered }
+
+// SendPacket fragments p under a fresh RETRI identifier and queues every
+// fragment for broadcast.
+func (d *AFFDriver) SendPacket(p []byte) error {
+	tx, err := d.frag.Fragment(p)
+	if err != nil {
+		return err
+	}
+	if d.opts.ObserveOwn {
+		d.sel.Observe(tx.ID)
+		if d.opts.Estimator != nil {
+			d.opts.Estimator.Observe(tx.ID)
+		}
+	}
+	for _, fr := range tx.Fragments {
+		payload, bits := fr.Bytes, fr.Bits
+		if d.opts.NotifyCollisions {
+			payload, bits = wrapDiscriminated(discFragment, payload, bits)
+		}
+		if err := d.r.Send(payload, bits); err != nil {
+			return fmt.Errorf("node: send fragment: %w", err)
+		}
+	}
+	d.sent++
+	return nil
+}
+
+// onFrame dispatches a received frame to the reassembler(s), unwrapping the
+// discriminator bit when the notification extension is active.
+func (d *AFFDriver) onFrame(f radio.Frame) {
+	payload := f.Payload
+	if d.opts.NotifyCollisions {
+		kind, inner, ok := unwrapDiscriminated(payload)
+		if !ok {
+			return
+		}
+		if kind == discNotification {
+			if id, ok := decodeNotification(inner, d.frag.Config().Space.Bits()); ok {
+				// Treat the collided identifier as recently used.
+				d.sel.Observe(id)
+			}
+			return
+		}
+		payload = inner
+	}
+	d.reasm.Ingest(payload)
+	if d.opts.Truth != nil {
+		d.opts.Truth.Ingest(payload)
+	}
+}
+
+// sendNotification broadcasts a collision notification for id.
+func (d *AFFDriver) sendNotification(id uint64) {
+	payload, bits := encodeNotification(id, d.frag.Config().Space.Bits())
+	// Best effort: a notification that cannot be sent (radio down) is
+	// simply lost, like any other heuristic signal.
+	_ = d.r.Send(payload, bits)
+}

@@ -1,0 +1,183 @@
+package radio
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+// TestCounterConservation: every (frame, in-range receiver) pair resolves
+// to exactly one outcome — delivered, collided, half-duplex miss, random
+// loss, or not-heard — so the counters must sum to the number of
+// receptions attempted.
+func TestCounterConservation(t *testing.T) {
+	f := func(seed uint64, lossPct uint8, useALOHA bool) bool {
+		p := DefaultParams()
+		p.FrameLoss = float64(lossPct%50) / 100
+		if useALOHA {
+			p.Access = ALOHA
+		}
+		eng := sim.NewEngine()
+		rng := xrand.NewSource(seed).Stream("cons")
+		m := NewMedium(eng, FullMesh{}, p, rng)
+
+		const n = 5
+		radios := make([]*Radio, n)
+		for i := range radios {
+			radios[i] = m.MustAttach(NodeID(i))
+			radios[i].SetHandler(func(Frame) {})
+		}
+		// Random traffic bursts.
+		for round := 0; round < 10; round++ {
+			for i, r := range radios {
+				if rng.Uint64N(2) == 0 {
+					if err := r.Send([]byte{byte(i), byte(round)}, 0); err != nil {
+						return false
+					}
+				}
+			}
+			eng.Run()
+		}
+		c := m.Counters()
+		attempts := c.Sent * (n - 1) // full mesh: every frame reaches n-1 radios
+		outcomes := c.Delivered + c.Collided + c.HalfDuplex + c.RandomLoss + c.NotHeard
+		return outcomes == attempts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMobilityMidSimulation: a node walking out of range stops receiving;
+// walking back in, it resumes.
+func TestMobilityMidSimulation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := xrand.NewSource(2).Stream("mob")
+	disk := NewUnitDisk(10)
+	m := NewMedium(eng, disk, DefaultParams(), rng)
+	disk.Place(1, Point{})
+	disk.Place(2, Point{X: 5})
+
+	a := m.MustAttach(1)
+	b := m.MustAttach(2)
+	got := 0
+	b.SetHandler(func(Frame) { got++ })
+
+	send := func() {
+		if err := a.Send([]byte{1}, 0); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	}
+	send()
+	if got != 1 {
+		t.Fatalf("in range: got %d", got)
+	}
+	disk.Place(2, Point{X: 50})
+	send()
+	if got != 1 {
+		t.Fatalf("out of range: got %d", got)
+	}
+	disk.Place(2, Point{X: 8})
+	send()
+	if got != 2 {
+		t.Fatalf("back in range: got %d", got)
+	}
+}
+
+// TestCSMABeatsALOHAUnderContention: with several contending senders, the
+// carrier-sensing MAC delivers a higher fraction of frames than ALOHA —
+// the sanity check that carrier sensing does anything at all.
+func TestCSMABeatsALOHAUnderContention(t *testing.T) {
+	run := func(access MACKind) (delivered, sent int64) {
+		p := DefaultParams()
+		p.Access = access
+		eng := sim.NewEngine()
+		rng := xrand.NewSource(3).Stream("mac", fmt.Sprint(access))
+		m := NewMedium(eng, FullMesh{}, p, rng)
+		sink := m.MustAttach(0)
+		sink.SetHandler(func(Frame) {})
+		senders := make([]*Radio, 4)
+		for i := range senders {
+			senders[i] = m.MustAttach(NodeID(i + 1))
+		}
+		for round := 0; round < 50; round++ {
+			for _, s := range senders {
+				if err := s.Send(make([]byte, 20), 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			eng.Run()
+		}
+		c := m.Counters()
+		return c.Delivered, c.Sent
+	}
+	dCSMA, sCSMA := run(CSMA)
+	dALOHA, sALOHA := run(ALOHA)
+	rateCSMA := float64(dCSMA) / float64(sCSMA)
+	rateALOHA := float64(dALOHA) / float64(sALOHA)
+	if rateCSMA <= rateALOHA {
+		t.Errorf("CSMA delivery ratio %.3f should beat ALOHA %.3f", rateCSMA, rateALOHA)
+	}
+	// Simultaneous equal-length ALOHA bursts are a collision bloodbath.
+	if rateALOHA > 0.5 {
+		t.Errorf("ALOHA ratio %.3f suspiciously high for synchronized bursts", rateALOHA)
+	}
+}
+
+// TestBusySenderStillDrainsQueue: frames queued while the channel is
+// contended must all eventually transmit (no starvation, no lost pumps).
+func TestBusySenderStillDrainsQueue(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := xrand.NewSource(4).Stream("drain")
+	m := NewMedium(eng, FullMesh{}, DefaultParams(), rng)
+	a := m.MustAttach(1)
+	b := m.MustAttach(2)
+	sink := m.MustAttach(3)
+	got := 0
+	sink.SetHandler(func(Frame) { got++ })
+	for i := 0; i < 30; i++ {
+		if err := a.Send([]byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send([]byte{byte(100 + i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if !a.Idle() || !b.Idle() {
+		t.Error("queues not drained")
+	}
+	if m.Counters().Sent != 60 {
+		t.Errorf("Sent = %d, want 60", m.Counters().Sent)
+	}
+}
+
+// TestAirtimeMatchesClock: a single frame's delivery time equals its
+// computed airtime plus the contention delay (bounded by the window).
+func TestAirtimeMatchesClock(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := xrand.NewSource(5).Stream("clk")
+	p := DefaultParams()
+	m := NewMedium(eng, FullMesh{}, p, rng)
+	a := m.MustAttach(1)
+	b := m.MustAttach(2)
+	var deliveredAt time.Duration
+	b.SetHandler(func(Frame) { deliveredAt = eng.Now() })
+	if err := a.Send(make([]byte, 27), 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	air := m.AirtimeOf(27 * 8)
+	if deliveredAt < air {
+		t.Errorf("delivered at %v, before one airtime %v", deliveredAt, air)
+	}
+	// Use the effective params: NewMedium fills the contention default.
+	if limit := air + m.Params().Contention; deliveredAt > limit {
+		t.Errorf("delivered at %v, beyond airtime+contention %v", deliveredAt, limit)
+	}
+}

@@ -1,0 +1,134 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShadowedZeroSigmaIsUnitDisk(t *testing.T) {
+	s := NewShadowed(10, 0, 1)
+	s.Place(1, Point{})
+	s.Place(2, Point{X: 9})
+	s.Place(3, Point{X: 11})
+	if !s.Connected(1, 2) {
+		t.Error("in-range pair disconnected with zero shadowing")
+	}
+	if s.Connected(1, 3) {
+		t.Error("out-of-range pair connected with zero shadowing")
+	}
+	if s.FadeDB(1, 2) != 0 {
+		t.Error("zero sigma produced a fade")
+	}
+}
+
+func TestShadowedBasics(t *testing.T) {
+	s := NewShadowed(10, 6, 42)
+	s.Place(1, Point{})
+	if s.Connected(1, 1) {
+		t.Error("self-connection")
+	}
+	if s.Connected(1, 99) {
+		t.Error("unplaced node connected")
+	}
+	s.Place(2, Point{})
+	if !s.Connected(1, 2) {
+		t.Error("co-located nodes must always connect")
+	}
+	if p, ok := s.Position(1); !ok || p != (Point{}) {
+		t.Error("Position accessor broken")
+	}
+}
+
+func TestShadowedSymmetricAndStable(t *testing.T) {
+	s := NewShadowed(10, 6, 7)
+	s.Place(1, Point{})
+	s.Place(2, Point{X: 8})
+	if s.FadeDB(1, 2) != s.FadeDB(2, 1) {
+		t.Error("fade asymmetric")
+	}
+	if s.Connected(1, 2) != s.Connected(2, 1) {
+		t.Error("connectivity asymmetric")
+	}
+	first := s.Connected(1, 2)
+	for i := 0; i < 10; i++ {
+		if s.Connected(1, 2) != first {
+			t.Fatal("connectivity not stable across calls")
+		}
+	}
+	// Same seed reproduces; different seed generally differs somewhere.
+	again := NewShadowed(10, 6, 7)
+	again.Place(1, Point{})
+	again.Place(2, Point{X: 8})
+	if again.FadeDB(1, 2) != s.FadeDB(1, 2) {
+		t.Error("fade not reproducible from seed")
+	}
+}
+
+func TestShadowedIrregularCoverage(t *testing.T) {
+	// With strong shadowing, some pairs just inside nominal range drop
+	// and some just outside survive: coverage is no longer a disk.
+	s := NewShadowed(10, 8, 3)
+	s.Place(0, Point{})
+	insideLost, outsideGained := 0, 0
+	for i := 1; i <= 200; i++ {
+		id := NodeID(i)
+		if i%2 == 0 {
+			s.Place(id, Point{X: 9}) // inside nominal range
+			if !s.Connected(0, id) {
+				insideLost++
+			}
+		} else {
+			s.Place(id, Point{X: 11.5}) // outside nominal range
+			if s.Connected(0, id) {
+				outsideGained++
+			}
+		}
+	}
+	if insideLost == 0 {
+		t.Error("no in-range pair ever faded out; shadowing inert")
+	}
+	if outsideGained == 0 {
+		t.Error("no out-of-range pair ever faded in; shadowing one-sided")
+	}
+}
+
+func TestPairGaussianRoughlyStandard(t *testing.T) {
+	var sum, sumSq float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		g := pairGaussian(99, NodeID(i), NodeID(i+10000))
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.08 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if variance < 0.85 || variance > 1.15 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestShadowedEndToEnd(t *testing.T) {
+	// The topology plugs into the medium like any other.
+	s := NewShadowed(10, 4, 5)
+	s.Place(1, Point{})
+	s.Place(2, Point{X: 5})
+	eng, m := newTestMedium(t, s, DefaultParams())
+	a := m.MustAttach(1)
+	b := m.MustAttach(2)
+	got := 0
+	b.SetHandler(func(Frame) { got++ })
+	if err := a.Send([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	want := 0
+	if s.Connected(1, 2) {
+		want = 1
+	}
+	if got != want {
+		t.Errorf("delivered %d, topology says %d", got, want)
+	}
+}

@@ -1,0 +1,107 @@
+package radio
+
+import "math"
+
+// NodeID identifies a radio on a medium. IDs are assigned by the caller and
+// carry no protocol meaning — that is the point of the paper: the wire
+// formats under test never transmit them (except the static-addressing
+// baseline, which does, and pays for it).
+type NodeID int
+
+// Topology decides which pairs of radios can hear each other. Connectivity
+// may be asymmetric in general, but all provided implementations are
+// symmetric.
+type Topology interface {
+	// Connected reports whether a transmission from 'from' reaches 'to'.
+	Connected(from, to NodeID) bool
+}
+
+// FullMesh connects every pair of nodes — the paper's Section 5 testbed
+// ("all the radios were well in range of each other").
+type FullMesh struct{}
+
+// Connected always reports true for distinct nodes.
+func (FullMesh) Connected(from, to NodeID) bool { return from != to }
+
+// Graph is an explicit adjacency topology. Use it to construct
+// hidden-terminal scenarios: A—B and B—C connected, A—C not.
+type Graph struct {
+	links map[[2]NodeID]bool
+}
+
+// NewGraph returns a topology with no links.
+func NewGraph() *Graph {
+	return &Graph{links: make(map[[2]NodeID]bool)}
+}
+
+// SetLink adds or removes the symmetric link a—b.
+func (g *Graph) SetLink(a, b NodeID, connected bool) {
+	if a == b {
+		return
+	}
+	key := linkKey(a, b)
+	if connected {
+		g.links[key] = true
+	} else {
+		delete(g.links, key)
+	}
+}
+
+// Connected reports whether the symmetric link exists.
+func (g *Graph) Connected(from, to NodeID) bool {
+	if from == to {
+		return false
+	}
+	return g.links[linkKey(from, to)]
+}
+
+func linkKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// Point is a 2-D position for the unit-disk topology.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// UnitDisk connects nodes within Range of each other — the standard
+// sensor-network propagation abstraction. Positions may be changed at any
+// time (node mobility, one of the paper's "dynamics").
+type UnitDisk struct {
+	Range     float64
+	positions map[NodeID]Point
+}
+
+// NewUnitDisk returns an empty unit-disk topology with the given radio range.
+func NewUnitDisk(radioRange float64) *UnitDisk {
+	return &UnitDisk{Range: radioRange, positions: make(map[NodeID]Point)}
+}
+
+// Place sets (or moves) a node's position.
+func (u *UnitDisk) Place(id NodeID, p Point) {
+	u.positions[id] = p
+}
+
+// Position returns the node's position and whether it has been placed.
+func (u *UnitDisk) Position(id NodeID) (Point, bool) {
+	p, ok := u.positions[id]
+	return p, ok
+}
+
+// Connected reports whether both nodes are placed and within range.
+func (u *UnitDisk) Connected(from, to NodeID) bool {
+	if from == to {
+		return false
+	}
+	a, okA := u.positions[from]
+	b, okB := u.positions[to]
+	return okA && okB && a.Dist(b) <= u.Range
+}

@@ -1,0 +1,99 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFullMesh(t *testing.T) {
+	var fm FullMesh
+	if !fm.Connected(1, 2) || !fm.Connected(2, 1) {
+		t.Error("full mesh should connect distinct nodes")
+	}
+	if fm.Connected(3, 3) {
+		t.Error("full mesh should not self-connect")
+	}
+}
+
+func TestGraphSymmetricLinks(t *testing.T) {
+	g := NewGraph()
+	g.SetLink(1, 2, true)
+	if !g.Connected(1, 2) || !g.Connected(2, 1) {
+		t.Error("link 1-2 should be symmetric")
+	}
+	if g.Connected(1, 3) {
+		t.Error("unlinked pair reported connected")
+	}
+	g.SetLink(2, 1, false)
+	if g.Connected(1, 2) {
+		t.Error("removed link still connected")
+	}
+}
+
+func TestGraphSelfLinkIgnored(t *testing.T) {
+	g := NewGraph()
+	g.SetLink(5, 5, true)
+	if g.Connected(5, 5) {
+		t.Error("self link should be impossible")
+	}
+}
+
+func TestGraphHiddenTerminal(t *testing.T) {
+	// The paper's footnote-3 scenario: A and C both reach B but not each
+	// other.
+	g := NewGraph()
+	g.SetLink(1, 2, true)
+	g.SetLink(2, 3, true)
+	if !g.Connected(1, 2) || !g.Connected(3, 2) {
+		t.Fatal("A-B and C-B should be connected")
+	}
+	if g.Connected(1, 3) {
+		t.Error("hidden terminals A and C should not hear each other")
+	}
+}
+
+func TestUnitDisk(t *testing.T) {
+	u := NewUnitDisk(10)
+	u.Place(1, Point{X: 0, Y: 0})
+	u.Place(2, Point{X: 6, Y: 8}) // distance exactly 10
+	u.Place(3, Point{X: 20, Y: 0})
+	if !u.Connected(1, 2) {
+		t.Error("nodes at exactly Range should be connected")
+	}
+	if u.Connected(1, 3) {
+		t.Error("nodes beyond Range reported connected")
+	}
+	if u.Connected(1, 4) {
+		t.Error("unplaced node reported connected")
+	}
+	if u.Connected(1, 1) {
+		t.Error("self-connection reported")
+	}
+}
+
+func TestUnitDiskMobility(t *testing.T) {
+	u := NewUnitDisk(5)
+	u.Place(1, Point{})
+	u.Place(2, Point{X: 100})
+	if u.Connected(1, 2) {
+		t.Fatal("distant nodes connected")
+	}
+	u.Place(2, Point{X: 3})
+	if !u.Connected(1, 2) {
+		t.Error("node moved into range but not connected")
+	}
+	p, ok := u.Position(2)
+	if !ok || p.X != 3 {
+		t.Errorf("Position(2) = %v, %v", p, ok)
+	}
+	if _, ok := u.Position(9); ok {
+		t.Error("Position of unplaced node reported ok")
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	d := Point{X: 1, Y: 2}.Dist(Point{X: 4, Y: 6})
+	if math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+}

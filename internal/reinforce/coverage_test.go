@@ -1,0 +1,124 @@
+package reinforce
+
+import (
+	"testing"
+	"time"
+
+	"retri/internal/core"
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+func TestSinkStop(t *testing.T) {
+	net := newTestNet(t, func(Reading) int { return More })
+	net.source.Start()
+	net.sink.Start()
+	net.eng.RunUntil(10 * time.Second)
+	sent := net.sink.Stats().FeedbackSent
+	if sent == 0 {
+		t.Fatal("no feedback before Stop")
+	}
+	net.sink.Stop()
+	net.eng.RunUntil(30 * time.Second)
+	if got := net.sink.Stats().FeedbackSent; got != sent {
+		t.Errorf("feedback after Stop: %d -> %d", sent, got)
+	}
+}
+
+func TestSinkStartIdempotent(t *testing.T) {
+	net := newTestNet(t, func(Reading) int { return 0 })
+	net.sink.Start()
+	net.sink.Start()
+	net.source.Start()
+	net.eng.RunUntil(10 * time.Second)
+	// With a double Start the rounds would double-schedule; heard counts
+	// would still be fine but this guards the guard.
+	if net.sink.Stats().ReadingsHeard == 0 {
+		t.Error("sink heard nothing")
+	}
+}
+
+func TestSourceStartIdempotent(t *testing.T) {
+	space := core.MustSpace(6)
+	eng := sim.NewEngine()
+	sel := core.NewUniformSelector(space, xrand.NewSource(6).Stream("s"))
+	sent := 0
+	src, err := NewSource(SourceConfig{Space: space, InitialInterval: time.Second}, eng,
+		senderFunc(func([]byte) error { sent++; return nil }), sel, func() []byte { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	src.Start()
+	eng.RunUntil(3500 * time.Millisecond)
+	// One emission chain: 1 at t=0 plus one per second.
+	if sent != 4 {
+		t.Errorf("sent = %d, want 4 from a single chain", sent)
+	}
+	if src.Stats().Epochs != 1 {
+		t.Errorf("Epochs = %d, want 1", src.Stats().Epochs)
+	}
+}
+
+func TestSourceIgnoresPeerReadings(t *testing.T) {
+	space := core.MustSpace(6)
+	eng := sim.NewEngine()
+	sel := core.NewUniformSelector(space, xrand.NewSource(7).Stream("s"))
+	src, err := NewSource(SourceConfig{Space: space}, eng,
+		senderFunc(func([]byte) error { return nil }), sel, func() []byte { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	msg, _, err := EncodeReading(space, Reading{Stream: src.Stream(), Value: []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := src.Interval()
+	src.OnPacket(msg)         // a reading, not feedback
+	src.OnPacket([]byte{0xC}) // garbage
+	src.OnPacket(nil)
+	if src.Interval() != before {
+		t.Error("non-feedback packets changed the interval")
+	}
+}
+
+func TestSinkIgnoresFeedbackAndGarbage(t *testing.T) {
+	net := newTestNet(t, func(Reading) int { return 0 })
+	space := core.MustSpace(6)
+	fb, _, err := EncodeFeedback(space, Feedback{Stream: 1, Delta: More})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.sink.OnPacket(fb)
+	net.sink.OnPacket(nil)
+	if net.sink.Stats().ReadingsHeard != 0 {
+		t.Error("sink counted non-readings")
+	}
+}
+
+func TestSinkWindowExpiry(t *testing.T) {
+	net := newTestNet(t, func(Reading) int { return More })
+	net.source.Start()
+	net.eng.RunUntil(5 * time.Second)
+	net.source.Stop()
+	// Let the window lapse, then start feedback rounds: nothing recent to
+	// reinforce.
+	net.eng.RunUntil(30 * time.Second)
+	net.sink.Start()
+	net.eng.RunUntil(60 * time.Second)
+	if got := net.sink.Stats().FeedbackSent; got != 0 {
+		t.Errorf("FeedbackSent = %d for long-expired streams, want 0", got)
+	}
+}
+
+func TestSourceConfigDefaults(t *testing.T) {
+	cfg := SourceConfig{Space: core.MustSpace(6)}.withDefaults()
+	if cfg.InitialInterval <= 0 || cfg.MinInterval <= 0 || cfg.MaxInterval <= 0 || cfg.EpochReadings <= 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	sc := SinkConfig{Space: core.MustSpace(6)}.withDefaults()
+	if sc.FeedbackInterval <= 0 || sc.Window <= 0 {
+		t.Errorf("sink defaults not applied: %+v", sc)
+	}
+}

@@ -1,0 +1,52 @@
+package reinforce
+
+import (
+	"bytes"
+	"testing"
+
+	"retri/internal/core"
+)
+
+// FuzzDecode: the reading/feedback decoder must never panic and must
+// round-trip whatever it accepts.
+func FuzzDecode(f *testing.F) {
+	space := core.MustSpace(6)
+	rd, _, _ := EncodeReading(space, Reading{Stream: 5, Value: []byte{1}})
+	fb, _, _ := EncodeFeedback(space, Feedback{Stream: 5, Delta: More})
+	f.Add(rd, 6)
+	f.Add(fb, 6)
+	f.Add([]byte{}, 1)
+
+	f.Fuzz(func(t *testing.T, p []byte, bits int) {
+		b := ((bits % 32) + 32) % 32
+		if b == 0 {
+			b = 1
+		}
+		space := core.MustSpace(b)
+		msg, err := Decode(space, p)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *Reading:
+			buf, _, err := EncodeReading(space, *m)
+			if err != nil {
+				t.Fatalf("re-encode reading: %v", err)
+			}
+			again, err := Decode(space, buf)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			ra := again.(*Reading)
+			if ra.Stream != m.Stream || !bytes.Equal(ra.Value, m.Value) {
+				t.Fatal("reading round trip drift")
+			}
+		case *Feedback:
+			if _, _, err := EncodeFeedback(space, *m); err != nil {
+				t.Fatalf("re-encode feedback: %v", err)
+			}
+		default:
+			t.Fatalf("unexpected type %T", msg)
+		}
+	})
+}

@@ -1,0 +1,407 @@
+// Package reinforce implements the paper's first RETRI application
+// (Section 6): interest reinforcement.
+//
+// "When a node transmits a sensor reading, its neighbors periodically send
+// feedback to the transmitter indicating their level of interest. With
+// unique addresses assigned to each transmitter, the feedback might take
+// the form of a message such as 'Sensor #27.201.3.97, send more of your
+// data.' An address is not actually needed in this context ... RETRI can
+// serve this purpose equally well: 'Whoever just sent data with Identifier
+// 4, send more of that.'"
+//
+// A Source emits readings tagged with an ephemeral stream identifier,
+// drawing a fresh identifier every epoch (the transaction). A Sink scores
+// readings and broadcasts feedback naming only the stream identifier. A
+// source hearing feedback for its *current* identifier adjusts its rate.
+// Identifier collisions make feedback ambiguous — two sources may both
+// respond — which is a transient mis-tuning, repaired when the epoch ends
+// and fresh identifiers are drawn.
+package reinforce
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"retri/internal/bitio"
+	"retri/internal/core"
+	"retri/internal/sim"
+)
+
+// Message kinds.
+const (
+	kindReading  = 0
+	kindFeedback = 1
+)
+
+// Feedback deltas.
+const (
+	// More asks the stream's source to send more frequently.
+	More = 1
+	// Less asks it to back off.
+	Less = 2
+)
+
+// ErrBadMessage is returned for undecodable messages.
+var ErrBadMessage = errors.New("reinforce: malformed message")
+
+// Reading is one sensor sample under an ephemeral stream identifier.
+type Reading struct {
+	Stream uint64
+	Value  []byte
+}
+
+// Feedback names a stream identifier and a direction — no addresses.
+type Feedback struct {
+	Stream uint64
+	Delta  int
+}
+
+// EncodeReading packs a reading message.
+func EncodeReading(space core.Space, r Reading) ([]byte, int, error) {
+	if !space.Contains(r.Stream) {
+		return nil, 0, fmt.Errorf("%w: stream %d outside space", ErrBadMessage, r.Stream)
+	}
+	w := bitio.NewWriter()
+	must(w, kindReading, 1)
+	must(w, r.Stream, space.Bits())
+	w.Align()
+	w.WriteBytes(r.Value)
+	return w.Bytes(), w.Len(), nil
+}
+
+// EncodeFeedback packs a feedback message. Its size — one bit, the stream
+// identifier, and two delta bits — is the paper's point: compare with a
+// 48-bit unique sensor address.
+func EncodeFeedback(space core.Space, f Feedback) ([]byte, int, error) {
+	if !space.Contains(f.Stream) {
+		return nil, 0, fmt.Errorf("%w: stream %d outside space", ErrBadMessage, f.Stream)
+	}
+	if f.Delta != More && f.Delta != Less {
+		return nil, 0, fmt.Errorf("%w: delta %d", ErrBadMessage, f.Delta)
+	}
+	w := bitio.NewWriter()
+	must(w, kindFeedback, 1)
+	must(w, f.Stream, space.Bits())
+	must(w, uint64(f.Delta), 2)
+	bits := w.Len()
+	w.Align()
+	return w.Bytes(), bits, nil
+}
+
+// Decode parses a message, returning *Reading or *Feedback.
+func Decode(space core.Space, p []byte) (any, error) {
+	r := bitio.NewReader(p)
+	kind, err := r.ReadBits(1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	stream, err := r.ReadBits(space.Bits())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if kind == kindReading {
+		r.Align()
+		value := make([]byte, r.Remaining()/8)
+		if err := r.ReadBytes(value); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		return &Reading{Stream: stream, Value: value}, nil
+	}
+	delta, err := r.ReadBits(2)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if delta != More && delta != Less {
+		return nil, fmt.Errorf("%w: delta %d", ErrBadMessage, delta)
+	}
+	return &Feedback{Stream: stream, Delta: int(delta)}, nil
+}
+
+// FeedbackBitsSaved reports how many bits one feedback message saves by
+// naming an H-bit ephemeral identifier instead of an addrBits-wide unique
+// node address — the comparison the paper's example draws.
+func FeedbackBitsSaved(space core.Space, addrBits int) int {
+	return addrBits - space.Bits()
+}
+
+func must(w *bitio.Writer, v uint64, bits int) {
+	if err := w.WriteBits(v, bits); err != nil {
+		panic(err)
+	}
+}
+
+// Sender is the transport both roles need (a node.Driver works).
+type Sender interface {
+	SendPacket(p []byte) error
+}
+
+// SourceConfig tunes a reading source.
+type SourceConfig struct {
+	// Space is the stream-identifier pool.
+	Space core.Space
+	// InitialInterval is the starting gap between readings.
+	InitialInterval time.Duration
+	// MinInterval and MaxInterval clamp adaptation.
+	MinInterval time.Duration
+	MaxInterval time.Duration
+	// EpochReadings is how many readings share one stream identifier
+	// before a fresh one is drawn (the transaction length).
+	EpochReadings int
+}
+
+func (c SourceConfig) withDefaults() SourceConfig {
+	if c.InitialInterval <= 0 {
+		c.InitialInterval = time.Second
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = 100 * time.Millisecond
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = 30 * time.Second
+	}
+	if c.EpochReadings <= 0 {
+		c.EpochReadings = 16
+	}
+	return c
+}
+
+// SourceStats counts a source's activity.
+type SourceStats struct {
+	ReadingsSent  int64
+	Epochs        int64
+	MoreReceived  int64
+	LessReceived  int64
+	ForeignIgnore int64 // feedback for identifiers this source does not own
+}
+
+// Source emits readings and adapts its rate to feedback.
+type Source struct {
+	cfg      SourceConfig
+	clock    *sim.Engine
+	sender   Sender
+	sel      core.Selector
+	sample   func() []byte
+	interval time.Duration
+
+	stream    uint64
+	remaining int
+	running   bool
+	stats     SourceStats
+}
+
+// NewSource builds a source. sample supplies each reading's value bytes.
+func NewSource(cfg SourceConfig, clock *sim.Engine, sender Sender, sel core.Selector, sample func() []byte) (*Source, error) {
+	if clock == nil || sender == nil || sel == nil || sample == nil {
+		return nil, errors.New("reinforce: nil dependency")
+	}
+	cfg = cfg.withDefaults()
+	if sel.Space() != cfg.Space {
+		return nil, errors.New("reinforce: selector space mismatch")
+	}
+	return &Source{
+		cfg:      cfg,
+		clock:    clock,
+		sender:   sender,
+		sel:      sel,
+		sample:   sample,
+		interval: cfg.InitialInterval,
+	}, nil
+}
+
+// Interval reports the current sending interval.
+func (s *Source) Interval() time.Duration { return s.interval }
+
+// Stream reports the current stream identifier.
+func (s *Source) Stream() uint64 { return s.stream }
+
+// Stats returns a snapshot of counters.
+func (s *Source) Stats() SourceStats { return s.stats }
+
+// Start begins emitting readings; Stop ends it.
+func (s *Source) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.newEpoch()
+	s.emit()
+}
+
+// Stop halts emission before the next reading.
+func (s *Source) Stop() { s.running = false }
+
+func (s *Source) newEpoch() {
+	s.stream = s.sel.Next()
+	s.remaining = s.cfg.EpochReadings
+	s.stats.Epochs++
+}
+
+func (s *Source) emit() {
+	if !s.running {
+		return
+	}
+	if s.remaining == 0 {
+		s.newEpoch()
+	}
+	s.remaining--
+	msg, _, err := EncodeReading(s.cfg.Space, Reading{Stream: s.stream, Value: s.sample()})
+	if err == nil {
+		if err := s.sender.SendPacket(msg); err == nil {
+			s.stats.ReadingsSent++
+		}
+	}
+	s.clock.Schedule(s.interval, s.emit)
+}
+
+// HandleFeedback adapts the rate if the feedback names the current stream.
+// Feedback for foreign identifiers is ignored — the source cannot know (or
+// need to know) who it was for.
+func (s *Source) HandleFeedback(f Feedback) {
+	if f.Stream != s.stream {
+		s.stats.ForeignIgnore++
+		return
+	}
+	switch f.Delta {
+	case More:
+		s.stats.MoreReceived++
+		s.interval /= 2
+		if s.interval < s.cfg.MinInterval {
+			s.interval = s.cfg.MinInterval
+		}
+	case Less:
+		s.stats.LessReceived++
+		s.interval *= 2
+		if s.interval > s.cfg.MaxInterval {
+			s.interval = s.cfg.MaxInterval
+		}
+	}
+}
+
+// OnPacket dispatches a received packet: feedback adapts the source,
+// readings are ignored (sources do not consume peer data).
+func (s *Source) OnPacket(p []byte) {
+	msg, err := Decode(s.cfg.Space, p)
+	if err != nil {
+		return
+	}
+	if f, ok := msg.(*Feedback); ok {
+		s.HandleFeedback(*f)
+	}
+}
+
+// SinkConfig tunes a feedback sink.
+type SinkConfig struct {
+	// Space is the stream-identifier pool.
+	Space core.Space
+	// FeedbackInterval spaces feedback rounds.
+	FeedbackInterval time.Duration
+	// Window is how recently a stream must have been heard to receive
+	// feedback.
+	Window time.Duration
+}
+
+func (c SinkConfig) withDefaults() SinkConfig {
+	if c.FeedbackInterval <= 0 {
+		c.FeedbackInterval = 5 * time.Second
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	return c
+}
+
+// SinkStats counts a sink's activity.
+type SinkStats struct {
+	ReadingsHeard int64
+	FeedbackSent  int64
+	FeedbackBits  int64
+}
+
+// Sink scores readings and periodically reinforces interesting streams.
+type Sink struct {
+	cfg    SinkConfig
+	clock  *sim.Engine
+	sender Sender
+	// score maps a reading to a delta: More, Less, or 0 for no feedback.
+	score func(Reading) int
+
+	heard   map[uint64]time.Duration
+	verdict map[uint64]int
+	running bool
+	stats   SinkStats
+}
+
+// NewSink builds a sink with a scoring policy.
+func NewSink(cfg SinkConfig, clock *sim.Engine, sender Sender, score func(Reading) int) (*Sink, error) {
+	if clock == nil || sender == nil || score == nil {
+		return nil, errors.New("reinforce: nil dependency")
+	}
+	return &Sink{
+		cfg:     cfg.withDefaults(),
+		clock:   clock,
+		sender:  sender,
+		score:   score,
+		heard:   make(map[uint64]time.Duration),
+		verdict: make(map[uint64]int),
+	}, nil
+}
+
+// Stats returns a snapshot of counters.
+func (k *Sink) Stats() SinkStats { return k.stats }
+
+// Start begins periodic feedback rounds; Stop ends them.
+func (k *Sink) Start() {
+	if k.running {
+		return
+	}
+	k.running = true
+	k.clock.Schedule(k.cfg.FeedbackInterval, k.round)
+}
+
+// Stop halts feedback before the next round.
+func (k *Sink) Stop() { k.running = false }
+
+// OnPacket consumes a received packet: readings are scored, feedback from
+// other sinks is ignored.
+func (k *Sink) OnPacket(p []byte) {
+	msg, err := Decode(k.cfg.Space, p)
+	if err != nil {
+		return
+	}
+	r, ok := msg.(*Reading)
+	if !ok {
+		return
+	}
+	k.stats.ReadingsHeard++
+	k.heard[r.Stream] = k.clock.Now()
+	k.verdict[r.Stream] = k.score(*r)
+}
+
+// round sends feedback for every interesting stream heard in the window.
+func (k *Sink) round() {
+	if !k.running {
+		return
+	}
+	cutoff := k.clock.Now() - k.cfg.Window
+	for stream, at := range k.heard {
+		if at < cutoff {
+			delete(k.heard, stream)
+			delete(k.verdict, stream)
+			continue
+		}
+		delta := k.verdict[stream]
+		if delta != More && delta != Less {
+			continue
+		}
+		msg, bits, err := EncodeFeedback(k.cfg.Space, Feedback{Stream: stream, Delta: delta})
+		if err != nil {
+			continue
+		}
+		if err := k.sender.SendPacket(msg); err == nil {
+			k.stats.FeedbackSent++
+			k.stats.FeedbackBits += int64(bits)
+		}
+	}
+	k.clock.Schedule(k.cfg.FeedbackInterval, k.round)
+}

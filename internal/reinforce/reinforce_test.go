@@ -1,0 +1,295 @@
+package reinforce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"retri/internal/aff"
+	"retri/internal/core"
+	"retri/internal/node"
+	"retri/internal/radio"
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+func TestReadingWireRoundTrip(t *testing.T) {
+	space := core.MustSpace(6)
+	r := Reading{Stream: 33, Value: []byte{1, 2, 3}}
+	buf, bits, err := EncodeReading(space, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits <= 0 {
+		t.Error("zero bits")
+	}
+	got, err := Decode(space, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, ok := got.(*Reading)
+	if !ok || gr.Stream != 33 || !bytes.Equal(gr.Value, r.Value) {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestFeedbackWireRoundTrip(t *testing.T) {
+	space := core.MustSpace(6)
+	for _, delta := range []int{More, Less} {
+		buf, bits, err := EncodeFeedback(space, Feedback{Stream: 4, Delta: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 1 kind + 6 id + 2 delta = 9 bits: the tiny message the paper
+		// contrasts with "Sensor #27.201.3.97, send more of your data".
+		if bits != 9 {
+			t.Errorf("feedback bits = %d, want 9", bits)
+		}
+		got, err := Decode(space, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf, ok := got.(*Feedback)
+		if !ok || gf.Stream != 4 || gf.Delta != delta {
+			t.Errorf("round trip: %+v", got)
+		}
+	}
+}
+
+func TestWireValidation(t *testing.T) {
+	space := core.MustSpace(4)
+	if _, _, err := EncodeReading(space, Reading{Stream: 16}); !errors.Is(err, ErrBadMessage) {
+		t.Error("oversize stream accepted")
+	}
+	if _, _, err := EncodeFeedback(space, Feedback{Stream: 1, Delta: 3}); !errors.Is(err, ErrBadMessage) {
+		t.Error("bad delta accepted")
+	}
+	if _, err := Decode(space, nil); !errors.Is(err, ErrBadMessage) {
+		t.Error("empty frame accepted")
+	}
+}
+
+func TestFeedbackBitsSaved(t *testing.T) {
+	if got := FeedbackBitsSaved(core.MustSpace(6), 48); got != 42 {
+		t.Errorf("FeedbackBitsSaved = %d, want 42", got)
+	}
+}
+
+// testNet builds a source node and a sink node over a real simulated radio.
+type testNet struct {
+	eng    *sim.Engine
+	source *Source
+	sink   *Sink
+}
+
+func newTestNet(t *testing.T, score func(Reading) int) *testNet {
+	t.Helper()
+	eng := sim.NewEngine()
+	src := xrand.NewSource(41).Child("reinforce", t.Name())
+	med := radio.NewMedium(eng, radio.FullMesh{}, radio.DefaultParams(), src.Stream("m"))
+	space := core.MustSpace(6)
+	affCfg := aff.Config{Space: core.MustSpace(9), MTU: 27}
+
+	mkDriver := func(id radio.NodeID) *node.AFFDriver {
+		sel := core.NewUniformSelector(affCfg.Space, src.Stream("aff", fmt.Sprint(id)))
+		d, err := node.NewAFF(med.MustAttach(id), affCfg, sel, node.AFFOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	srcDriver := mkDriver(1)
+	sinkDriver := mkDriver(2)
+
+	streamSel := core.NewUniformSelector(space, src.Stream("stream"))
+	source, err := NewSource(SourceConfig{
+		Space:           space,
+		InitialInterval: time.Second,
+		EpochReadings:   8,
+	}, eng, srcDriver, streamSel, func() []byte { return []byte{0x17} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDriver.SetPacketHandler(source.OnPacket)
+
+	sink, err := NewSink(SinkConfig{
+		Space:            space,
+		FeedbackInterval: 3 * time.Second,
+		Window:           10 * time.Second,
+	}, eng, sinkDriver, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkDriver.SetPacketHandler(sink.OnPacket)
+
+	return &testNet{eng: eng, source: source, sink: sink}
+}
+
+func TestInterestReinforcementSpeedsUpSource(t *testing.T) {
+	net := newTestNet(t, func(Reading) int { return More })
+	net.source.Start()
+	net.sink.Start()
+	net.eng.RunUntil(30 * time.Second)
+
+	if net.source.Stats().ReadingsSent == 0 {
+		t.Fatal("source sent nothing")
+	}
+	if net.sink.Stats().ReadingsHeard == 0 {
+		t.Fatal("sink heard nothing")
+	}
+	if net.sink.Stats().FeedbackSent == 0 {
+		t.Fatal("sink sent no feedback")
+	}
+	if net.source.Stats().MoreReceived == 0 {
+		t.Fatal("source received no MORE feedback")
+	}
+	if got := net.source.Interval(); got >= time.Second {
+		t.Errorf("interval = %v, want < initial 1s after MORE feedback", got)
+	}
+}
+
+func TestNegativeFeedbackSlowsSource(t *testing.T) {
+	net := newTestNet(t, func(Reading) int { return Less })
+	net.source.Start()
+	net.sink.Start()
+	net.eng.RunUntil(30 * time.Second)
+
+	if net.source.Stats().LessReceived == 0 {
+		t.Fatal("source received no LESS feedback")
+	}
+	if got := net.source.Interval(); got <= time.Second {
+		t.Errorf("interval = %v, want > initial 1s after LESS feedback", got)
+	}
+}
+
+func TestNeutralScoreSendsNoFeedback(t *testing.T) {
+	net := newTestNet(t, func(Reading) int { return 0 })
+	net.source.Start()
+	net.sink.Start()
+	net.eng.RunUntil(20 * time.Second)
+	if got := net.sink.Stats().FeedbackSent; got != 0 {
+		t.Errorf("FeedbackSent = %d, want 0 for neutral policy", got)
+	}
+}
+
+func TestIntervalClamping(t *testing.T) {
+	space := core.MustSpace(6)
+	eng := sim.NewEngine()
+	sel := core.NewUniformSelector(space, xrand.NewSource(1).Stream("s"))
+	sent := 0
+	source, err := NewSource(SourceConfig{
+		Space:           space,
+		InitialInterval: 200 * time.Millisecond,
+		MinInterval:     100 * time.Millisecond,
+		MaxInterval:     400 * time.Millisecond,
+	}, eng, senderFunc(func([]byte) error { sent++; return nil }), sel, func() []byte { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.Start()
+	id := source.Stream()
+	for i := 0; i < 10; i++ {
+		source.HandleFeedback(Feedback{Stream: id, Delta: More})
+	}
+	if source.Interval() != 100*time.Millisecond {
+		t.Errorf("interval = %v, want clamped to 100ms", source.Interval())
+	}
+	for i := 0; i < 10; i++ {
+		source.HandleFeedback(Feedback{Stream: id, Delta: Less})
+	}
+	if source.Interval() != 400*time.Millisecond {
+		t.Errorf("interval = %v, want clamped to 400ms", source.Interval())
+	}
+}
+
+func TestForeignFeedbackIgnored(t *testing.T) {
+	space := core.MustSpace(6)
+	eng := sim.NewEngine()
+	sel := core.NewUniformSelector(space, xrand.NewSource(2).Stream("s"))
+	source, err := NewSource(SourceConfig{Space: space}, eng,
+		senderFunc(func([]byte) error { return nil }), sel, func() []byte { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.Start()
+	foreign := (source.Stream() + 1) % space.Size()
+	before := source.Interval()
+	source.HandleFeedback(Feedback{Stream: foreign, Delta: More})
+	if source.Interval() != before {
+		t.Error("foreign feedback changed the interval")
+	}
+	if source.Stats().ForeignIgnore != 1 {
+		t.Errorf("ForeignIgnore = %d, want 1", source.Stats().ForeignIgnore)
+	}
+}
+
+func TestEphemeralStreamIdentifiers(t *testing.T) {
+	// Each epoch draws a fresh identifier: after several epochs the
+	// source must have used multiple distinct streams.
+	space := core.MustSpace(16)
+	eng := sim.NewEngine()
+	sel := core.NewUniformSelector(space, xrand.NewSource(3).Stream("s"))
+	streams := make(map[uint64]bool)
+	source, err := NewSource(SourceConfig{
+		Space:           space,
+		InitialInterval: time.Second,
+		EpochReadings:   4,
+	}, eng, senderFunc(func([]byte) error { return nil }), sel, func() []byte { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.Start()
+	for i := 0; i < 40; i++ {
+		streams[source.Stream()] = true
+		eng.RunFor(time.Second)
+	}
+	if len(streams) < 5 {
+		t.Errorf("saw %d distinct stream ids over 10 epochs, want several", len(streams))
+	}
+	if source.Stats().Epochs < 10 {
+		t.Errorf("Epochs = %d, want >= 10", source.Stats().Epochs)
+	}
+}
+
+func TestSourceStop(t *testing.T) {
+	space := core.MustSpace(6)
+	eng := sim.NewEngine()
+	sel := core.NewUniformSelector(space, xrand.NewSource(4).Stream("s"))
+	sent := 0
+	source, err := NewSource(SourceConfig{Space: space, InitialInterval: time.Second}, eng,
+		senderFunc(func([]byte) error { sent++; return nil }), sel, func() []byte { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.Start()
+	eng.RunUntil(3500 * time.Millisecond)
+	source.Stop()
+	at := sent
+	eng.RunUntil(10 * time.Second)
+	if sent != at {
+		t.Errorf("readings after Stop: %d -> %d", at, sent)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	space := core.MustSpace(6)
+	eng := sim.NewEngine()
+	sel := core.NewUniformSelector(space, xrand.NewSource(5).Stream("s"))
+	ok := senderFunc(func([]byte) error { return nil })
+	if _, err := NewSource(SourceConfig{Space: space}, nil, ok, sel, func() []byte { return nil }); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewSource(SourceConfig{Space: core.MustSpace(7)}, eng, ok, sel, func() []byte { return nil }); err == nil {
+		t.Error("space mismatch accepted")
+	}
+	if _, err := NewSink(SinkConfig{Space: space}, eng, nil, func(Reading) int { return 0 }); err == nil {
+		t.Error("nil sender accepted")
+	}
+}
+
+// senderFunc adapts a function to the Sender interface.
+type senderFunc func(p []byte) error
+
+func (f senderFunc) SendPacket(p []byte) error { return f(p) }

@@ -1,0 +1,187 @@
+// Package sim implements a deterministic, single-threaded discrete-event
+// simulation engine.
+//
+// The engine replaces the paper's physical testbed clock: radios, MAC
+// backoffs, reassembly timeouts and workload generators all schedule
+// callbacks on one virtual timeline. Events at equal timestamps fire in
+// scheduling order, so a run is a pure function of its inputs and random
+// seeds. The engine is not safe for concurrent use; the whole simulation is
+// intentionally one goroutine (see DESIGN.md, "Determinism").
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a discrete-event scheduler with a virtual clock.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	nRun   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending reports the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed reports the total number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.nRun }
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. Cancel reports whether the event was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Stopped reports whether the timer has fired or been cancelled.
+func (t *Timer) Stopped() bool {
+	return t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired
+}
+
+// When returns the virtual time the event is (or was) scheduled for.
+func (t *Timer) When() time.Duration {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Schedule runs fn after delay d of virtual time. A non-positive delay
+// schedules fn at the current time, after all events already scheduled for
+// that instant. The returned Timer may be used to cancel.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now+d, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Times in the past are
+// clamped to the present.
+func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.nRun++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled for later remain pending.
+func (e *Engine) RunUntil(t time.Duration) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor executes events for a span d of virtual time from now.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now + d)
+}
+
+// peek returns the earliest uncancelled event without executing it.
+func (e *Engine) peek() *event {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// eventHeap orders by (time, insertion sequence) so simultaneous events run
+// in the order they were scheduled — the determinism guarantee.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

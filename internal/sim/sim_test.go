@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []time.Duration
+	e.Schedule(time.Second, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(time.Second, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != time.Second || hits[1] != 2*time.Second {
+		t.Errorf("hits = %v, want [1s 2s]", hits)
+	}
+}
+
+func TestScheduleZeroAndNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Run()
+
+	fired := false
+	e.Schedule(-5*time.Second, func() {
+		fired = true
+		if e.Now() != time.Second {
+			t.Errorf("negative delay fired at %v, want clamp to 1s", e.Now())
+		}
+	})
+	e.Run()
+	if !fired {
+		t.Error("negative-delay event never fired")
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Minute, func() {})
+	e.Run()
+	var at time.Duration
+	e.ScheduleAt(time.Second, func() { at = e.Now() })
+	e.Run()
+	if at != time.Minute {
+		t.Errorf("past ScheduleAt fired at %v, want clamped to 1m", at)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if tm.Stopped() {
+		t.Error("fresh timer reports Stopped")
+	}
+	if !tm.Cancel() {
+		t.Error("first Cancel returned false")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	if !tm.Stopped() {
+		t.Error("cancelled timer does not report Stopped")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(time.Second, func() {})
+	e.Run()
+	if tm.Cancel() {
+		t.Error("Cancel after fire returned true")
+	}
+	if !tm.Stopped() {
+		t.Error("fired timer does not report Stopped")
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(42*time.Millisecond, func() {})
+	if tm.When() != 42*time.Millisecond {
+		t.Errorf("When() = %v, want 42ms", tm.When())
+	}
+	var nilTimer *Timer
+	if nilTimer.When() != 0 || !nilTimer.Stopped() || nilTimer.Cancel() {
+		t.Error("nil Timer methods misbehave")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	e.Schedule(2*time.Second, func() { fired = append(fired, 2) })
+	e.Schedule(3*time.Second, func() { fired = append(fired, 3) })
+	e.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want events 1 and 2", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Errorf("after Run, fired = %v, want all three", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(5 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now() = %v, want 5s with empty queue", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(time.Second)
+	fired := false
+	e.Schedule(500*time.Millisecond, func() { fired = true })
+	e.RunFor(time.Second)
+	if !fired {
+		t.Error("event within RunFor window did not fire")
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s", e.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty engine returned true")
+	}
+	e.Schedule(0, func() {})
+	if !e.Step() {
+		t.Error("Step with pending event returned false")
+	}
+	if e.Processed() != 1 {
+		t.Errorf("Processed() = %d, want 1", e.Processed())
+	}
+}
+
+func TestPendingSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(time.Second, func() {})
+	e.Schedule(time.Second, func() {})
+	tm.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+// TestClockMonotonicProperty: under random scheduling, observed event times
+// never decrease and never precede their scheduling time.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		e := NewEngine()
+		ok := true
+		last := time.Duration(0)
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			n := rng.IntN(5) + 1
+			for i := 0; i < n; i++ {
+				d := time.Duration(rng.IntN(1000)) * time.Millisecond
+				earliest := e.Now() + d
+				e.Schedule(d, func() {
+					if e.Now() < earliest || e.Now() < last {
+						ok = false
+					}
+					last = e.Now()
+					schedule(depth + 1)
+				})
+			}
+		}
+		schedule(0)
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism: two identical runs process identical event counts and
+// finish at identical times.
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, time.Duration) {
+		rng := rand.New(rand.NewPCG(7, 7))
+		e := NewEngine()
+		var rec func()
+		count := 0
+		rec = func() {
+			count++
+			if count < 200 {
+				e.Schedule(time.Duration(rng.IntN(100))*time.Millisecond, rec)
+			}
+		}
+		e.Schedule(0, rec)
+		e.Run()
+		return e.Processed(), e.Now()
+	}
+	n1, t1 := run()
+	n2, t2 := run()
+	if n1 != n2 || t1 != t2 {
+		t.Errorf("runs diverged: (%d, %v) vs (%d, %v)", n1, t1, n2, t2)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 100; j++ {
+			e.Schedule(time.Duration(j)*time.Millisecond, func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,167 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming accumulators (Welford), summaries with
+// standard deviations (the paper's Figure 4 error bars are ±1 stddev over
+// ten trials), and keyed series for building figure data.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes count, mean and variance in one streaming pass using
+// Welford's algorithm. The zero value is an empty accumulator.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N reports the number of samples.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean, or NaN when empty.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// Variance reports the unbiased sample variance (n-1 denominator), or NaN
+// with fewer than two samples.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev reports the sample standard deviation, or NaN with fewer than two
+// samples.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min reports the smallest sample, or NaN when empty.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max reports the largest sample, or NaN when empty.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// Summary is a frozen view of an accumulator.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summary freezes the accumulator's current state. StdDev is 0 for a single
+// sample (so single-trial experiments render without NaNs).
+func (a *Accumulator) Summary() Summary {
+	sd := a.StdDev()
+	if a.n == 1 {
+		sd = 0
+	}
+	return Summary{N: a.n, Mean: a.Mean(), StdDev: sd, Min: a.Min(), Max: a.Max()}
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval around the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± stddev (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (n=%d)", s.Mean, s.StdDev, s.N)
+}
+
+// Series accumulates samples keyed by a float64 x-coordinate; each distinct
+// x gets its own Accumulator. It is the backing store for one curve of a
+// figure (e.g. collision rate vs identifier bits).
+type Series struct {
+	Name string
+	byX  map[float64]*Accumulator
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, byX: make(map[float64]*Accumulator)}
+}
+
+// Add folds y into the accumulator for x.
+func (s *Series) Add(x, y float64) {
+	acc, ok := s.byX[x]
+	if !ok {
+		acc = &Accumulator{}
+		s.byX[x] = acc
+	}
+	acc.Add(y)
+}
+
+// Point is one (x, summary) pair of a series.
+type Point struct {
+	X float64
+	Y Summary
+}
+
+// Points returns the series contents sorted by x.
+func (s *Series) Points() []Point {
+	xs := make([]float64, 0, len(s.byX))
+	for x := range s.byX {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, Y: s.byX[x].Summary()}
+	}
+	return pts
+}
+
+// At returns the summary at x and whether any sample exists there.
+func (s *Series) At(x float64) (Summary, bool) {
+	acc, ok := s.byX[x]
+	if !ok {
+		return Summary{}, false
+	}
+	return acc.Summary(), true
+}
+
+// Len reports the number of distinct x values.
+func (s *Series) Len() int { return len(s.byX) }

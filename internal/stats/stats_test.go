@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= eps
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 {
+		t.Errorf("N() = %d, want 0", a.N())
+	}
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Variance()) || !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Error("empty accumulator should report NaN statistics")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Errorf("single sample: mean=%v min=%v max=%v", a.Mean(), a.Min(), a.Max())
+	}
+	if !math.IsNaN(a.Variance()) {
+		t.Errorf("single-sample variance = %v, want NaN", a.Variance())
+	}
+	s := a.Summary()
+	if s.StdDev != 0 {
+		t.Errorf("single-sample Summary stddev = %v, want 0", s.StdDev)
+	}
+}
+
+func TestAccumulatorKnownValues(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if !almost(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+}
+
+// TestWelfordMatchesNaive compares the streaming computation against the
+// two-pass textbook formulas on random data.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		m := int(n%100) + 2
+		xs := make([]float64, m)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			a.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(m)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(m-1)
+		return almost(a.Mean(), mean, 1e-9) && almost(a.Variance(), variance, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryCI95(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 4; i++ {
+		a.Add(float64(i)) // 0,1,2,3: mean 1.5, sample sd = sqrt(5/3)
+	}
+	s := a.Summary()
+	want := 1.96 * math.Sqrt(5.0/3.0) / 2
+	if !almost(s.CI95(), want, 1e-12) {
+		t.Errorf("CI95 = %v, want %v", s.CI95(), want)
+	}
+	if (Summary{N: 1}).CI95() != 0 {
+		t.Error("CI95 with n=1 should be 0")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(3)
+	got := a.Summary().String()
+	if !strings.Contains(got, "2") || !strings.Contains(got, "n=2") {
+		t.Errorf("Summary.String() = %q, want mean 2 and n=2 present", got)
+	}
+}
+
+func TestSeriesPointsSorted(t *testing.T) {
+	s := NewSeries("collisions")
+	s.Add(9, 0.5)
+	s.Add(3, 0.9)
+	s.Add(6, 0.7)
+	s.Add(3, 0.8)
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("len(Points) = %d, want 3", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X >= pts[i].X {
+			t.Errorf("points not sorted: %v before %v", pts[i-1].X, pts[i].X)
+		}
+	}
+	if pts[0].Y.N != 2 {
+		t.Errorf("x=3 sample count = %d, want 2", pts[0].Y.N)
+	}
+	if !almost(pts[0].Y.Mean, 0.85, 1e-12) {
+		t.Errorf("x=3 mean = %v, want 0.85", pts[0].Y.Mean)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(1, 2)
+	if _, ok := s.At(7); ok {
+		t.Error("At(7) reported a sample where none exists")
+	}
+	got, ok := s.At(1)
+	if !ok || got.Mean != 2 {
+		t.Errorf("At(1) = %+v, %v; want mean 2, true", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", s.Len())
+	}
+}
+
+func TestSeriesName(t *testing.T) {
+	if got := NewSeries("model T=5").Name; got != "model T=5" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,104 @@
+// Package retri is a library implementation of Random, Ephemeral
+// TRansaction Identifiers (RETRI) and Address-Free Fragmentation (AFF),
+// reproducing Elson & Estrin, "Random, Ephemeral Transaction Identifiers
+// in Dynamic Sensor Networks" (ICDCS 2001).
+//
+// The core idea: wherever a protocol needs a guaranteed-unique identifier,
+// draw a short, probabilistically unique identifier instead, fresh for
+// each transaction. Collisions become ordinary loss; identifier size then
+// scales with the network's transaction density T rather than its total
+// size.
+//
+// The package re-exports three layers:
+//
+//   - The analytic model (Section 4): EStatic, PSuccess, EAFF,
+//     OptimalIdentifierBits.
+//   - The RETRI core: identifier Spaces and Selectors (uniform, listening,
+//     sequential).
+//   - A simulated sensor network running the AFF fragmentation service
+//     over a broadcast radio (Section 5's testbed, in software): see
+//     Network.
+//
+// # Quick start
+//
+//	net := retri.NewNetwork(retri.WithSeed(42))
+//	a, _ := net.AddNode(1)
+//	b, _ := net.AddNode(2)
+//	b.OnPacket(func(p []byte) { fmt.Printf("got %d bytes\n", len(p)) })
+//	a.Send([]byte("hello over 27-byte frames"))
+//	net.Run()
+package retri
+
+import (
+	"retri/internal/core"
+	"retri/internal/model"
+)
+
+// Space is an identifier pool of 2^Bits values.
+type Space = core.Space
+
+// Selector chooses the identifier for each new transaction.
+type Selector = core.Selector
+
+// Selector implementations.
+type (
+	// UniformSelector draws identifiers uniformly at random — the case
+	// analysed by the paper's Equation 4.
+	UniformSelector = core.UniformSelector
+	// ListeningSelector avoids identifiers heard within the adaptive 2T
+	// window (Section 3.2's listening heuristic).
+	ListeningSelector = core.ListeningSelector
+	// SequentialSelector cycles deterministically; an ablation control,
+	// not a recommended configuration.
+	SequentialSelector = core.SequentialSelector
+)
+
+// NewSpace validates bits (1..32) and returns the identifier space.
+func NewSpace(bits int) (Space, error) { return core.NewSpace(bits) }
+
+// MustSpace is NewSpace for compile-time-constant widths; it panics on an
+// invalid width.
+func MustSpace(bits int) Space { return core.MustSpace(bits) }
+
+// EStatic is the paper's Equation 2: efficiency of static allocation,
+// D/(D+H) for D data bits behind an H-bit header.
+func EStatic(dataBits, headerBits int) float64 {
+	return model.EStatic(dataBits, headerBits)
+}
+
+// PSuccess is Equation 4: the probability a transaction's uniformly drawn
+// H-bit identifier survives a transaction density of t.
+func PSuccess(headerBits int, t float64) float64 {
+	return model.PSuccess(headerBits, t)
+}
+
+// CollisionRate is 1 - PSuccess.
+func CollisionRate(headerBits int, t float64) float64 {
+	return model.CollisionRate(headerBits, t)
+}
+
+// EAFF is Equation 3: expected AFF efficiency at data size D, identifier
+// width H and transaction density t.
+func EAFF(dataBits, headerBits int, t float64) float64 {
+	return model.EAFF(dataBits, headerBits, t)
+}
+
+// OptimalIdentifierBits searches H in [1, maxBits] for the width
+// maximizing EAFF — the peak of the paper's Figure 1 curves.
+func OptimalIdentifierBits(dataBits int, t float64, maxBits int) (bits int, efficiency float64) {
+	return model.OptimalBits(dataBits, t, maxBits)
+}
+
+// PSuccessPoisson extends Equation 4 to non-uniform transaction lengths
+// (the paper's Section 8 future work): Poisson arrivals at density t with
+// exponentially distributed durations.
+func PSuccessPoisson(headerBits int, t float64) float64 {
+	return model.PSuccessPoisson(headerBits, t)
+}
+
+// PSuccessListening is a first-order model of the Section 3.2 listening
+// heuristic: a window of w recently heard identifiers is avoided outright,
+// leaving only later arrivals drawing from the reduced pool.
+func PSuccessListening(headerBits int, t float64, window int) float64 {
+	return model.PSuccessListening(headerBits, t, window)
+}

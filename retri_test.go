@@ -1,0 +1,226 @@
+package retri
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestModelReexports(t *testing.T) {
+	if got := EStatic(16, 16); got != 0.5 {
+		t.Errorf("EStatic(16,16) = %v, want 0.5", got)
+	}
+	if got := PSuccess(9, 1); got != 1 {
+		t.Errorf("PSuccess(9, T=1) = %v, want 1", got)
+	}
+	if got := CollisionRate(9, 1); got != 0 {
+		t.Errorf("CollisionRate(9, T=1) = %v, want 0", got)
+	}
+	bits, e := OptimalIdentifierBits(16, 16, 32)
+	if bits != 9 {
+		t.Errorf("OptimalIdentifierBits = %d, want 9", bits)
+	}
+	if math.Abs(EAFF(16, 9, 16)-e) > 1e-12 {
+		t.Error("EAFF at the optimum disagrees with OptimalIdentifierBits")
+	}
+}
+
+func TestSpaceReexports(t *testing.T) {
+	s, err := NewSpace(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 512 {
+		t.Errorf("Size = %d", s.Size())
+	}
+	if _, err := NewSpace(0); err == nil {
+		t.Error("NewSpace(0) accepted")
+	}
+	if MustSpace(4).Bits() != 4 {
+		t.Error("MustSpace broken")
+	}
+}
+
+func TestNetworkQuickstart(t *testing.T) {
+	net := NewNetwork(WithSeed(42))
+	a, err := net.AddNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	b.OnPacket(func(p []byte) { got = append([]byte{}, p...) })
+
+	msg := []byte("hello over 27-byte frames")
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("received %q, want %q", got, msg)
+	}
+	if a.Sent() != 1 || b.Delivered() != 1 {
+		t.Error("counters wrong")
+	}
+	if a.ID() != 1 || b.ID() != 2 {
+		t.Error("IDs wrong")
+	}
+	if net.Counters().Sent == 0 {
+		t.Error("no frames counted")
+	}
+	if b.Energy().RxBits == 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestNetworkOptions(t *testing.T) {
+	p := DefaultRadioParams()
+	p.MTU = 64
+	net := NewNetwork(
+		WithSeed(7),
+		WithIdentifierBits(12),
+		WithListening(),
+		WithRadioParams(p),
+		WithReassemblyTimeout(time.Second),
+	)
+	a, err := net.AddNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	b.OnPacket(func([]byte) { delivered++ })
+	if err := a.Send(make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestNetworkUnitDiskTopology(t *testing.T) {
+	disk := NewUnitDisk(10)
+	disk.Place(1, Point{X: 0, Y: 0})
+	disk.Place(2, Point{X: 5, Y: 0})
+	disk.Place(3, Point{X: 100, Y: 0})
+
+	net := NewNetwork(WithSeed(9), WithTopology(disk))
+	a, err := net.AddNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.AddNode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bGot, cGot int
+	b.OnPacket(func([]byte) { bGot++ })
+	c.OnPacket(func([]byte) { cGot++ })
+	if err := a.Send([]byte("local only")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if bGot != 1 || cGot != 0 {
+		t.Errorf("b=%d c=%d, want 1, 0 (spatial locality)", bGot, cGot)
+	}
+}
+
+func TestNetworkDuplicateNode(t *testing.T) {
+	net := NewNetwork()
+	if _, err := net.AddNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddNode(1); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestNetworkScheduleAndClock(t *testing.T) {
+	net := NewNetwork()
+	fired := false
+	net.Schedule(time.Second, func() { fired = true })
+	net.RunFor(2 * time.Second)
+	if !fired {
+		t.Error("scheduled function did not fire")
+	}
+	if net.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s", net.Now())
+	}
+}
+
+func TestNodeChurn(t *testing.T) {
+	net := NewNetwork(WithSeed(5))
+	a, err := net.AddNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	b.OnPacket(func([]byte) { got++ })
+	b.SetUp(false)
+	if err := a.Send([]byte("to nobody")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if got != 0 {
+		t.Error("down node received a packet")
+	}
+	b.SetUp(true)
+	if err := a.Send([]byte("to somebody")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if got != 1 {
+		t.Errorf("delivered = %d after power-on, want 1", got)
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() (int64, time.Duration) {
+		net := NewNetwork(WithSeed(1234), WithIdentifierBits(4))
+		var nodes []*Node
+		for i := 1; i <= 5; i++ {
+			nd, err := net.AddNode(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, nd)
+		}
+		sink, err := net.AddNode(99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var delivered int64
+		sink.OnPacket(func([]byte) { delivered++ })
+		for round := 0; round < 10; round++ {
+			for _, nd := range nodes {
+				if err := nd.Send(bytes.Repeat([]byte{byte(round)}, 60)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			net.Run()
+		}
+		return delivered, net.Now()
+	}
+	d1, t1 := run()
+	d2, t2 := run()
+	if d1 != d2 || t1 != t2 {
+		t.Errorf("runs diverged: (%d, %v) vs (%d, %v)", d1, t1, d2, t2)
+	}
+}
