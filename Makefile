@@ -1,0 +1,24 @@
+# Standard verify loop. `make check` is what CI and pre-commit should run:
+# vet + build + the full test suite under the race detector, so the
+# parallel trial runner's no-shared-state rule is checked on every pass.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -6,6 +6,7 @@
 package retri
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -67,6 +68,43 @@ func BenchmarkFigure4(b *testing.B) {
 		}
 		if res.TruthDelivered == 0 {
 			b.Fatal("no packets delivered")
+		}
+	}
+}
+
+// benchFigure4SweepConfig is the 10-trial sweep used to compare the
+// sequential and parallel runners: one identifier width, one selector, so
+// the wall-clock ratio isolates trial-level parallelism.
+func benchFigure4SweepConfig() experiment.Figure4Config {
+	cfg := experiment.DefaultFigure4Config()
+	cfg.Trials = 10
+	cfg.Duration = 5 * time.Second
+	cfg.IDBits = []int{6}
+	cfg.Selectors = []experiment.SelectorKind{experiment.SelUniform}
+	return cfg
+}
+
+// BenchmarkFigure4Sequential runs the 10-trial sweep on one goroutine —
+// the baseline for BenchmarkFigure4Parallel.
+func BenchmarkFigure4Sequential(b *testing.B) {
+	cfg := benchFigure4SweepConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Parallel runs the same sweep with trials fanned across
+// all CPUs. On an n-core machine (n >= 2) wall clock should approach the
+// sequential time divided by min(n, trials); outputs are byte-identical
+// either way (TestFigure4ParallelByteIdentical).
+func BenchmarkFigure4Parallel(b *testing.B) {
+	cfg := benchFigure4SweepConfig()
+	cfg.Parallelism = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure4(cfg); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

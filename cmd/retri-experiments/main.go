@@ -6,6 +6,7 @@
 //
 //	retri-experiments -figure all
 //	retri-experiments -figure 4 -trials 10 -duration 2m
+//	retri-experiments -figure 4 -parallel 0      # trials across all CPUs
 //	retri-experiments -ablation mac
 //	retri-experiments -ablation all -quick
 package main
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"retri/internal/energy"
@@ -27,34 +29,72 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// options is the parsed, validated command line.
+type options struct {
+	figure   string
+	ablation string
+	trials   int
+	duration time.Duration
+	seed     uint64
+	quick    bool
+	format   string
+	parallel int
+}
+
+// parseArgs parses and validates flags. Quick-mode defaults apply only to
+// flags the user did not set explicitly (fs.Visit covers exactly the set
+// flags), so `-quick -trials 5` keeps the user's 5 trials.
+func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("retri-experiments", flag.ContinueOnError)
-	var (
-		figure   = fs.String("figure", "", "figure to regenerate: 1, 2, 3, 4, scaling or all")
-		ablation = fs.String("ablation", "", "ablation to run: window, hidden, mac, lengths, flood, estimator, lifetime, churn or all")
-		trials   = fs.Int("trials", 10, "trials per configuration (figure 4 and ablations)")
-		duration = fs.Duration("duration", 2*time.Minute, "simulated time per trial")
-		seed     = fs.Uint64("seed", 1, "master random seed")
-		quick    = fs.Bool("quick", false, "shrink trials/duration for a fast pass")
-		format   = fs.String("format", "table", "output format for figures: table or csv")
-	)
+	var o options
+	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling or all")
+	fs.StringVar(&o.ablation, "ablation", "", "ablation to run: window, hidden, mac, lengths, flood, estimator, lifetime, churn or all")
+	fs.IntVar(&o.trials, "trials", 10, "trials per configuration (figure 4 and ablations)")
+	fs.DurationVar(&o.duration, "duration", 2*time.Minute, "simulated time per trial")
+	fs.Uint64Var(&o.seed, "seed", 1, "master random seed")
+	fs.BoolVar(&o.quick, "quick", false, "shrink trials/duration for a fast pass")
+	fs.StringVar(&o.format, "format", "table", "output format for figures: table or csv")
+	fs.IntVar(&o.parallel, "parallel", 1, "concurrent trials per experiment; 0 uses all CPUs, 1 is sequential")
 	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	switch o.format {
+	case "table", "csv":
+	default:
+		return options{}, fmt.Errorf("invalid -format %q: accepted values are table, csv", o.format)
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if o.quick {
+		if !set["trials"] {
+			o.trials = 3
+		}
+		if !set["duration"] {
+			o.duration = 20 * time.Second
+		}
+	}
+	if o.parallel <= 0 {
+		o.parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.figure == "" && o.ablation == "" {
+		o.figure, o.ablation = "all", "all"
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseArgs(args)
+	if err != nil {
 		return err
-	}
-	if *figure == "" && *ablation == "" {
-		*figure, *ablation = "all", "all"
-	}
-	if *quick {
-		*trials = 3
-		*duration = 20 * time.Second
 	}
 
 	base := experiment.DefaultFigure4Config()
-	base.Seed = *seed
-	base.Trials = *trials
-	base.Duration = *duration
+	base.Seed = o.seed
+	base.Trials = o.trials
+	base.Duration = o.duration
+	base.Parallelism = o.parallel
 
-	useCSV := *format == "csv"
+	useCSV := o.format == "csv"
 	figures := map[string]func() error{
 		"1": func() error { return printEfficiencyFigure(1, useCSV) },
 		"2": func() error { return printEfficiencyFigure(2, useCSV) },
@@ -83,8 +123,9 @@ func run(args []string) error {
 		},
 		"scaling": func() error {
 			cfg := experiment.DefaultScalingConfig()
-			cfg.Seed = *seed
-			if *quick {
+			cfg.Seed = o.seed
+			cfg.Parallelism = o.parallel
+			if o.quick {
 				cfg.GridSizes = []int{3, 6}
 				cfg.Duration = 20 * time.Second
 				cfg.Trials = 2
@@ -120,8 +161,9 @@ func run(args []string) error {
 		},
 		"mac": func() error {
 			cfg := experiment.DefaultEfficiencyConfig(experiment.Scheme{})
-			cfg.Seed = *seed
-			cfg.Duration = *duration
+			cfg.Seed = o.seed
+			cfg.Duration = o.duration
+			cfg.Parallelism = o.parallel
 			cfg.PacketSize = 2 // few-bit sensor messages (Section 4.4's regime)
 			res, err := experiment.AblationMACOverhead(cfg,
 				[]experiment.Scheme{
@@ -148,8 +190,9 @@ func run(args []string) error {
 		},
 		"flood": func() error {
 			cfg := experiment.DefaultFloodConfig()
-			cfg.Seed = *seed
-			if *quick {
+			cfg.Seed = o.seed
+			cfg.Parallelism = o.parallel
+			if o.quick {
 				cfg.Grid = 4
 				cfg.Duration = 20 * time.Second
 				cfg.Trials = 2
@@ -172,8 +215,9 @@ func run(args []string) error {
 			return nil
 		},
 		"lifetime": func() error {
-			cfg := experiment.DefaultLifetimeConfig(*seed)
-			if *quick {
+			cfg := experiment.DefaultLifetimeConfig(o.seed)
+			cfg.Parallelism = o.parallel
+			if o.quick {
 				cfg.Duration = 15 * time.Second
 			}
 			res, err := experiment.RunLifetime(cfg, experiment.DefaultLifetimeSchemes())
@@ -186,8 +230,9 @@ func run(args []string) error {
 		},
 		"churn": func() error {
 			cfg := experiment.DefaultChurnConfig()
-			cfg.Seed = *seed
-			if *quick {
+			cfg.Seed = o.seed
+			cfg.Parallelism = o.parallel
+			if o.quick {
 				cfg.Duration = time.Minute
 			}
 			res, err := experiment.AblationDynAddrChurn(cfg,
@@ -220,10 +265,10 @@ func run(args []string) error {
 		return fn()
 	}
 
-	if err := runSet(*figure, figures, []string{"1", "2", "3", "4", "scaling"}); err != nil {
+	if err := runSet(o.figure, figures, []string{"1", "2", "3", "4", "scaling"}); err != nil {
 		return err
 	}
-	return runSet(*ablation, ablations, []string{"window", "hidden", "mac", "lengths", "flood", "estimator", "lifetime", "churn"})
+	return runSet(o.ablation, ablations, []string{"window", "hidden", "mac", "lengths", "flood", "estimator", "lifetime", "churn"})
 }
 
 func printEfficiencyFigure(n int, useCSV bool) error {

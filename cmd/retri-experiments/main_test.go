@@ -1,6 +1,88 @@
 package main
 
-import "testing"
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseQuickRespectsExplicitFlags(t *testing.T) {
+	// -quick alone applies the fast-pass defaults.
+	o, err := parseArgs([]string{"-quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.trials != 3 || o.duration != 20*time.Second {
+		t.Errorf("quick defaults = (%d, %v), want (3, 20s)", o.trials, o.duration)
+	}
+	// Explicit -trials and -duration must survive -quick in either flag
+	// order.
+	for _, args := range [][]string{
+		{"-quick", "-trials", "7", "-duration", "45s"},
+		{"-trials", "7", "-duration", "45s", "-quick"},
+	} {
+		o, err = parseArgs(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.trials != 7 {
+			t.Errorf("%v: trials = %d, want user's 7", args, o.trials)
+		}
+		if o.duration != 45*time.Second {
+			t.Errorf("%v: duration = %v, want user's 45s", args, o.duration)
+		}
+	}
+	// One explicit flag still lets quick shrink the other.
+	o, err = parseArgs([]string{"-quick", "-trials", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.trials != 7 || o.duration != 20*time.Second {
+		t.Errorf("partial override = (%d, %v), want (7, 20s)", o.trials, o.duration)
+	}
+}
+
+func TestParseFormatValidated(t *testing.T) {
+	for _, ok := range []string{"table", "csv"} {
+		if _, err := parseArgs([]string{"-format", ok}); err != nil {
+			t.Errorf("-format %s rejected: %v", ok, err)
+		}
+	}
+	_, err := parseArgs([]string{"-format", "cvs"})
+	if err == nil {
+		t.Fatal("typo'd -format cvs accepted")
+	}
+	for _, want := range []string{"cvs", "table", "csv"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("format error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestParseParallel(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.parallel != 1 {
+		t.Errorf("default parallel = %d, want sequential 1", o.parallel)
+	}
+	o, err = parseArgs([]string{"-parallel", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.parallel != runtime.GOMAXPROCS(0) {
+		t.Errorf("-parallel 0 resolved to %d, want GOMAXPROCS %d", o.parallel, runtime.GOMAXPROCS(0))
+	}
+	o, err = parseArgs([]string{"-parallel", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.parallel != 4 {
+		t.Errorf("-parallel 4 resolved to %d", o.parallel)
+	}
+}
 
 func TestRunAnalyticFigures(t *testing.T) {
 	for _, fig := range []string{"1", "2", "3"} {

@@ -10,6 +10,7 @@ import (
 	"retri/internal/energy"
 	"retri/internal/model"
 	"retri/internal/radio"
+	"retri/internal/runner"
 	"retri/internal/stats"
 	"retri/internal/xrand"
 )
@@ -32,27 +33,37 @@ type WindowAblationResult struct {
 func AblationListeningWindow(cfg Figure4Config, idBits int, windows []int) (WindowAblationResult, error) {
 	res := WindowAblationResult{Config: cfg, Windows: windows, Series: stats.NewSeries("window")}
 	src := xrand.NewSource(cfg.Seed).Child("ablation-window")
+	type job struct {
+		cfg      Figure4Config
+		adaptive bool
+		window   int
+		src      *xrand.Source
+	}
+	jobs := make([]job, 0, (len(windows)+1)*cfg.Trials)
 	for _, w := range windows {
 		run := cfg
 		run.FixedWindow = w
 		for trial := 0; trial < cfg.Trials; trial++ {
-			out, err := RunCollisionTrial(run, SelListening, idBits,
-				src.Child(fmt.Sprint(w), fmt.Sprint(trial)))
-			if err != nil {
-				return WindowAblationResult{}, err
-			}
-			res.Series.Add(float64(w), out.CollisionRate)
+			jobs = append(jobs, job{run, false, w, src.Child(fmt.Sprint(w), fmt.Sprint(trial))})
 		}
 	}
 	// Adaptive baseline.
-	var acc stats.Accumulator
 	for trial := 0; trial < cfg.Trials; trial++ {
-		out, err := RunCollisionTrial(cfg, SelListening, idBits,
-			src.Child("adaptive", fmt.Sprint(trial)))
-		if err != nil {
-			return WindowAblationResult{}, err
+		jobs = append(jobs, job{cfg, true, 0, src.Child("adaptive", fmt.Sprint(trial))})
+	}
+	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+		return RunCollisionTrial(jobs[i].cfg, SelListening, idBits, jobs[i].src)
+	})
+	if err != nil {
+		return WindowAblationResult{}, err
+	}
+	var acc stats.Accumulator
+	for i, out := range outs {
+		if jobs[i].adaptive {
+			acc.Add(out.CollisionRate)
+		} else {
+			res.Series.Add(float64(jobs[i].window), out.CollisionRate)
 		}
-		acc.Add(out.CollisionRate)
 	}
 	res.Adaptive = acc.Summary()
 	return res, nil
@@ -159,20 +170,34 @@ func AblationHiddenTerminal(cfg Figure4Config, idBits int, kinds []SelectorKind)
 		{"shadowed", ShadowedClusterTopology, res.Shadowed},
 		{"hidden", HiddenStarTopology, res.Hidden},
 	}
+	type job struct {
+		cfg  Figure4Config
+		kind SelectorKind
+		dst  map[SelectorKind]stats.Summary
+		src  *xrand.Source
+	}
+	jobs := make([]job, 0, len(kinds)*len(topologies)*cfg.Trials)
 	for _, kind := range kinds {
 		for _, tc := range topologies {
-			var acc stats.Accumulator
+			run := cfg
+			run.Topology = tc.topo
 			for trial := 0; trial < cfg.Trials; trial++ {
-				run := cfg
-				run.Topology = tc.topo
-				out, err := RunCollisionTrial(run, kind, idBits,
-					src.Child(tc.name, string(kind), fmt.Sprint(trial)))
-				if err != nil {
-					return HiddenTerminalResult{}, err
-				}
-				acc.Add(out.CollisionRate)
+				jobs = append(jobs, job{run, kind, tc.dst, src.Child(tc.name, string(kind), fmt.Sprint(trial))})
 			}
-			tc.dst[kind] = acc.Summary()
+		}
+	}
+	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+		return RunCollisionTrial(jobs[i].cfg, jobs[i].kind, idBits, jobs[i].src)
+	})
+	if err != nil {
+		return HiddenTerminalResult{}, err
+	}
+	var acc stats.Accumulator
+	for i, out := range outs {
+		acc.Add(out.CollisionRate)
+		if (i+1)%cfg.Trials == 0 {
+			jobs[i].dst[jobs[i].kind] = acc.Summary()
+			acc = stats.Accumulator{}
 		}
 	}
 	return res, nil
@@ -223,18 +248,30 @@ func AblationMACOverhead(base EfficiencyConfig, schemes []Scheme, profiles []ene
 		E:        make(map[string]map[string]float64, len(profiles)),
 	}
 	src := xrand.NewSource(base.Seed).Child("ablation-mac")
+	type job struct {
+		cfg     EfficiencyConfig
+		profile string
+		scheme  string
+		src     *xrand.Source
+	}
+	jobs := make([]job, 0, len(profiles)*len(schemes))
 	for _, p := range profiles {
 		res.E[p.Name] = make(map[string]float64, len(schemes))
 		for _, s := range schemes {
 			cfg := base
 			cfg.Scheme = s
 			cfg.MAC = p
-			out, err := RunEfficiencyTrial(cfg, src.Child(p.Name, s.Label()))
-			if err != nil {
-				return MACAblationResult{}, err
-			}
-			res.E[p.Name][s.Label()] = out.E()
+			jobs = append(jobs, job{cfg, p.Name, s.Label(), src.Child(p.Name, s.Label())})
 		}
+	}
+	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: base.Parallelism}, func(i int) (EfficiencyOutcome, error) {
+		return RunEfficiencyTrial(jobs[i].cfg, jobs[i].src)
+	})
+	if err != nil {
+		return MACAblationResult{}, err
+	}
+	for i, out := range outs {
+		res.E[jobs[i].profile][jobs[i].scheme] = out.E()
 	}
 	return res, nil
 }
@@ -282,21 +319,31 @@ type LengthAblationResult struct {
 func AblationTransactionLengths(cfg Figure4Config, idBits int, lengths []int) (LengthAblationResult, error) {
 	res := LengthAblationResult{Config: cfg, IDBits: idBits, Lengths: lengths}
 	src := xrand.NewSource(cfg.Seed).Child("ablation-length")
-	var fixed, mixed stats.Accumulator
+	type job struct {
+		cfg   Figure4Config
+		isMix bool
+		src   *xrand.Source
+	}
+	mixCfg := cfg
+	mixCfg.PacketSizes = lengths
+	jobs := make([]job, 0, 2*cfg.Trials)
 	for trial := 0; trial < cfg.Trials; trial++ {
-		out, err := RunCollisionTrial(cfg, SelUniform, idBits, src.Child("fixed", fmt.Sprint(trial)))
-		if err != nil {
-			return LengthAblationResult{}, err
+		jobs = append(jobs, job{cfg, false, src.Child("fixed", fmt.Sprint(trial))})
+		jobs = append(jobs, job{mixCfg, true, src.Child("mixed", fmt.Sprint(trial))})
+	}
+	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+		return RunCollisionTrial(jobs[i].cfg, SelUniform, idBits, jobs[i].src)
+	})
+	if err != nil {
+		return LengthAblationResult{}, err
+	}
+	var fixed, mixed stats.Accumulator
+	for i, out := range outs {
+		if jobs[i].isMix {
+			mixed.Add(out.CollisionRate)
+		} else {
+			fixed.Add(out.CollisionRate)
 		}
-		fixed.Add(out.CollisionRate)
-
-		run := cfg
-		run.PacketSizes = lengths
-		out, err = RunCollisionTrial(run, SelUniform, idBits, src.Child("mixed", fmt.Sprint(trial)))
-		if err != nil {
-			return LengthAblationResult{}, err
-		}
-		mixed.Add(out.CollisionRate)
 	}
 	res.Fixed = fixed.Summary()
 	res.Mixed = mixed.Summary()

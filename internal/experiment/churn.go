@@ -10,6 +10,7 @@ import (
 	"retri/internal/dynaddr"
 	"retri/internal/node"
 	"retri/internal/radio"
+	"retri/internal/runner"
 	"retri/internal/sim"
 	"retri/internal/workload"
 	"retri/internal/xrand"
@@ -36,6 +37,9 @@ type ChurnConfig struct {
 	// AddrBits sizes the dynamic allocator's address space and the AFF
 	// pool alike, so the data-plane header cost is comparable.
 	AddrBits int
+	// Parallelism is the number of trials simulated concurrently in the
+	// churn ablation; 0 or 1 runs them sequentially with identical output.
+	Parallelism int
 }
 
 // DefaultChurnConfig returns a sensible churn scenario.
@@ -216,16 +220,27 @@ func AblationDynAddrChurn(cfg ChurnConfig, lifetimes []time.Duration) (ChurnAbla
 		Outcomes:  map[string][]ChurnOutcome{"aff": nil, "dynaddr": nil},
 	}
 	src := xrand.NewSource(cfg.Seed).Child("ablation-churn")
+	type job struct {
+		cfg    ChurnConfig
+		scheme string
+		src    *xrand.Source
+	}
+	jobs := make([]job, 0, 2*len(lifetimes))
 	for _, life := range lifetimes {
 		run := cfg
 		run.Lifetime = life
 		for _, scheme := range []string{"aff", "dynaddr"} {
-			out, err := RunChurnTrial(run, scheme, src.Child(scheme, life.String()))
-			if err != nil {
-				return ChurnAblationResult{}, err
-			}
-			res.Outcomes[scheme] = append(res.Outcomes[scheme], out)
+			jobs = append(jobs, job{run, scheme, src.Child(scheme, life.String())})
 		}
+	}
+	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (ChurnOutcome, error) {
+		return RunChurnTrial(jobs[i].cfg, jobs[i].scheme, jobs[i].src)
+	})
+	if err != nil {
+		return ChurnAblationResult{}, err
+	}
+	for i, out := range outs {
+		res.Outcomes[jobs[i].scheme] = append(res.Outcomes[jobs[i].scheme], out)
 	}
 	return res, nil
 }

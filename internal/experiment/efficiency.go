@@ -64,6 +64,10 @@ type EfficiencyConfig struct {
 	MAC energy.MACProfile
 	// Params overrides radio parameters (MAC profile is applied on top).
 	Params *radio.Params
+	// Parallelism is the number of trials simulated concurrently by the
+	// sweeps built on this config (lifetime, MAC ablation); 0 or 1 runs
+	// them sequentially with identical output.
+	Parallelism int
 }
 
 // DefaultEfficiencyConfig mirrors the Figure 4 workload with RPC framing.

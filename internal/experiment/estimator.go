@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"retri/internal/runner"
 	"retri/internal/stats"
 	"retri/internal/xrand"
 )
@@ -38,27 +39,41 @@ func AblationEstimator(cfg Figure4Config, idBits int) (EstimatorAblationResult, 
 		Workloads:  []string{"continuous", "bursty"},
 	}
 	src := xrand.NewSource(cfg.Seed).Child("ablation-estimator")
+	type job struct {
+		cfg      Figure4Config
+		workload string
+		est      EstimatorKind
+		src      *xrand.Source
+	}
+	var jobs []job
 	for _, workload := range res.Workloads {
 		res.EstimatedT[workload] = make(map[EstimatorKind]stats.Summary)
 		res.Collision[workload] = make(map[EstimatorKind]stats.Summary)
 		for _, est := range []EstimatorKind{EstEMA, EstInterval} {
-			var tAcc, cAcc stats.Accumulator
-			for trial := 0; trial < cfg.Trials; trial++ {
-				run := cfg
-				run.Estimator = est
-				if workload == "bursty" {
-					run.Interval = 2 * time.Second
-				}
-				out, err := RunCollisionTrial(run, SelListening, idBits,
-					src.Child(workload, string(est), fmt.Sprint(trial)))
-				if err != nil {
-					return EstimatorAblationResult{}, err
-				}
-				tAcc.Add(out.EstimatedT)
-				cAcc.Add(out.CollisionRate)
+			run := cfg
+			run.Estimator = est
+			if workload == "bursty" {
+				run.Interval = 2 * time.Second
 			}
-			res.EstimatedT[workload][est] = tAcc.Summary()
-			res.Collision[workload][est] = cAcc.Summary()
+			for trial := 0; trial < cfg.Trials; trial++ {
+				jobs = append(jobs, job{run, workload, est, src.Child(workload, string(est), fmt.Sprint(trial))})
+			}
+		}
+	}
+	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+		return RunCollisionTrial(jobs[i].cfg, SelListening, idBits, jobs[i].src)
+	})
+	if err != nil {
+		return EstimatorAblationResult{}, err
+	}
+	var tAcc, cAcc stats.Accumulator
+	for i, out := range outs {
+		tAcc.Add(out.EstimatedT)
+		cAcc.Add(out.CollisionRate)
+		if (i+1)%cfg.Trials == 0 {
+			res.EstimatedT[jobs[i].workload][jobs[i].est] = tAcc.Summary()
+			res.Collision[jobs[i].workload][jobs[i].est] = cAcc.Summary()
+			tAcc, cAcc = stats.Accumulator{}, stats.Accumulator{}
 		}
 	}
 	return res, nil

@@ -11,6 +11,7 @@ import (
 	"retri/internal/model"
 	"retri/internal/node"
 	"retri/internal/radio"
+	"retri/internal/runner"
 	"retri/internal/sim"
 	"retri/internal/stats"
 	"retri/internal/workload"
@@ -85,6 +86,11 @@ type Figure4Config struct {
 	Topology func(transmitters int, receiver radio.NodeID) radio.Topology
 	// Params overrides the radio parameters when non-zero.
 	Params *radio.Params
+	// Parallelism is the number of trials simulated concurrently; 0 or 1
+	// runs them sequentially. Each trial owns its engine and random
+	// streams and results merge by trial index, so output is identical at
+	// any setting (DESIGN.md, "Parallelism").
+	Parallelism int
 	// ReassemblyTimeout bounds how long partial-packet state lives. It
 	// approximates the model's interference window: Equation 4 counts
 	// only transactions that *overlap*, so state left by a finished or
@@ -148,21 +154,38 @@ func Figure4(cfg Figure4Config) (Figure4Result, error) {
 		Config:   cfg,
 		Measured: make(map[SelectorKind]*stats.Series, len(cfg.Selectors)),
 	}
+	// Flatten the selector x bits x trial nest into an indexed job list,
+	// fan the independent trials out, then fold the outcomes back in the
+	// exact order the sequential loop used.
 	src := xrand.NewSource(cfg.Seed).Child("figure4")
+	type job struct {
+		sel  SelectorKind
+		bits int
+		src  *xrand.Source
+	}
+	jobs := make([]job, 0, len(cfg.Selectors)*len(cfg.IDBits)*cfg.Trials)
 	for _, sel := range cfg.Selectors {
-		series := stats.NewSeries(string(sel))
 		for _, bits := range cfg.IDBits {
 			for trial := 0; trial < cfg.Trials; trial++ {
-				out, err := RunCollisionTrial(cfg, sel, bits, src.Child(string(sel), fmt.Sprint(bits), fmt.Sprint(trial)))
-				if err != nil {
-					return Figure4Result{}, err
-				}
-				series.Add(float64(bits), out.CollisionRate)
-				res.TruthDelivered += out.TruthDelivered
-				res.AFFDelivered += out.AFFDelivered
+				jobs = append(jobs, job{sel, bits, src.Child(string(sel), fmt.Sprint(bits), fmt.Sprint(trial))})
 			}
 		}
-		res.Measured[sel] = series
+	}
+	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+		return RunCollisionTrial(cfg, jobs[i].sel, jobs[i].bits, jobs[i].src)
+	})
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	for i, out := range outs {
+		series, ok := res.Measured[jobs[i].sel]
+		if !ok {
+			series = stats.NewSeries(string(jobs[i].sel))
+			res.Measured[jobs[i].sel] = series
+		}
+		series.Add(float64(jobs[i].bits), out.CollisionRate)
+		res.TruthDelivered += out.TruthDelivered
+		res.AFFDelivered += out.AFFDelivered
 	}
 	for _, bits := range cfg.IDBits {
 		res.Model = append(res.Model, model.Point{

@@ -8,6 +8,7 @@ import (
 	"retri/internal/core"
 	"retri/internal/flood"
 	"retri/internal/radio"
+	"retri/internal/runner"
 	"retri/internal/sim"
 	"retri/internal/stats"
 	"retri/internal/workload"
@@ -37,6 +38,9 @@ type FloodConfig struct {
 	// Duration and Trials shape the measurement.
 	Duration time.Duration
 	Trials   int
+	// Parallelism is the number of trials simulated concurrently; 0 or 1
+	// runs them sequentially with identical output.
+	Parallelism int
 }
 
 // DefaultFloodConfig floods 6-byte events across a 6×6 grid.
@@ -73,14 +77,24 @@ func AblationFloodIDBits(cfg FloodConfig) (FloodResult, error) {
 	}
 	res := FloodResult{Config: cfg, Reach: stats.NewSeries("reach")}
 	src := xrand.NewSource(cfg.Seed).Child("ablation-flood")
+	type job struct {
+		bits int
+		src  *xrand.Source
+	}
+	jobs := make([]job, 0, len(cfg.IDBits)*cfg.Trials)
 	for _, bits := range cfg.IDBits {
 		for trial := 0; trial < cfg.Trials; trial++ {
-			reach, err := runFloodTrial(cfg, bits, src.Child(fmt.Sprint(bits), fmt.Sprint(trial)))
-			if err != nil {
-				return FloodResult{}, err
-			}
-			res.Reach.Add(float64(bits), reach)
+			jobs = append(jobs, job{bits, src.Child(fmt.Sprint(bits), fmt.Sprint(trial))})
 		}
+	}
+	reaches, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (float64, error) {
+		return runFloodTrial(cfg, jobs[i].bits, jobs[i].src)
+	})
+	if err != nil {
+		return FloodResult{}, err
+	}
+	for i, reach := range reaches {
+		res.Reach.Add(float64(jobs[i].bits), reach)
 	}
 	return res, nil
 }

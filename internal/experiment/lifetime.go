@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"retri/internal/energy"
+	"retri/internal/runner"
 	"retri/internal/xrand"
 )
 
@@ -46,13 +47,16 @@ func RunLifetime(base EfficiencyConfig, schemes []Scheme) (LifetimeResult, error
 	res := LifetimeResult{Config: base, Baseline: len(schemes) - 1}
 	src := xrand.NewSource(base.Seed).Child("lifetime")
 	costs := make([]float64, len(schemes))
-	for i, s := range schemes {
+	outs, err := runner.Map(len(schemes), runner.Options{Parallelism: base.Parallelism}, func(i int) (EfficiencyOutcome, error) {
 		cfg := base
-		cfg.Scheme = s
-		out, err := RunEfficiencyTrial(cfg, src.Child(s.Label()))
-		if err != nil {
-			return LifetimeResult{}, err
-		}
+		cfg.Scheme = schemes[i]
+		return RunEfficiencyTrial(cfg, src.Child(schemes[i].Label()))
+	})
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	for i, out := range outs {
+		s := schemes[i]
 		if out.UsefulBits == 0 {
 			return LifetimeResult{}, fmt.Errorf("experiment: scheme %s delivered nothing", s.Label())
 		}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/runner"
+)
+
+// smallFigure4 is a sweep small enough to run twice in a test yet large
+// enough to exercise more jobs than workers.
+func smallFigure4() Figure4Config {
+	cfg := DefaultFigure4Config()
+	cfg.Trials = 2
+	cfg.Duration = 2 * time.Second
+	cfg.IDBits = []int{4, 6}
+	return cfg
+}
+
+// TestFigure4ParallelByteIdentical is the core guarantee of the parallel
+// runner: table and CSV output of a parallel sweep must match the
+// sequential sweep byte for byte.
+func TestFigure4ParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	seq, err := Figure4(smallFigure4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := smallFigure4()
+	parCfg.Parallelism = 4
+	par, err := Figure4(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.CSV(), seq.CSV(); got != want {
+		t.Errorf("parallel CSV differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := par.Render(), seq.Render(); got != want {
+		t.Errorf("parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if par.TruthDelivered != seq.TruthDelivered || par.AFFDelivered != seq.AFFDelivered {
+		t.Errorf("totals diverged: parallel (%d, %d) vs sequential (%d, %d)",
+			par.TruthDelivered, par.AFFDelivered, seq.TruthDelivered, seq.AFFDelivered)
+	}
+}
+
+// TestScalingParallelIdentical covers the second flattening shape (grouped
+// accumulators folded per grid size).
+func TestScalingParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultScalingConfig()
+	cfg.GridSizes = []int{3}
+	cfg.Trials = 2
+	cfg.Duration = 5 * time.Second
+	seq, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	par, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.Render(), seq.Render(); got != want {
+		t.Errorf("parallel scaling output differs:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+// TestFigure4TrialPanicIsContained: a panic inside a trial (here a nil
+// topology dereferenced mid-simulation) must fail the sweep with the
+// trial's context attached, not crash the process or lose the panic.
+func TestFigure4TrialPanicIsContained(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		cfg := smallFigure4()
+		cfg.Duration = time.Second
+		cfg.Parallelism = parallelism
+		cfg.Topology = func(int, radio.NodeID) radio.Topology { return nil }
+		_, err := Figure4(cfg)
+		if err == nil {
+			t.Fatalf("parallelism %d: panicking trials reported no error", parallelism)
+		}
+		var te *runner.TrialError
+		if !errors.As(err, &te) {
+			t.Fatalf("parallelism %d: err %v is not a *runner.TrialError", parallelism, err)
+		}
+		if te.Trial != 0 {
+			t.Errorf("parallelism %d: failed trial %d, want lowest index 0", parallelism, te.Trial)
+		}
+		var pe *runner.PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("parallelism %d: err %v does not preserve the panic", parallelism, err)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"retri/internal/model"
 	"retri/internal/node"
 	"retri/internal/radio"
+	"retri/internal/runner"
 	"retri/internal/sim"
 	"retri/internal/stats"
 	"retri/internal/workload"
@@ -40,6 +41,9 @@ type ScalingConfig struct {
 	// Duration is simulated time per trial; Trials the repetition count.
 	Duration time.Duration
 	Trials   int
+	// Parallelism is the number of trials simulated concurrently; 0 or 1
+	// runs them sequentially with identical output.
+	Parallelism int
 }
 
 // DefaultScalingConfig fixes a 5-bit pool: far too small to *name* the
@@ -97,15 +101,30 @@ func RunScaling(cfg ScalingConfig) (ScalingResult, error) {
 	}
 	res := ScalingResult{Config: cfg}
 	src := xrand.NewSource(cfg.Seed).Child("scaling")
+	type job struct {
+		n   int
+		src *xrand.Source
+	}
+	jobs := make([]job, 0, len(cfg.GridSizes)*cfg.Trials)
 	for _, n := range cfg.GridSizes {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			jobs = append(jobs, job{n, src.Child(fmt.Sprint(n), fmt.Sprint(trial))})
+		}
+	}
+	type outcome struct{ coll, dens float64 }
+	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (outcome, error) {
+		c, d, err := runScalingTrial(cfg, jobs[i].n, jobs[i].src)
+		return outcome{c, d}, err
+	})
+	if err != nil {
+		return ScalingResult{}, err
+	}
+	for gi, n := range cfg.GridSizes {
 		var coll, dens stats.Accumulator
 		for trial := 0; trial < cfg.Trials; trial++ {
-			c, d, err := runScalingTrial(cfg, n, src.Child(fmt.Sprint(n), fmt.Sprint(trial)))
-			if err != nil {
-				return ScalingResult{}, err
-			}
-			coll.Add(c)
-			dens.Add(d)
+			out := outs[gi*cfg.Trials+trial]
+			coll.Add(out.coll)
+			dens.Add(out.dens)
 		}
 		nodes := n * n
 		staticBits := bitsForPopulation(nodes)

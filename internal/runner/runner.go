@@ -1,0 +1,144 @@
+// Package runner fans independent experiment trials out across a bounded
+// worker pool and merges their results by trial index.
+//
+// Every trial in the experiment harness is a self-contained deterministic
+// simulation: it owns its own sim.Engine and draws from its own xrand
+// stream, sharing nothing with its siblings. That independence makes
+// trial-level replication parallelism safe, but only if aggregation stays
+// order-stable — Welford accumulators fold floating-point samples, so the
+// fold order is part of the output. Map therefore returns results indexed
+// by trial, and callers fold them in index order; the aggregate output of
+// a parallel run is byte-identical to the sequential run.
+//
+// A panicking trial fails that trial with the panic value and stack
+// attached, not the whole process: the pool finishes the remaining trials
+// and reports the lowest-indexed failure, which is the same error the
+// sequential loop would have surfaced first.
+package runner
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Options tunes a Map call.
+type Options struct {
+	// Parallelism is the number of trials in flight at once. Values of 0
+	// or 1 run trials sequentially on the calling goroutine — the default
+	// for every experiment config, so existing single-threaded behaviour
+	// is untouched unless a caller opts in.
+	Parallelism int
+	// OnProgress, when non-nil, is invoked after each trial completes with
+	// the number of completed trials and the total. Calls are serialized
+	// and completed is strictly increasing, but under parallelism they may
+	// arrive on worker goroutines.
+	OnProgress func(completed, total int)
+}
+
+// TrialError attaches the failing trial's index to its error.
+type TrialError struct {
+	Trial int
+	Err   error
+}
+
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("trial %d: %v", e.Trial, e.Err)
+}
+
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// PanicError is the error a recovered trial panic becomes.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Map runs fn for every trial index in [0, n) and returns the results in
+// index order. With Options.Parallelism > 1 trials run concurrently on a
+// bounded pool; fn must therefore not share mutable state between trials
+// (the one-engine-per-goroutine rule, DESIGN.md "Parallelism").
+//
+// On failure Map returns the error of the lowest-indexed failing trial,
+// wrapped in *TrialError, regardless of completion order — the same error
+// a sequential loop surfaces. A panic inside fn fails only that trial,
+// with the panic value and stack preserved as a *PanicError.
+func Map[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := runTrial(i, fn)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+			if opts.OnProgress != nil {
+				opts.OnProgress(i+1, n)
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr *TrialError
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				v, err := runTrial(i, fn)
+				mu.Lock()
+				if err == nil {
+					results[i] = v
+				} else if te := err.(*TrialError); firstErr == nil || te.Trial < firstErr.Trial {
+					firstErr = te
+				}
+				done++
+				if opts.OnProgress != nil {
+					opts.OnProgress(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runTrial invokes fn for one trial, converting panics and errors into
+// *TrialError.
+func runTrial[T any](i int, fn func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &TrialError{Trial: i, Err: &PanicError{Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	v, err = fn(i)
+	if err != nil {
+		err = &TrialError{Trial: i, Err: err}
+	}
+	return v, err
+}

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapSequentialOrder(t *testing.T) {
+	got, err := Map(5, Options{}, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapParallelMergesByIndex(t *testing.T) {
+	const n = 64
+	got, err := Map(n, Options{Parallelism: 8}, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, Options{Parallelism: 4}, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("Map(0) = (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestMapBoundsWorkers(t *testing.T) {
+	// More workers than trials must not deadlock or drop trials.
+	got, err := Map(2, Options{Parallelism: 16}, func(i int) (int, error) { return i + 1, nil })
+	if err != nil || len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Map = (%v, %v)", got, err)
+	}
+}
+
+func TestMapConcurrencyCap(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	_, err := Map(32, Options{Parallelism: 4}, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		inFlight.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Errorf("observed %d trials in flight, cap is 4", p)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		_, err := Map(10, Options{Parallelism: parallelism}, func(i int) (int, error) {
+			if i >= 3 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		var te *TrialError
+		if !errors.As(err, &te) {
+			t.Fatalf("parallelism %d: error %v is not a *TrialError", parallelism, err)
+		}
+		if te.Trial != 3 {
+			t.Errorf("parallelism %d: failed trial %d, want lowest index 3", parallelism, te.Trial)
+		}
+	}
+}
+
+func TestMapCapturesPanic(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		var completed atomic.Int32
+		_, err := Map(8, Options{Parallelism: parallelism}, func(i int) (int, error) {
+			if i == 2 {
+				panic("trial exploded")
+			}
+			completed.Add(1)
+			return i, nil
+		})
+		var te *TrialError
+		if !errors.As(err, &te) || te.Trial != 2 {
+			t.Fatalf("parallelism %d: err = %v, want TrialError for trial 2", parallelism, err)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: err = %v, want wrapped *PanicError", parallelism, err)
+		}
+		if fmt.Sprint(pe.Value) != "trial exploded" {
+			t.Errorf("panic value = %v", pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "trial exploded") {
+			t.Errorf("panic context lost: %v", err)
+		}
+		// The pool must survive the panic: under parallelism every other
+		// trial still runs (the sequential path stops at the failure, as
+		// the plain loop would).
+		if parallelism > 1 && completed.Load() != 7 {
+			t.Errorf("parallelism %d: %d trials completed, want 7", parallelism, completed.Load())
+		}
+	}
+}
+
+func TestMapProgress(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		var mu sync.Mutex
+		var seen []int
+		_, err := Map(10, Options{
+			Parallelism: parallelism,
+			OnProgress: func(completed, total int) {
+				if total != 10 {
+					t.Errorf("total = %d, want 10", total)
+				}
+				mu.Lock()
+				seen = append(seen, completed)
+				mu.Unlock()
+			},
+		}, func(i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 10 {
+			t.Fatalf("parallelism %d: %d progress calls, want 10", parallelism, len(seen))
+		}
+		for i, c := range seen {
+			if c != i+1 {
+				t.Fatalf("parallelism %d: progress sequence %v not strictly increasing", parallelism, seen)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSequential(t *testing.T) {
+	fn := func(i int) (float64, error) { return float64(i) * 1.5, nil }
+	seq, err := Map(100, Options{}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(100, Options{Parallelism: 7}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("results diverge at %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}

@@ -22,6 +22,9 @@ type Engine struct {
 	events eventHeap
 	seq    uint64
 	nRun   uint64
+	// nCancelled counts cancelled events still occupying heap slots, so
+	// Pending is O(1) and Cancel knows when compaction pays off.
+	nCancelled int
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -34,13 +37,7 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Pending reports the number of scheduled, uncancelled events.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
+	return len(e.events) - e.nCancelled
 }
 
 // Processed reports the total number of events executed so far.
@@ -48,7 +45,8 @@ func (e *Engine) Processed() uint64 { return e.nRun }
 
 // Timer is a handle to a scheduled event.
 type Timer struct {
-	ev *event
+	eng *Engine
+	ev  *event
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
@@ -59,6 +57,8 @@ func (t *Timer) Cancel() bool {
 		return false
 	}
 	t.ev.cancelled = true
+	t.eng.nCancelled++
+	t.eng.maybeCompact()
 	return true
 }
 
@@ -94,7 +94,32 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Timer {
 	ev := &event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return &Timer{eng: e, ev: ev}
+}
+
+// compactThreshold is the smallest heap worth compacting; below it the
+// lazy-deletion slots cost less than the rebuild.
+const compactThreshold = 64
+
+// maybeCompact rebuilds the heap without cancelled events once they occupy
+// more than half of it, bounding heap growth under cancel/reschedule churn
+// (MAC backoffs, reassembly timeouts) at ~2x the live event count.
+func (e *Engine) maybeCompact() {
+	if len(e.events) < compactThreshold || e.nCancelled*2 <= len(e.events) {
+		return
+	}
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = kept
+	e.nCancelled = 0
+	heap.Init(&e.events)
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -103,6 +128,7 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.cancelled {
+			e.nCancelled--
 			continue
 		}
 		e.now = ev.at
@@ -148,6 +174,7 @@ func (e *Engine) peek() *event {
 			return ev
 		}
 		heap.Pop(&e.events)
+		e.nCancelled--
 	}
 	return nil
 }

@@ -196,6 +196,94 @@ func TestPendingSkipsCancelled(t *testing.T) {
 	}
 }
 
+// TestCancelledTimerCompaction: regression for unbounded heap growth. A
+// long-lived simulation that keeps cancelling and rescheduling timers (MAC
+// backoffs, reassembly timeouts) must not accumulate cancelled entries.
+func TestCancelledTimerCompaction(t *testing.T) {
+	e := NewEngine()
+	// One live anchor event so the heap is never trivially empty.
+	anchor := e.Schedule(time.Hour, func() {})
+	maxLen := 0
+	for i := 0; i < 100000; i++ {
+		tm := e.Schedule(time.Minute, func() {})
+		tm.Cancel()
+		if len(e.events) > maxLen {
+			maxLen = len(e.events)
+		}
+	}
+	// Lazy deletion may keep up to 2x the live count plus the compaction
+	// floor; anything near 1e5 means cancelled events leaked.
+	if maxLen > 4*compactThreshold {
+		t.Fatalf("heap grew to %d entries across 1e5 cancel/reschedule cycles", maxLen)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Errorf("Pending() = %d, want 1 (the anchor)", got)
+	}
+	fired := 0
+	e.Schedule(2*time.Hour, func() { fired++ })
+	anchor.Cancel()
+	e.Run()
+	if fired != 1 {
+		t.Errorf("post-compaction event fired %d times, want 1", fired)
+	}
+}
+
+// TestCompactionPreservesOrder: compaction must not disturb the
+// (time, sequence) execution order of surviving events.
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(time.Duration(50-i)*time.Second, func() { order = append(order, i) })
+	}
+	// Force several compactions around the live events.
+	for i := 0; i < 1000; i++ {
+		e.Schedule(time.Hour, func() {}).Cancel()
+	}
+	e.RunUntil(51 * time.Second)
+	if len(order) != 50 {
+		t.Fatalf("ran %d events, want 50", len(order))
+	}
+	for i, v := range order {
+		if v != 49-i {
+			t.Fatalf("execution order corrupted by compaction: %v", order)
+		}
+	}
+}
+
+// TestPendingCountsAcrossCancelAndRun: the O(1) Pending counter must agree
+// with a direct scan through schedule, cancel, and pop paths.
+func TestPendingCountsAcrossCancelAndRun(t *testing.T) {
+	e := NewEngine()
+	var timers []*Timer
+	for i := 0; i < 200; i++ {
+		timers = append(timers, e.Schedule(time.Duration(i)*time.Millisecond, func() {}))
+	}
+	for i := 0; i < 200; i += 2 {
+		timers[i].Cancel()
+	}
+	check := func() {
+		scan := 0
+		for _, ev := range e.events {
+			if !ev.cancelled {
+				scan++
+			}
+		}
+		if got := e.Pending(); got != scan {
+			t.Fatalf("Pending() = %d, scan says %d", got, scan)
+		}
+	}
+	check()
+	e.RunUntil(50 * time.Millisecond)
+	check()
+	e.Run()
+	check()
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", e.Pending())
+	}
+}
+
 // TestClockMonotonicProperty: under random scheduling, observed event times
 // never decrease and never precede their scheduling time.
 func TestClockMonotonicProperty(t *testing.T) {
