@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench profile
 
 check: vet build race
 
@@ -22,3 +22,14 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# profile runs a quick figure-4 sweep with the CLI's profiling flags and
+# leaves pprof artifacts plus the metrics/trace side files in ./profiles.
+# Inspect with: go tool pprof profiles/cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/retri-experiments -figure 4 -quick -parallel 0 \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof \
+		-metrics-out profiles/metrics.json -trace-out profiles/trace.jsonl \
+		-progress > profiles/figure4.txt
+	@echo "wrote profiles/{cpu,mem}.pprof, metrics.json, trace.jsonl, figure4.txt"

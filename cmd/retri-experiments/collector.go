@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"retri/internal/experiment"
+	"retri/internal/metrics"
+	"retri/internal/trace"
+)
+
+// trialTiming is one trial's wall-clock cost in the run manifest. Trial
+// indexes arrive in completion order under parallelism; the manifest
+// records wall-clock reality, not simulation output, so it is the one
+// artifact that legitimately differs between runs.
+type trialTiming struct {
+	Trial int   `json:"trial"`
+	NS    int64 `json:"ns"`
+}
+
+// experimentRecord is one experiment's entry in the run manifest.
+type experimentRecord struct {
+	Name        string        `json:"name"`
+	Trials      int           `json:"trials"`
+	WallClockNS int64         `json:"wall_clock_ns"`
+	Timings     []trialTiming `json:"trial_timings,omitempty"`
+
+	started time.Time
+}
+
+// manifest reproduces the run: full command line, resolved config, and
+// where the wall-clock went.
+type manifest struct {
+	Command     string              `json:"command"`
+	Args        []string            `json:"args"`
+	Figure      string              `json:"figure,omitempty"`
+	Ablation    string              `json:"ablation,omitempty"`
+	Seed        uint64              `json:"seed"`
+	Trials      int                 `json:"trials"`
+	Duration    string              `json:"duration"`
+	Parallel    int                 `json:"parallel"`
+	Quick       bool                `json:"quick"`
+	Format      string              `json:"format"`
+	GoVersion   string              `json:"go_version"`
+	StartedAt   string              `json:"started_at"`
+	WallClockNS int64               `json:"wall_clock_ns"`
+	Experiments []*experimentRecord `json:"experiments"`
+}
+
+// metricsDocument is the -metrics-out file: the manifest beside the merged
+// metrics snapshot.
+type metricsDocument struct {
+	Manifest manifest         `json:"manifest"`
+	Metrics  metrics.Snapshot `json:"metrics"`
+}
+
+// collector owns the CLI's observability state: the merged metrics
+// registry, the streaming trace writer, the run manifest, profiling, and
+// progress display. Everything it produces goes to side files or stderr —
+// stdout stays byte-identical to a run without it.
+type collector struct {
+	opts     options
+	registry *metrics.Registry
+	tracer   trace.Tracer
+
+	traceFile *os.File
+	traceBuf  *bufio.Writer
+	cpuFile   *os.File
+
+	man           manifest
+	cur           *experimentRecord
+	started       time.Time
+	progressShown bool
+}
+
+// newCollector opens the output files and starts profiling per the parsed
+// options. A collector with no observability flags set is inert.
+func newCollector(o options, args []string) (*collector, error) {
+	c := &collector{
+		opts:    o,
+		started: time.Now(),
+		man: manifest{
+			Command:   "retri-experiments",
+			Args:      args,
+			Figure:    o.figure,
+			Ablation:  o.ablation,
+			Seed:      o.seed,
+			Trials:    o.trials,
+			Duration:  o.duration.String(),
+			Parallel:  o.parallel,
+			Quick:     o.quick,
+			Format:    o.format,
+			GoVersion: runtime.Version(),
+			StartedAt: time.Now().UTC().Format(time.RFC3339),
+		},
+	}
+	if o.metricsOut != "" {
+		c.registry = metrics.NewRegistry()
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return nil, fmt.Errorf("-trace-out: %w", err)
+		}
+		c.traceFile = f
+		c.traceBuf = bufio.NewWriter(f)
+		c.tracer = trace.NewJSONWriter(c.traceBuf)
+	}
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			c.abandonFiles()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			c.abandonFiles()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		c.cpuFile = f
+	}
+	return c, nil
+}
+
+// obs returns the experiment observability config, nil when no
+// observability flag was given so the experiment layer stays on its
+// zero-cost path.
+func (c *collector) obs() *experiment.Obs {
+	if c.registry == nil && c.tracer == nil {
+		return nil
+	}
+	return &experiment.Obs{Metrics: c.registry, Trace: c.tracer}
+}
+
+// hooks returns the runner callbacks: progress display when -progress,
+// per-trial manifest timings when -metrics-out. Zero hooks otherwise, so
+// the runner does not even read the clock.
+func (c *collector) hooks() experiment.RunHooks {
+	var h experiment.RunHooks
+	if c.opts.progress {
+		h.OnProgress = func(completed, total int) {
+			name := ""
+			if c.cur != nil {
+				name = c.cur.Name
+			}
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials", name, completed, total)
+			c.progressShown = true
+		}
+	}
+	if c.opts.metricsOut != "" {
+		h.OnTrialTime = func(trial int, elapsed time.Duration) {
+			if c.cur != nil {
+				c.cur.Timings = append(c.cur.Timings, trialTiming{Trial: trial, NS: elapsed.Nanoseconds()})
+			}
+		}
+	}
+	return h
+}
+
+// begin opens a manifest record for the named experiment; end closes it.
+func (c *collector) begin(name string) {
+	c.cur = &experimentRecord{Name: name, started: time.Now()}
+	c.progressShown = false
+	c.man.Experiments = append(c.man.Experiments, c.cur)
+}
+
+func (c *collector) end() {
+	if c.cur == nil {
+		return
+	}
+	c.cur.WallClockNS = time.Since(c.cur.started).Nanoseconds()
+	c.cur.Trials = len(c.cur.Timings)
+	if c.progressShown {
+		fmt.Fprintln(os.Stderr)
+		c.progressShown = false
+	}
+	c.cur = nil
+}
+
+// close flushes every output the collector owns: the trace stream, the
+// metrics document (manifest + merged snapshot), and the pprof profiles.
+func (c *collector) close() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(c.cpuFile.Close())
+	}
+	if c.traceBuf != nil {
+		keep(c.traceBuf.Flush())
+		keep(c.traceFile.Close())
+	}
+	if c.registry != nil {
+		c.man.WallClockNS = time.Since(c.started).Nanoseconds()
+		doc := metricsDocument{Manifest: c.man, Metrics: c.registry.Snapshot()}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		keep(err)
+		if err == nil {
+			keep(os.WriteFile(c.opts.metricsOut, append(raw, '\n'), 0o644))
+		}
+	}
+	if c.opts.memprofile != "" {
+		f, err := os.Create(c.opts.memprofile)
+		keep(err)
+		if err == nil {
+			runtime.GC()
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	return firstErr
+}
+
+// abandonFiles closes files opened so far when construction fails midway.
+func (c *collector) abandonFiles() {
+	if c.traceFile != nil {
+		c.traceFile.Close()
+	}
+}

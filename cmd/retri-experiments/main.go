@@ -39,6 +39,13 @@ type options struct {
 	quick    bool
 	format   string
 	parallel int
+	// Observability outputs. All of them write to side files or stderr;
+	// stdout is byte-identical with or without them.
+	traceOut   string
+	metricsOut string
+	progress   bool
+	cpuprofile string
+	memprofile string
 }
 
 // parseArgs parses and validates flags. Quick-mode defaults apply only to
@@ -55,6 +62,11 @@ func parseArgs(args []string) (options, error) {
 	fs.BoolVar(&o.quick, "quick", false, "shrink trials/duration for a fast pass")
 	fs.StringVar(&o.format, "format", "table", "output format for figures: table or csv")
 	fs.IntVar(&o.parallel, "parallel", 1, "concurrent trials per experiment; 0 uses all CPUs, 1 is sequential")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write the radio event stream as JSON Lines to this file")
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON run manifest and metrics snapshot to this file")
+	fs.BoolVar(&o.progress, "progress", false, "report per-trial progress on stderr")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -82,8 +94,30 @@ func parseArgs(args []string) (options, error) {
 	return o, nil
 }
 
+// result is anything an experiment produces: a human table and a CSV.
+// Every figure and ablation result implements both, so -format csv is
+// honored uniformly.
+type result interface {
+	Render() string
+	CSV() string
+}
+
+// emit prints a result to stdout in the selected format.
+func emit(title string, useCSV bool, r result) {
+	if useCSV {
+		fmt.Print(r.CSV())
+		return
+	}
+	fmt.Println("=== " + title + " ===")
+	fmt.Println(r.Render())
+}
+
 func run(args []string) error {
 	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	col, err := newCollector(o, args)
 	if err != nil {
 		return err
 	}
@@ -93,19 +127,15 @@ func run(args []string) error {
 	base.Trials = o.trials
 	base.Duration = o.duration
 	base.Parallelism = o.parallel
+	base.Obs = col.obs()
+	base.Hooks = col.hooks()
 
 	useCSV := o.format == "csv"
 	figures := map[string]func() error{
 		"1": func() error { return printEfficiencyFigure(1, useCSV) },
 		"2": func() error { return printEfficiencyFigure(2, useCSV) },
 		"3": func() error {
-			fig := experiment.Figure3()
-			if useCSV {
-				fmt.Print(fig.CSV())
-				return nil
-			}
-			fmt.Println("=== Figure 3 ===")
-			fmt.Println(fig.Render())
+			emit("Figure 3", useCSV, experiment.Figure3())
 			return nil
 		},
 		"4": func() error {
@@ -113,18 +143,14 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			if useCSV {
-				fmt.Print(res.CSV())
-				return nil
-			}
-			fmt.Println("=== Figure 4 ===")
-			fmt.Println(res.Render())
+			emit("Figure 4", useCSV, res)
 			return nil
 		},
 		"scaling": func() error {
 			cfg := experiment.DefaultScalingConfig()
 			cfg.Seed = o.seed
 			cfg.Parallelism = o.parallel
+			cfg.Hooks = col.hooks()
 			if o.quick {
 				cfg.GridSizes = []int{3, 6}
 				cfg.Duration = 20 * time.Second
@@ -134,8 +160,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Scaling: identifier size vs network size ===")
-			fmt.Println(res.Render())
+			emit("Scaling: identifier size vs network size", useCSV, res)
 			return nil
 		},
 	}
@@ -145,8 +170,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Ablation: listening window ===")
-			fmt.Println(res.Render())
+			emit("Ablation: listening window", useCSV, res)
 			return nil
 		},
 		"hidden": func() error {
@@ -155,8 +179,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Ablation: hidden terminals ===")
-			fmt.Println(res.Render())
+			emit("Ablation: hidden terminals", useCSV, res)
 			return nil
 		},
 		"mac": func() error {
@@ -164,6 +187,7 @@ func run(args []string) error {
 			cfg.Seed = o.seed
 			cfg.Duration = o.duration
 			cfg.Parallelism = o.parallel
+			cfg.Hooks = col.hooks()
 			cfg.PacketSize = 2 // few-bit sensor messages (Section 4.4's regime)
 			res, err := experiment.AblationMACOverhead(cfg,
 				[]experiment.Scheme{
@@ -175,8 +199,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Ablation: MAC framing overhead ===")
-			fmt.Println(res.Render())
+			emit("Ablation: MAC framing overhead", useCSV, res)
 			return nil
 		},
 		"lengths": func() error {
@@ -184,14 +207,14 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Ablation: transaction lengths ===")
-			fmt.Println(res.Render())
+			emit("Ablation: transaction lengths", useCSV, res)
 			return nil
 		},
 		"flood": func() error {
 			cfg := experiment.DefaultFloodConfig()
 			cfg.Seed = o.seed
 			cfg.Parallelism = o.parallel
+			cfg.Hooks = col.hooks()
 			if o.quick {
 				cfg.Grid = 4
 				cfg.Duration = 20 * time.Second
@@ -201,8 +224,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Ablation: flood duplicate-suppression identifiers ===")
-			fmt.Println(res.Render())
+			emit("Ablation: flood duplicate-suppression identifiers", useCSV, res)
 			return nil
 		},
 		"estimator": func() error {
@@ -210,13 +232,13 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Ablation: density estimators ===")
-			fmt.Println(res.Render())
+			emit("Ablation: density estimators", useCSV, res)
 			return nil
 		},
 		"lifetime": func() error {
 			cfg := experiment.DefaultLifetimeConfig(o.seed)
 			cfg.Parallelism = o.parallel
+			cfg.Hooks = col.hooks()
 			if o.quick {
 				cfg.Duration = 15 * time.Second
 			}
@@ -224,14 +246,14 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Ablation: energy per useful bit / network lifetime ===")
-			fmt.Println(res.Render())
+			emit("Ablation: energy per useful bit / network lifetime", useCSV, res)
 			return nil
 		},
 		"churn": func() error {
 			cfg := experiment.DefaultChurnConfig()
 			cfg.Seed = o.seed
 			cfg.Parallelism = o.parallel
+			cfg.Hooks = col.hooks()
 			if o.quick {
 				cfg.Duration = time.Minute
 			}
@@ -240,35 +262,42 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println("=== Ablation: dynamic allocation under churn ===")
-			fmt.Println(res.Render())
+			emit("Ablation: dynamic allocation under churn", useCSV, res)
 			return nil
 		},
 	}
 
-	runSet := func(sel string, m map[string]func() error, order []string) error {
+	runSet := func(sel, prefix string, m map[string]func() error, order []string) error {
+		invoke := func(k string) error {
+			col.begin(prefix + k)
+			defer col.end()
+			return m[k]()
+		}
 		if sel == "" {
 			return nil
 		}
 		if sel == "all" {
 			for _, k := range order {
-				if err := m[k](); err != nil {
+				if err := invoke(k); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
-		fn, ok := m[sel]
-		if !ok {
+		if _, ok := m[sel]; !ok {
 			return fmt.Errorf("unknown selection %q", sel)
 		}
-		return fn()
+		return invoke(sel)
 	}
 
-	if err := runSet(o.figure, figures, []string{"1", "2", "3", "4", "scaling"}); err != nil {
-		return err
+	runErr := runSet(o.figure, "figure-", figures, []string{"1", "2", "3", "4", "scaling"})
+	if runErr == nil {
+		runErr = runSet(o.ablation, "ablation-", ablations, []string{"window", "hidden", "mac", "lengths", "flood", "estimator", "lifetime", "churn"})
 	}
-	return runSet(o.ablation, ablations, []string{"window", "hidden", "mac", "lengths", "flood", "estimator", "lifetime", "churn"})
+	if err := col.close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
 }
 
 func printEfficiencyFigure(n int, useCSV bool) error {
@@ -284,11 +313,6 @@ func printEfficiencyFigure(n int, useCSV bool) error {
 	if err != nil {
 		return err
 	}
-	if useCSV {
-		fmt.Print(fig.CSV())
-		return nil
-	}
-	fmt.Printf("=== Figure %d ===\n", n)
-	fmt.Println(fig.Render())
+	emit(fmt.Sprintf("Figure %d", n), useCSV, fig)
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -125,5 +130,192 @@ func TestRunQuickAblation(t *testing.T) {
 	}
 	if err := run([]string{"-ablation", "lengths", "-quick"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunAblationCSV: satellite for the silent `-format csv` bug — every
+// ablation (here, the fastest ones) must honor CSV instead of ignoring it.
+func TestRunAblationCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	if err := run([]string{"-ablation", "lengths", "-quick", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMetricsAndTraceOutputs drives a tiny figure-4 run with every
+// observability flag and validates the side files: a JSONL trace, a
+// manifest+metrics document, and both pprof profiles.
+func TestRunMetricsAndTraceOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	dir := t.TempDir()
+	metricsOut := filepath.Join(dir, "metrics.json")
+	traceOut := filepath.Join(dir, "trace.jsonl")
+	cpuOut := filepath.Join(dir, "cpu.pprof")
+	memOut := filepath.Join(dir, "mem.pprof")
+	args := []string{
+		"-figure", "4", "-trials", "2", "-duration", "2s", "-parallel", "2",
+		"-metrics-out", metricsOut, "-trace-out", traceOut,
+		"-cpuprofile", cpuOut, "-memprofile", memOut,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trace: one JSON object per line, with the core fields.
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			Kind string `json:"kind"`
+			Node int    `json:"node"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v", lines, err)
+		}
+		if ev.Kind == "" {
+			t.Fatalf("trace line %d lacks a kind: %s", lines, sc.Text())
+		}
+	}
+	if lines == 0 {
+		t.Error("trace file is empty")
+	}
+
+	// Metrics document: manifest echoing the command line plus a snapshot.
+	raw, err = os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Manifest struct {
+			Command     string   `json:"command"`
+			Args        []string `json:"args"`
+			Seed        uint64   `json:"seed"`
+			GoVersion   string   `json:"go_version"`
+			WallClockNS int64    `json:"wall_clock_ns"`
+			Experiments []struct {
+				Name        string `json:"name"`
+				Trials      int    `json:"trials"`
+				WallClockNS int64  `json:"wall_clock_ns"`
+				Timings     []struct {
+					Trial int   `json:"trial"`
+					NS    int64 `json:"ns"`
+				} `json:"trial_timings"`
+			} `json:"experiments"`
+		} `json:"manifest"`
+		Metrics struct {
+			Counters []struct {
+				Name  string `json:"name"`
+				Value int64  `json:"value"`
+			} `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("metrics file is not JSON: %v", err)
+	}
+	if doc.Manifest.Command != "retri-experiments" {
+		t.Errorf("manifest command = %q", doc.Manifest.Command)
+	}
+	if len(doc.Manifest.Args) != len(args) {
+		t.Errorf("manifest args = %v, want the full command line", doc.Manifest.Args)
+	}
+	if doc.Manifest.GoVersion != runtime.Version() {
+		t.Errorf("manifest go_version = %q", doc.Manifest.GoVersion)
+	}
+	if doc.Manifest.WallClockNS <= 0 {
+		t.Error("manifest wall clock missing")
+	}
+	if len(doc.Manifest.Experiments) != 1 {
+		t.Fatalf("experiments = %+v, want one figure-4 record", doc.Manifest.Experiments)
+	}
+	exp := doc.Manifest.Experiments[0]
+	if exp.Name != "figure-4" {
+		t.Errorf("experiment name = %q", exp.Name)
+	}
+	// 2 trials x 2 ID widths x 2 selectors in the default figure-4 sweep;
+	// just require at least one timing per reported trial.
+	if exp.Trials == 0 || len(exp.Timings) != exp.Trials {
+		t.Errorf("trial timings = %d entries, manifest says %d trials", len(exp.Timings), exp.Trials)
+	}
+	for _, tt := range exp.Timings {
+		if tt.NS <= 0 {
+			t.Errorf("trial %d has non-positive wall clock %d", tt.Trial, tt.NS)
+		}
+	}
+	found := false
+	for _, c := range doc.Metrics.Counters {
+		if c.Name == "sim_events_processed_total" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("snapshot lacks sim_events_processed_total")
+	}
+
+	// Profiles exist and are non-empty (pprof files are gzipped protobuf;
+	// content is opaque here).
+	for _, p := range []string{cpuOut, memOut} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s missing: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunStdoutIdenticalWithObservability is the CLI-level half of the
+// zero-perturbation guarantee: stdout bytes must not change when every
+// observability flag is on.
+func TestRunStdoutIdenticalWithObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	capture := func(extra ...string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		done := make(chan string)
+		go func() {
+			var buf bytes.Buffer
+			_, _ = buf.ReadFrom(r)
+			done <- buf.String()
+		}()
+		args := append([]string{"-figure", "4", "-trials", "1", "-duration", "2s"}, extra...)
+		runErr := run(args)
+		w.Close()
+		os.Stdout = old
+		out := <-done
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return out
+	}
+	dir := t.TempDir()
+	plain := capture()
+	observed := capture(
+		"-metrics-out", filepath.Join(dir, "m.json"),
+		"-trace-out", filepath.Join(dir, "t.jsonl"),
+	)
+	if plain != observed {
+		t.Errorf("stdout changed under observability:\n--- plain ---\n%s--- observed ---\n%s", plain, observed)
+	}
+	if !strings.Contains(plain, "=== Figure 4 ===") {
+		t.Errorf("unexpected baseline output:\n%s", plain)
 	}
 }

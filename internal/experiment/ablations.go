@@ -51,10 +51,18 @@ func AblationListeningWindow(cfg Figure4Config, idBits int, windows []int) (Wind
 	for trial := 0; trial < cfg.Trials; trial++ {
 		jobs = append(jobs, job{cfg, true, 0, src.Child("adaptive", fmt.Sprint(trial))})
 	}
-	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (TrialOutcome, error) {
 		return RunCollisionTrial(jobs[i].cfg, SelListening, idBits, jobs[i].src)
 	})
 	if err != nil {
+		return WindowAblationResult{}, err
+	}
+	if err := foldTrialObs(cfg.Obs, outs, func(i int) string {
+		if jobs[i].adaptive {
+			return "ablation-window adaptive"
+		}
+		return fmt.Sprintf("ablation-window window=%d", jobs[i].window)
+	}); err != nil {
 		return WindowAblationResult{}, err
 	}
 	var acc stats.Accumulator
@@ -186,10 +194,15 @@ func AblationHiddenTerminal(cfg Figure4Config, idBits int, kinds []SelectorKind)
 			}
 		}
 	}
-	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (TrialOutcome, error) {
 		return RunCollisionTrial(jobs[i].cfg, jobs[i].kind, idBits, jobs[i].src)
 	})
 	if err != nil {
+		return HiddenTerminalResult{}, err
+	}
+	if err := foldTrialObs(cfg.Obs, outs, func(i int) string {
+		return fmt.Sprintf("ablation-hidden sel=%s", jobs[i].kind)
+	}); err != nil {
 		return HiddenTerminalResult{}, err
 	}
 	var acc stats.Accumulator
@@ -264,7 +277,7 @@ func AblationMACOverhead(base EfficiencyConfig, schemes []Scheme, profiles []ene
 			jobs = append(jobs, job{cfg, p.Name, s.Label(), src.Child(p.Name, s.Label())})
 		}
 	}
-	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: base.Parallelism}, func(i int) (EfficiencyOutcome, error) {
+	outs, err := runner.Map(len(jobs), base.Hooks.runnerOptions(base.Parallelism), func(i int) (EfficiencyOutcome, error) {
 		return RunEfficiencyTrial(jobs[i].cfg, jobs[i].src)
 	})
 	if err != nil {
@@ -331,10 +344,18 @@ func AblationTransactionLengths(cfg Figure4Config, idBits int, lengths []int) (L
 		jobs = append(jobs, job{cfg, false, src.Child("fixed", fmt.Sprint(trial))})
 		jobs = append(jobs, job{mixCfg, true, src.Child("mixed", fmt.Sprint(trial))})
 	}
-	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (TrialOutcome, error) {
 		return RunCollisionTrial(jobs[i].cfg, SelUniform, idBits, jobs[i].src)
 	})
 	if err != nil {
+		return LengthAblationResult{}, err
+	}
+	if err := foldTrialObs(cfg.Obs, outs, func(i int) string {
+		if jobs[i].isMix {
+			return "ablation-length mixed"
+		}
+		return "ablation-length fixed"
+	}); err != nil {
 		return LengthAblationResult{}, err
 	}
 	var fixed, mixed stats.Accumulator

@@ -40,6 +40,8 @@ type ChurnConfig struct {
 	// Parallelism is the number of trials simulated concurrently in the
 	// churn ablation; 0 or 1 runs them sequentially with identical output.
 	Parallelism int
+	// Hooks carries progress and timing callbacks to the runner.
+	Hooks RunHooks
 }
 
 // DefaultChurnConfig returns a sensible churn scenario.
@@ -233,7 +235,7 @@ func AblationDynAddrChurn(cfg ChurnConfig, lifetimes []time.Duration) (ChurnAbla
 			jobs = append(jobs, job{run, scheme, src.Child(scheme, life.String())})
 		}
 	}
-	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (ChurnOutcome, error) {
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (ChurnOutcome, error) {
 		return RunChurnTrial(jobs[i].cfg, jobs[i].scheme, jobs[i].src)
 	})
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"retri/internal/stats"
 )
 
 // CSV renderers for the figure results, for plotting outside the repo.
@@ -78,6 +80,180 @@ func (res Figure4Result) CSV() string {
 				strconv.Itoa(p.Y.N),
 			})
 		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the scaling sweep: one record per network size.
+func (r ScalingResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"grid", "nodes", "collision_rate", "stddev", "mean_density",
+		"static_exhausted", "static_bits", "e_aff_model", "e_static_model"})
+	for _, p := range r.Points {
+		_ = w.Write([]string{
+			strconv.Itoa(p.Grid),
+			strconv.Itoa(p.Nodes),
+			formatFloat(p.CollisionRate.Mean),
+			formatFloat(p.CollisionRate.StdDev),
+			formatFloat(p.MeanDensity.Mean),
+			strconv.FormatBool(p.StaticExhausted),
+			strconv.Itoa(p.StaticBitsNeeded),
+			formatFloat(p.EAFFModel),
+			formatFloat(p.EStaticModel),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the window ablation; the adaptive 2T rule is the "adaptive"
+// series with window 0.
+func (r WindowAblationResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"window", "series", "collision_rate", "stddev", "trials"})
+	for _, p := range r.Series.Points() {
+		_ = w.Write([]string{
+			strconv.Itoa(int(p.X)), "fixed",
+			formatFloat(p.Y.Mean), formatFloat(p.Y.StdDev), strconv.Itoa(p.Y.N),
+		})
+	}
+	_ = w.Write([]string{
+		"0", "adaptive",
+		formatFloat(r.Adaptive.Mean), formatFloat(r.Adaptive.StdDev), strconv.Itoa(r.Adaptive.N),
+	})
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the hidden-terminal ablation: topology x selector records.
+func (r HiddenTerminalResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"topology", "selector", "collision_rate", "stddev", "trials"})
+	kinds := make([]SelectorKind, 0, len(r.FullMesh))
+	for k := range r.FullMesh {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	topos := []struct {
+		name string
+		m    map[SelectorKind]stats.Summary
+	}{
+		{"full", r.FullMesh}, {"shadowed", r.Shadowed}, {"hidden", r.Hidden},
+	}
+	for _, tc := range topos {
+		for _, k := range kinds {
+			s := tc.m[k]
+			_ = w.Write([]string{
+				tc.name, string(k),
+				formatFloat(s.Mean), formatFloat(s.StdDev), strconv.Itoa(s.N),
+			})
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the MAC ablation: profile x scheme records.
+func (r MACAblationResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"mac_profile", "scheme", "efficiency"})
+	for _, p := range r.Profiles {
+		for _, s := range r.Schemes {
+			_ = w.Write([]string{p.Name, s.Label(), formatFloat(r.E[p.Name][s.Label()])})
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the transaction-length ablation.
+func (r LengthAblationResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"series", "collision_rate", "stddev", "trials"})
+	_ = w.Write([]string{"model_equal", formatFloat(r.Model), "0", "0"})
+	_ = w.Write([]string{"model_poisson", formatFloat(r.ModelPoisson), "0", "0"})
+	_ = w.Write([]string{"measured_fixed", formatFloat(r.Fixed.Mean), formatFloat(r.Fixed.StdDev), strconv.Itoa(r.Fixed.N)})
+	_ = w.Write([]string{"measured_mixed", formatFloat(r.Mixed.Mean), formatFloat(r.Mixed.StdDev), strconv.Itoa(r.Mixed.N)})
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the churn ablation: one record per lifetime and scheme.
+func (r ChurnAblationResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"lifetime", "scheme", "efficiency", "control_bits", "send_failures", "rejoins"})
+	for i, life := range r.Lifetimes {
+		for _, scheme := range []string{"aff", "dynaddr"} {
+			out := r.Outcomes[scheme][i]
+			_ = w.Write([]string{
+				life.String(), scheme,
+				formatFloat(out.E()),
+				strconv.FormatInt(out.ControlBits, 10),
+				strconv.FormatInt(out.SendFailures, 10),
+				strconv.FormatInt(out.Rejoins, 10),
+			})
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the estimator ablation: workload x estimator records.
+func (r EstimatorAblationResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"workload", "estimator", "estimated_t", "estimated_t_stddev",
+		"collision_rate", "stddev", "trials"})
+	for _, wl := range r.Workloads {
+		for _, est := range []EstimatorKind{EstEMA, EstInterval} {
+			te := r.EstimatedT[wl][est]
+			ce := r.Collision[wl][est]
+			_ = w.Write([]string{
+				wl, string(est),
+				formatFloat(te.Mean), formatFloat(te.StdDev),
+				formatFloat(ce.Mean), formatFloat(ce.StdDev), strconv.Itoa(ce.N),
+			})
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the flood ablation: one record per identifier width.
+func (r FloodResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"id_bits", "mean_reach", "stddev", "trials"})
+	for _, p := range r.Reach.Points() {
+		_ = w.Write([]string{
+			strconv.Itoa(int(p.X)),
+			formatFloat(p.Y.Mean), formatFloat(p.Y.StdDev), strconv.Itoa(p.Y.N),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the lifetime comparison: one record per scheme.
+func (r LifetimeResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"scheme", "joules_per_useful_kbit", "lifetime_factor", "efficiency", "baseline"})
+	for i, row := range r.Rows {
+		_ = w.Write([]string{
+			row.Scheme.Label(),
+			formatFloat(row.JoulesPerUsefulKbit),
+			formatFloat(row.LifetimeFactor),
+			formatFloat(row.E),
+			strconv.FormatBool(i == r.Baseline),
+		})
 	}
 	w.Flush()
 	return sb.String()

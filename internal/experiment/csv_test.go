@@ -5,6 +5,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"retri/internal/energy"
+	"retri/internal/stats"
 )
 
 func parseCSV(t *testing.T, s string) [][]string {
@@ -54,6 +57,82 @@ func TestLoadFigureCSV(t *testing.T) {
 	}
 	if !foundUndefined {
 		t.Error("no undefined static rows in CSV")
+	}
+}
+
+// summaryOf builds a Summary from samples, for synthetic results.
+func summaryOf(vals ...float64) stats.Summary {
+	var acc stats.Accumulator
+	for _, v := range vals {
+		acc.Add(v)
+	}
+	return acc.Summary()
+}
+
+// TestAllResultsRenderCSV: every result type the CLI can emit must render
+// parseable CSV with a header row — the -format csv contract.
+func TestAllResultsRenderCSV(t *testing.T) {
+	series := stats.NewSeries("s")
+	series.Add(4, 0.25)
+	series.Add(8, 0.5)
+
+	sum := summaryOf(0.1, 0.2)
+	cases := []struct {
+		name   string
+		csv    string
+		header string
+		rows   int
+	}{
+		{"scaling", ScalingResult{
+			Points: []ScalingPoint{{Grid: 4, Nodes: 16, CollisionRate: sum, MeanDensity: sum, StaticBitsNeeded: 4}},
+		}.CSV(), "grid", 1},
+		{"window", WindowAblationResult{Series: series, Adaptive: sum}.CSV(), "window", 3},
+		{"hidden", HiddenTerminalResult{
+			FullMesh: map[SelectorKind]stats.Summary{SelUniform: sum, SelListening: sum},
+			Shadowed: map[SelectorKind]stats.Summary{SelUniform: sum, SelListening: sum},
+			Hidden:   map[SelectorKind]stats.Summary{SelUniform: sum, SelListening: sum},
+		}.CSV(), "topology", 6},
+		{"mac", MACAblationResult{
+			Profiles: []energy.MACProfile{energy.RPCProfile()},
+			Schemes:  []Scheme{AFFScheme(9, SelUniform), StaticScheme(16)},
+			E: map[string]map[string]float64{energy.RPCProfile().Name: {
+				AFFScheme(9, SelUniform).Label(): 0.5, StaticScheme(16).Label(): 0.4,
+			}},
+		}.CSV(), "mac_profile", 2},
+		{"length", LengthAblationResult{Model: 0.2, ModelPoisson: 0.3, Fixed: sum, Mixed: sum}.CSV(), "series", 4},
+		{"churn", ChurnAblationResult{
+			Lifetimes: []time.Duration{time.Minute},
+			Outcomes: map[string][]ChurnOutcome{
+				"aff":     {{Scheme: "aff", UsefulBits: 10, OnAirBits: 20}},
+				"dynaddr": {{Scheme: "dynaddr", UsefulBits: 10, OnAirBits: 40, ControlBits: 5}},
+			},
+		}.CSV(), "lifetime", 2},
+		{"estimator", EstimatorAblationResult{
+			Workloads:  []string{"continuous"},
+			EstimatedT: map[string]map[EstimatorKind]stats.Summary{"continuous": {EstEMA: sum, EstInterval: sum}},
+			Collision:  map[string]map[EstimatorKind]stats.Summary{"continuous": {EstEMA: sum, EstInterval: sum}},
+		}.CSV(), "workload", 2},
+		{"flood", FloodResult{Reach: series}.CSV(), "id_bits", 2},
+		{"lifetime", LifetimeResult{
+			Rows:     []LifetimeRow{{Scheme: AFFScheme(9, SelUniform)}, {Scheme: StaticScheme(16)}},
+			Baseline: 1,
+		}.CSV(), "scheme", 2},
+	}
+	for _, tc := range cases {
+		rows := parseCSV(t, tc.csv)
+		if len(rows) != tc.rows+1 {
+			t.Errorf("%s: %d data rows, want %d:\n%s", tc.name, len(rows)-1, tc.rows, tc.csv)
+			continue
+		}
+		if rows[0][0] != tc.header {
+			t.Errorf("%s: header starts with %q, want %q", tc.name, rows[0][0], tc.header)
+		}
+		width := len(rows[0])
+		for _, r := range rows[1:] {
+			if len(r) != width {
+				t.Errorf("%s: ragged row %v (header width %d)", tc.name, r, width)
+			}
+		}
 	}
 }
 

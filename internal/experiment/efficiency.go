@@ -68,6 +68,9 @@ type EfficiencyConfig struct {
 	// sweeps built on this config (lifetime, MAC ablation); 0 or 1 runs
 	// them sequentially with identical output.
 	Parallelism int
+	// Hooks carries progress and timing callbacks to the runner in sweeps
+	// built on this config.
+	Hooks RunHooks
 }
 
 // DefaultEfficiencyConfig mirrors the Figure 4 workload with RPC framing.

@@ -60,10 +60,15 @@ func AblationEstimator(cfg Figure4Config, idBits int) (EstimatorAblationResult, 
 			}
 		}
 	}
-	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (TrialOutcome, error) {
 		return RunCollisionTrial(jobs[i].cfg, SelListening, idBits, jobs[i].src)
 	})
 	if err != nil {
+		return EstimatorAblationResult{}, err
+	}
+	if err := foldTrialObs(cfg.Obs, outs, func(i int) string {
+		return fmt.Sprintf("ablation-estimator workload=%s est=%s", jobs[i].workload, jobs[i].est)
+	}); err != nil {
 		return EstimatorAblationResult{}, err
 	}
 	var tAcc, cAcc stats.Accumulator

@@ -91,6 +91,12 @@ type Figure4Config struct {
 	// streams and results merge by trial index, so output is identical at
 	// any setting (DESIGN.md, "Parallelism").
 	Parallelism int
+	// Obs, when non-nil, opts the run into observability: per-trial
+	// metrics and trace capture folded deterministically after the run
+	// (see Obs). Results are byte-identical with or without it.
+	Obs *Obs
+	// Hooks carries progress and timing callbacks to the runner.
+	Hooks RunHooks
 	// ReassemblyTimeout bounds how long partial-packet state lives. It
 	// approximates the model's interference window: Equation 4 counts
 	// only transactions that *overlap*, so state left by a finished or
@@ -143,6 +149,9 @@ type TrialOutcome struct {
 	// EstimatedT is the receiver-side density estimate at the end of the
 	// trial.
 	EstimatedT float64
+	// Obs is the trial's private observability capture, nil unless the
+	// config's Obs requested one.
+	Obs *TrialObs
 }
 
 // Figure4 runs the full sweep.
@@ -171,10 +180,15 @@ func Figure4(cfg Figure4Config) (Figure4Result, error) {
 			}
 		}
 	}
-	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (TrialOutcome, error) {
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (TrialOutcome, error) {
 		return RunCollisionTrial(cfg, jobs[i].sel, jobs[i].bits, jobs[i].src)
 	})
 	if err != nil {
+		return Figure4Result{}, err
+	}
+	if err := foldTrialObs(cfg.Obs, outs, func(i int) string {
+		return fmt.Sprintf("figure4 sel=%s bits=%d", jobs[i].sel, jobs[i].bits)
+	}); err != nil {
 		return Figure4Result{}, err
 	}
 	for i, out := range outs {
@@ -192,6 +206,20 @@ func Figure4(cfg Figure4Config) (Figure4Result, error) {
 			H: bits,
 			E: model.CollisionRate(bits, float64(cfg.Transmitters)),
 		})
+	}
+	// Pair the aggregated measurement with the per-trial predicted gauges:
+	// the snapshot then carries observed vs predicted side by side.
+	if cfg.Obs != nil && cfg.Obs.Metrics != nil {
+		for _, sel := range cfg.Selectors {
+			series, ok := res.Measured[sel]
+			if !ok {
+				continue
+			}
+			for _, p := range series.Points() {
+				label := fmt.Sprintf("sel=%s,bits=%d", sel, int(p.X))
+				cfg.Obs.Metrics.Gauge("aff_collision_rate_observed", label).Set(p.Y.Mean)
+			}
+		}
 	}
 	return res, nil
 }
@@ -214,6 +242,10 @@ func RunCollisionTrial(cfg Figure4Config, selKind SelectorKind, idBits int, src 
 		topo = cfg.Topology(cfg.Transmitters, receiverID)
 	}
 	med := radio.NewMedium(eng, topo, params, src.Stream("medium"))
+	trialObs, tracer := newTrialObs(cfg.Obs)
+	if tracer != nil {
+		med.SetTracer(tracer)
+	}
 
 	affCfg := aff.Config{
 		Space:             core.MustSpace(idBits),
@@ -243,9 +275,11 @@ func RunCollisionTrial(cfg Figure4Config, selKind SelectorKind, idBits int, src 
 	// transmitter "also acts as a receiver, listening to packets
 	// transmitted by other nodes" — our radios listen by default and the
 	// driver's reassembler tap feeds the selector.
+	radios := []*radio.Radio{rxRadio}
 	for i := 1; i <= cfg.Transmitters; i++ {
 		label := fmt.Sprint(i)
 		txRadio := med.MustAttach(radio.NodeID(i))
+		radios = append(radios, txRadio)
 		est := makeEstimator(cfg.Estimator, eng)
 		sel, err := makeSelector(selKind, affCfg.Space, src.Stream("sel", label), windowOf(cfg, est))
 		if err != nil {
@@ -286,6 +320,16 @@ func RunCollisionTrial(cfg Figure4Config, selKind SelectorKind, idBits int, src 
 		}
 		out.CollisionRate = float64(lost) / float64(out.TruthDelivered)
 	}
+	if trialObs != nil && trialObs.Metrics != nil {
+		collectEngine(trialObs.Metrics, eng.Stats())
+		collectAFF(trialObs.Metrics, fmt.Sprintf("sel=%s,bits=%d", selKind, idBits),
+			rx.Reassembler().Stats(), truth.Stats(),
+			model.CollisionRate(idBits, float64(cfg.Transmitters)))
+		for _, r := range radios {
+			collectEnergy(trialObs.Metrics, r.ID(), r.Meter())
+		}
+	}
+	out.Obs = trialObs
 	return out, nil
 }
 

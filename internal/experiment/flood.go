@@ -41,6 +41,8 @@ type FloodConfig struct {
 	// Parallelism is the number of trials simulated concurrently; 0 or 1
 	// runs them sequentially with identical output.
 	Parallelism int
+	// Hooks carries progress and timing callbacks to the runner.
+	Hooks RunHooks
 }
 
 // DefaultFloodConfig floods 6-byte events across a 6×6 grid.
@@ -87,7 +89,7 @@ func AblationFloodIDBits(cfg FloodConfig) (FloodResult, error) {
 			jobs = append(jobs, job{bits, src.Child(fmt.Sprint(bits), fmt.Sprint(trial))})
 		}
 	}
-	reaches, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (float64, error) {
+	reaches, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (float64, error) {
 		return runFloodTrial(cfg, jobs[i].bits, jobs[i].src)
 	})
 	if err != nil {

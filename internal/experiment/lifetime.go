@@ -47,7 +47,7 @@ func RunLifetime(base EfficiencyConfig, schemes []Scheme) (LifetimeResult, error
 	res := LifetimeResult{Config: base, Baseline: len(schemes) - 1}
 	src := xrand.NewSource(base.Seed).Child("lifetime")
 	costs := make([]float64, len(schemes))
-	outs, err := runner.Map(len(schemes), runner.Options{Parallelism: base.Parallelism}, func(i int) (EfficiencyOutcome, error) {
+	outs, err := runner.Map(len(schemes), base.Hooks.runnerOptions(base.Parallelism), func(i int) (EfficiencyOutcome, error) {
 		cfg := base
 		cfg.Scheme = schemes[i]
 		return RunEfficiencyTrial(cfg, src.Child(schemes[i].Label()))

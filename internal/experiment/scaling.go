@@ -44,6 +44,8 @@ type ScalingConfig struct {
 	// Parallelism is the number of trials simulated concurrently; 0 or 1
 	// runs them sequentially with identical output.
 	Parallelism int
+	// Hooks carries progress and timing callbacks to the runner.
+	Hooks RunHooks
 }
 
 // DefaultScalingConfig fixes a 5-bit pool: far too small to *name* the
@@ -112,7 +114,7 @@ func RunScaling(cfg ScalingConfig) (ScalingResult, error) {
 		}
 	}
 	type outcome struct{ coll, dens float64 }
-	outs, err := runner.Map(len(jobs), runner.Options{Parallelism: cfg.Parallelism}, func(i int) (outcome, error) {
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (outcome, error) {
 		c, d, err := runScalingTrial(cfg, jobs[i].n, jobs[i].src)
 		return outcome{c, d}, err
 	})

@@ -1,0 +1,38 @@
+package metrics
+
+import "retri/internal/trace"
+
+// FrameBitsBuckets is the default on-air frame-size histogram: the paper's
+// radio frames top out around 27 bytes of payload plus a few hundred bits
+// of heavyweight framing.
+var FrameBitsBuckets = []float64{32, 64, 96, 128, 192, 256, 384, 512}
+
+// FromTrace returns a tracer that bridges radio trace events into r: one
+// radio_events_total counter per event kind and a radio_frame_bits
+// histogram of transmitted frame sizes. The counters are pre-registered so
+// Record stays allocation-free inside simulation events; the returned
+// tracer shares r's single-goroutine ownership.
+func FromTrace(r *Registry) trace.Tracer {
+	b := &bridge{bits: r.Histogram("radio_frame_bits", "", FrameBitsBuckets)}
+	for k := trace.FrameSent; k <= trace.Custom; k++ {
+		b.kinds[k] = r.Counter("radio_events_total", "kind="+k.String())
+	}
+	return b
+}
+
+type bridge struct {
+	// kinds is indexed by trace.Kind (1-based; slot 0 unused).
+	kinds [trace.Custom + 1]*Counter
+	bits  *Histogram
+}
+
+var _ trace.Tracer = (*bridge)(nil)
+
+func (b *bridge) Record(e trace.Event) {
+	if e.Kind >= 1 && int(e.Kind) < len(b.kinds) {
+		b.kinds[e.Kind].Inc()
+	}
+	if e.Kind == trace.FrameSent {
+		b.bits.Observe(float64(e.Bits))
+	}
+}

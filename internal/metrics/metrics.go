@@ -1,0 +1,284 @@
+// Package metrics provides the lightweight metrics registry behind the
+// experiment harness's observability layer: counters, gauges and
+// fixed-bucket histograms, optionally labelled (per node, per selector,
+// per identifier width), with deterministic snapshot ordering and a
+// cross-registry merge.
+//
+// A Registry, like a sim.Engine, is owned by one goroutine — typically one
+// simulation trial. Parallel trials each populate a private registry and
+// the caller folds them with Merge in trial-index order, so a parallel
+// run's merged snapshot is byte-identical to the sequential run's (the
+// same ownership-then-merge discipline as the trial runner, DESIGN.md
+// "Parallelism"). Instruments are cheap handles: fetch them once at setup,
+// after which Inc/Add/Set/Observe are plain field updates with no locking
+// and no allocation — free enough to live inside simulation events.
+//
+// Naming convention (DESIGN.md "Observability"): snake_case instrument
+// names, counters suffixed _total, labels as comma-joined k=v pairs
+// (e.g. "sel=uniform,bits=4").
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// instKey identifies one instrument: a name plus an optional label ("" for
+// unlabelled).
+type instKey struct {
+	name  string
+	label string
+}
+
+// Node renders the conventional per-node label.
+func Node(id int) string { return "node=" + strconv.Itoa(id) }
+
+// Counter is a monotonically increasing integer.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n (negative n is a programming error and is ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v += n
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a point-in-time float64. Gauges merge by maximum (see
+// Registry.Merge), which suits the high-water-mark readings they record
+// here; quantities that must sum or average across trials belong in
+// counters or histograms.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records v unconditionally.
+func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+
+// SetMax records v only if it exceeds the current value (or none is set).
+func (g *Gauge) SetMax(v float64) {
+	if !g.set || v > g.v {
+		g.Set(v)
+	}
+}
+
+// Value reports the current reading (0 when never set).
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v <= bounds[i] (and greater than bounds[i-1]); one overflow
+// bucket beyond the last bound catches the rest. Fixed bounds keep
+// Observe allocation-free and make cross-trial merges exact.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// Observe folds one sample into the histogram.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum reports the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Registry holds one trial's instruments. Not safe for concurrent use;
+// see the package comment for the ownership-then-merge discipline.
+type Registry struct {
+	counters map[instKey]*Counter
+	gauges   map[instKey]*Gauge
+	hists    map[instKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[instKey]*Counter),
+		gauges:   make(map[instKey]*Gauge),
+		hists:    make(map[instKey]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under (name, label), creating it
+// on first use.
+func (r *Registry) Counter(name, label string) *Counter {
+	k := instKey{name, label}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under (name, label), creating it on
+// first use.
+func (r *Registry) Gauge(name, label string) *Gauge {
+	k := instKey{name, label}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under (name, label), creating
+// it with the given bucket upper bounds on first use. Bounds must be
+// sorted ascending and non-empty; re-registering the same instrument with
+// different bounds is a programming error and panics.
+func (r *Registry) Histogram(name, label string, bounds []float64) *Histogram {
+	k := instKey{name, label}
+	if h, ok := r.hists[k]; ok {
+		if !equalBounds(h.bounds, bounds) {
+			panic(fmt.Sprintf("metrics: histogram %q label %q re-registered with different bounds", name, label))
+		}
+		return h
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+	r.hists[k] = h
+	return h
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds another registry into this one: counters and histogram
+// buckets add, gauges keep the maximum. All three operations are
+// commutative and associative, so any fold order yields the same state —
+// callers still fold in trial-index order by convention. Merging
+// histograms with mismatched bounds is an error.
+func (r *Registry) Merge(from *Registry) error {
+	if from == nil {
+		return nil
+	}
+	for k, c := range from.counters {
+		r.Counter(k.name, k.label).Add(c.v)
+	}
+	for k, g := range from.gauges {
+		if g.set {
+			r.Gauge(k.name, k.label).SetMax(g.v)
+		}
+	}
+	for k, h := range from.hists {
+		dst, ok := r.hists[k]
+		if !ok {
+			dst = r.Histogram(k.name, k.label, h.bounds)
+		} else if !equalBounds(dst.bounds, h.bounds) {
+			return fmt.Errorf("metrics: merge histogram %q label %q: bucket bounds differ", k.name, k.label)
+		}
+		for i, n := range h.counts {
+			dst.counts[i] += n
+		}
+		dst.count += h.count
+		dst.sum += h.sum
+	}
+	return nil
+}
+
+// CounterSample is one counter in a snapshot.
+type CounterSample struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSample is one gauge in a snapshot.
+type GaugeSample struct {
+	Name  string  `json:"name"`
+	Label string  `json:"label,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSample is one histogram in a snapshot. Counts has one entry per
+// bound plus a final overflow bucket.
+type HistogramSample struct {
+	Name   string    `json:"name"`
+	Label  string    `json:"label,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a frozen, JSON-serializable view of a registry with
+// deterministic ordering: each section sorted by (name, label).
+type Snapshot struct {
+	Counters   []CounterSample   `json:"counters,omitempty"`
+	Gauges     []GaugeSample     `json:"gauges,omitempty"`
+	Histograms []HistogramSample `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for _, k := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterSample{Name: k.name, Label: k.label, Value: r.counters[k].v})
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeSample{Name: k.name, Label: k.label, Value: r.gauges[k].v})
+	}
+	for _, k := range sortedKeys(r.hists) {
+		h := r.hists[k]
+		s.Histograms = append(s.Histograms, HistogramSample{
+			Name:   k.name,
+			Label:  k.label,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Count:  h.count,
+			Sum:    h.sum,
+		})
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[instKey]V) []instKey {
+	keys := make([]instKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].label < keys[j].label
+	})
+	return keys
+}

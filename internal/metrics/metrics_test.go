@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"retri/internal/trace"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames_total", "")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("frames_total", "") != c {
+		t.Error("re-fetching a counter returned a new handle")
+	}
+	if r.Counter("frames_total", "node=1") == c {
+		t.Error("labelled counter aliases the unlabelled one")
+	}
+
+	g := r.Gauge("high_water", "")
+	g.SetMax(3)
+	g.SetMax(1)
+	if g.Value() != 3 {
+		t.Errorf("SetMax kept %v, want 3", g.Value())
+	}
+	g.Set(0.5)
+	if g.Value() != 0.5 {
+		t.Errorf("Set kept %v, want 0.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 2} // le1: {0.5,1}; le2: {1.5,2}; le4: {3,4}; +inf: {5,100}
+	if !reflect.DeepEqual(h.counts, want) {
+		t.Errorf("bucket counts = %v, want %v", h.counts, want)
+	}
+	if h.Count() != 8 || h.Sum() != 117 {
+		t.Errorf("count/sum = %d/%v, want 8/117", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	r := NewRegistry()
+	for name, bounds := range map[string][]float64{
+		"empty":    {},
+		"unsorted": {2, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds accepted", name)
+				}
+			}()
+			r.Histogram(name, "", bounds)
+		}()
+	}
+	r.Histogram("ok", "", []float64{1, 2})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registration with different bounds accepted")
+			}
+		}()
+		r.Histogram("ok", "", []float64{1, 3})
+	}()
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(order []string) Snapshot {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, "").Inc()
+			r.Counter(name, "node=2").Inc()
+			r.Counter(name, "node=1").Inc()
+		}
+		return r.Snapshot()
+	}
+	a := build([]string{"b", "a", "c"})
+	b := build([]string{"c", "b", "a"})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("snapshot order depends on registration order:\n%v\n%v", a, b)
+	}
+	if a.Counters[0].Name != "a" || a.Counters[0].Label != "" || a.Counters[1].Label != "node=1" {
+		t.Errorf("snapshot not sorted by (name, label): %v", a.Counters)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", "node=1").Add(7)
+	r.Gauge("high_water", "").Set(12)
+	r.Histogram("joules", "", []float64{1, 2}).Observe(1.5)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r.Snapshot()) {
+		t.Errorf("JSON round trip lost data:\n%s", raw)
+	}
+}
+
+// TestMergeOrderIndependent pins the guarantee the parallel harness leans
+// on: counters sum, gauges take max, histogram buckets add, and the merged
+// snapshot is identical no matter the fold order.
+func TestMergeOrderIndependent(t *testing.T) {
+	mk := func(c int64, g float64, obs float64) *Registry {
+		r := NewRegistry()
+		r.Counter("n_total", "").Add(c)
+		r.Gauge("hw", "").Set(g)
+		r.Histogram("h", "", []float64{1, 10}).Observe(obs)
+		return r
+	}
+	parts := func() []*Registry {
+		return []*Registry{mk(1, 5, 0.5), mk(2, 9, 3), mk(4, 7, 30)}
+	}
+
+	fold := func(order []int) Snapshot {
+		dst := NewRegistry()
+		p := parts()
+		for _, i := range order {
+			if err := dst.Merge(p[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dst.Snapshot()
+	}
+	a, b := fold([]int{0, 1, 2}), fold([]int{2, 0, 1})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("merge is fold-order dependent:\n%v\n%v", a, b)
+	}
+	if a.Counters[0].Value != 7 {
+		t.Errorf("merged counter = %d, want 7", a.Counters[0].Value)
+	}
+	if a.Gauges[0].Value != 9 {
+		t.Errorf("merged gauge = %v, want max 9", a.Gauges[0].Value)
+	}
+	if want := []int64{1, 1, 1}; !reflect.DeepEqual(a.Histograms[0].Counts, want) {
+		t.Errorf("merged histogram counts = %v, want %v", a.Histograms[0].Counts, want)
+	}
+}
+
+func TestMergeBoundsMismatch(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("h", "", []float64{1, 2}).Observe(1)
+	b.Histogram("h", "", []float64{1, 3}).Observe(1)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging mismatched histogram bounds succeeded")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil registry: %v", err)
+	}
+}
+
+func TestFromTraceBridgesKinds(t *testing.T) {
+	r := NewRegistry()
+	tr := FromTrace(r)
+	tr.Record(trace.Event{Kind: trace.FrameSent, Bits: 100})
+	tr.Record(trace.Event{Kind: trace.FrameSent, Bits: 300})
+	tr.Record(trace.Event{Kind: trace.FrameDelivered, Bits: 100})
+	tr.Record(trace.Event{Kind: trace.FrameCollided})
+
+	if got := r.Counter("radio_events_total", "kind=sent").Value(); got != 2 {
+		t.Errorf("sent = %d, want 2", got)
+	}
+	if got := r.Counter("radio_events_total", "kind=delivered").Value(); got != 1 {
+		t.Errorf("delivered = %d, want 1", got)
+	}
+	if got := r.Counter("radio_events_total", "kind=collided").Value(); got != 1 {
+		t.Errorf("collided = %d, want 1", got)
+	}
+	h := r.Histogram("radio_frame_bits", "", FrameBitsBuckets)
+	if h.Count() != 2 || h.Sum() != 400 {
+		t.Errorf("frame-bits histogram count/sum = %d/%v, want 2/400", h.Count(), h.Sum())
+	}
+}
+
+func TestNodeLabel(t *testing.T) {
+	if Node(7) != "node=7" {
+		t.Errorf("Node(7) = %q", Node(7))
+	}
+}

@@ -1,0 +1,60 @@
+package radio
+
+import (
+	"io"
+	"testing"
+
+	"retri/internal/metrics"
+	"retri/internal/sim"
+	"retri/internal/trace"
+	"retri/internal/xrand"
+)
+
+// benchWorkload drives one contention-heavy round-robin broadcast workload
+// through a fresh medium with the given tracer. The workload is identical
+// across variants so the benchmark isolates the tracer's cost in the radio
+// hot path (Medium.emit on every send and reception outcome).
+func benchWorkload(b *testing.B, tracer trace.Tracer) {
+	b.Helper()
+	b.ReportAllocs()
+	payload := []byte{0xAB, 0xCD, 0xEF}
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		rng := xrand.NewSource(99).Stream("bench")
+		m := NewMedium(eng, FullMesh{}, DefaultParams(), rng)
+		m.SetTracer(tracer)
+		radios := make([]*Radio, 6)
+		for j := range radios {
+			radios[j] = m.MustAttach(NodeID(j))
+			radios[j].SetHandler(func(Frame) {})
+		}
+		for round := 0; round < 10; round++ {
+			for _, r := range radios {
+				if err := r.Send(payload, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng.Run()
+		}
+	}
+}
+
+// BenchmarkMediumNoTracer is the disabled path: the observability layer's
+// contract is that this stays within ~2% of a build without the layer at
+// all (a nil check per emit site).
+func BenchmarkMediumNoTracer(b *testing.B) {
+	benchWorkload(b, nil)
+}
+
+// BenchmarkMediumMetricsBridge measures the capture path used per trial by
+// the experiment layer: trace events folded straight into counters.
+func BenchmarkMediumMetricsBridge(b *testing.B) {
+	benchWorkload(b, metrics.FromTrace(metrics.NewRegistry()))
+}
+
+// BenchmarkMediumJSONWriter measures the heaviest tracer: every event
+// serialized to JSON Lines (sunk into io.Discard so only encoding cost is
+// measured, not disk).
+func BenchmarkMediumJSONWriter(b *testing.B) {
+	benchWorkload(b, trace.NewJSONWriter(io.Discard))
+}

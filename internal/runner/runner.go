@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Options tunes a Map call.
@@ -34,6 +35,12 @@ type Options struct {
 	// and completed is strictly increasing, but under parallelism they may
 	// arrive on worker goroutines.
 	OnProgress func(completed, total int)
+	// OnTrialTime, when non-nil, is invoked after each trial completes
+	// with its index and wall-clock duration (including failed trials).
+	// Like OnProgress, calls are serialized but may arrive on worker
+	// goroutines in completion order, not trial order. The clock is only
+	// read when the hook is set, so a nil hook costs nothing.
+	OnTrialTime func(trial int, elapsed time.Duration)
 }
 
 // TrialError attaches the failing trial's index to its error.
@@ -78,11 +85,14 @@ func Map[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error)
 	results := make([]T, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := runTrial(i, fn)
+			v, elapsed, err := runTimedTrial(i, opts, fn)
 			if err != nil {
 				return nil, err
 			}
 			results[i] = v
+			if opts.OnTrialTime != nil {
+				opts.OnTrialTime(i, elapsed)
+			}
 			if opts.OnProgress != nil {
 				opts.OnProgress(i+1, n)
 			}
@@ -102,7 +112,7 @@ func Map[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				v, err := runTrial(i, fn)
+				v, elapsed, err := runTimedTrial(i, opts, fn)
 				mu.Lock()
 				if err == nil {
 					results[i] = v
@@ -110,6 +120,9 @@ func Map[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error)
 					firstErr = te
 				}
 				done++
+				if opts.OnTrialTime != nil {
+					opts.OnTrialTime(i, elapsed)
+				}
 				if opts.OnProgress != nil {
 					opts.OnProgress(done, n)
 				}
@@ -126,6 +139,18 @@ func Map[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error)
 		return nil, firstErr
 	}
 	return results, nil
+}
+
+// runTimedTrial wraps runTrial with wall-clock measurement, reading the
+// clock only when an OnTrialTime hook will consume it.
+func runTimedTrial[T any](i int, opts Options, fn func(int) (T, error)) (T, time.Duration, error) {
+	if opts.OnTrialTime == nil {
+		v, err := runTrial(i, fn)
+		return v, 0, err
+	}
+	start := time.Now()
+	v, err := runTrial(i, fn)
+	return v, time.Since(start), err
 }
 
 // runTrial invokes fn for one trial, converting panics and errors into

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapSequentialOrder(t *testing.T) {
@@ -150,6 +151,61 @@ func TestMapProgress(t *testing.T) {
 				t.Fatalf("parallelism %d: progress sequence %v not strictly increasing", parallelism, seen)
 			}
 		}
+	}
+}
+
+// TestMapTrialTime: the timing hook fires once per trial with every index,
+// sequentially and in parallel, and non-negative durations.
+func TestMapTrialTime(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		var mu sync.Mutex
+		seen := make(map[int]time.Duration)
+		_, err := Map(10, Options{
+			Parallelism: parallelism,
+			OnTrialTime: func(trial int, elapsed time.Duration) {
+				mu.Lock()
+				defer mu.Unlock()
+				if _, dup := seen[trial]; dup {
+					t.Errorf("parallelism %d: trial %d timed twice", parallelism, trial)
+				}
+				seen[trial] = elapsed
+			},
+		}, func(i int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 10 {
+			t.Fatalf("parallelism %d: timed %d trials, want 10", parallelism, len(seen))
+		}
+		for trial, d := range seen {
+			if d < time.Millisecond {
+				t.Errorf("parallelism %d: trial %d elapsed %v, want >= 1ms", parallelism, trial, d)
+			}
+		}
+	}
+}
+
+// TestMapTrialTimeCoversFailures: failed trials are still timed, so a
+// manifest accounts for all wall-clock spent.
+func TestMapTrialTimeCoversFailures(t *testing.T) {
+	var calls atomic.Int32
+	_, err := Map(4, Options{
+		Parallelism: 2,
+		OnTrialTime: func(trial int, elapsed time.Duration) { calls.Add(1) },
+	}, func(i int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected trial error")
+	}
+	if calls.Load() != 4 {
+		t.Errorf("timed %d trials, want all 4 including the failure", calls.Load())
 	}
 }
 

@@ -25,6 +25,13 @@ type Engine struct {
 	// nCancelled counts cancelled events still occupying heap slots, so
 	// Pending is O(1) and Cancel knows when compaction pays off.
 	nCancelled int
+	// Event-loop accounting for Stats: total cancellations, lazy-deletion
+	// compactions, and the heap's high-water mark. Each costs at most one
+	// increment or compare per operation, so the accounting is always on
+	// and cannot perturb scheduling.
+	nCancelledTotal uint64
+	nCompactions    uint64
+	heapHighWater   int
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -43,6 +50,37 @@ func (e *Engine) Pending() int {
 // Processed reports the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.nRun }
 
+// Stats is a snapshot of the engine's event-loop accounting, for the
+// observability layer. All fields are totals since NewEngine except
+// HeapHighWater (the largest heap the run ever held, cancelled slots
+// included) and Pending (live events right now).
+type Stats struct {
+	// Processed counts events executed.
+	Processed uint64
+	// Scheduled counts events ever scheduled.
+	Scheduled uint64
+	// Cancelled counts timers cancelled before firing.
+	Cancelled uint64
+	// Compactions counts cancelled-timer heap rebuilds (maybeCompact).
+	Compactions uint64
+	// HeapHighWater is the maximum heap length observed.
+	HeapHighWater int
+	// Pending is the current count of scheduled, uncancelled events.
+	Pending int
+}
+
+// Stats returns the engine's event-loop accounting.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Processed:     e.nRun,
+		Scheduled:     e.seq,
+		Cancelled:     e.nCancelledTotal,
+		Compactions:   e.nCompactions,
+		HeapHighWater: e.heapHighWater,
+		Pending:       e.Pending(),
+	}
+}
+
 // Timer is a handle to a scheduled event.
 type Timer struct {
 	eng *Engine
@@ -58,6 +96,7 @@ func (t *Timer) Cancel() bool {
 	}
 	t.ev.cancelled = true
 	t.eng.nCancelled++
+	t.eng.nCancelledTotal++
 	t.eng.maybeCompact()
 	return true
 }
@@ -94,6 +133,9 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Timer {
 	ev := &event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.heapHighWater {
+		e.heapHighWater = len(e.events)
+	}
 	return &Timer{eng: e, ev: ev}
 }
 
@@ -119,6 +161,7 @@ func (e *Engine) maybeCompact() {
 	}
 	e.events = kept
 	e.nCancelled = 0
+	e.nCompactions++
 	heap.Init(&e.events)
 }
 

@@ -284,6 +284,53 @@ func TestPendingCountsAcrossCancelAndRun(t *testing.T) {
 	}
 }
 
+// TestStatsAccounting: Stats must agree with the operations performed,
+// including compactions and the heap high-water mark.
+func TestStatsAccounting(t *testing.T) {
+	e := NewEngine()
+	if (e.Stats() != Stats{}) {
+		t.Errorf("fresh engine Stats = %+v, want zero", e.Stats())
+	}
+
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, e.Schedule(time.Duration(i)*time.Second, func() {}))
+	}
+	timers[0].Cancel()
+	timers[1].Cancel()
+	timers[1].Cancel() // no-op, must not double-count
+
+	s := e.Stats()
+	if s.Scheduled != 10 || s.Cancelled != 2 || s.Pending != 8 || s.Processed != 0 {
+		t.Errorf("Stats = %+v, want scheduled 10, cancelled 2, pending 8", s)
+	}
+	if s.HeapHighWater != 10 {
+		t.Errorf("HeapHighWater = %d, want 10", s.HeapHighWater)
+	}
+
+	e.Run()
+	s = e.Stats()
+	if s.Processed != 8 || s.Pending != 0 {
+		t.Errorf("after Run, Stats = %+v, want processed 8, pending 0", s)
+	}
+	if s.HeapHighWater != 10 {
+		t.Errorf("high water shrank to %d after Run", s.HeapHighWater)
+	}
+
+	// Force compactions with cancel/reschedule churn and verify they are
+	// counted and the totals keep up.
+	for i := 0; i < 1000; i++ {
+		e.Schedule(time.Hour, func() {}).Cancel()
+	}
+	s = e.Stats()
+	if s.Compactions == 0 {
+		t.Error("cancel/reschedule churn triggered no compactions")
+	}
+	if s.Scheduled != 1010 || s.Cancelled != 1002 {
+		t.Errorf("after churn, Stats = %+v, want scheduled 1010, cancelled 1002", s)
+	}
+}
+
 // TestClockMonotonicProperty: under random scheduling, observed event times
 // never decrease and never precede their scheduling time.
 func TestClockMonotonicProperty(t *testing.T) {

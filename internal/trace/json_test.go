@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONWriterOneObjectPerLine(t *testing.T) {
+	var sb strings.Builder
+	jw := NewJSONWriter(&sb)
+	jw.Record(Event{At: 1500 * time.Microsecond, Kind: FrameSent, Node: 3, Bits: 256})
+	jw.Record(Event{At: 2 * time.Millisecond, Kind: FrameDelivered, Node: 2, Peer: 3, Bits: 256})
+	jw.Record(Event{Kind: Custom, Node: 1, Note: "conflict id=7"})
+
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3: %q", len(lines), sb.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if first["at_ns"] != float64(1500000) || first["kind"] != "sent" || first["node"] != float64(3) || first["bits"] != float64(256) {
+		t.Errorf("line 0 = %v", first)
+	}
+	if _, ok := first["peer"]; ok {
+		t.Errorf("zero peer should be omitted: %v", first)
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if last["note"] != "conflict id=7" {
+		t.Errorf("line 2 = %v", last)
+	}
+}
+
+func TestJSONWriterSwallowsWriteErrors(t *testing.T) {
+	jw := NewJSONWriter(failWriter{})
+	jw.Record(ev(FrameSent, 1)) // must not panic
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, errFail
+}
+
+var errFail = &failError{}
+
+type failError struct{}
+
+func (*failError) Error() string { return "fail" }
+
+func TestBufferKeepsBeginning(t *testing.T) {
+	b := &Buffer{Max: 3}
+	for i := 0; i < 5; i++ {
+		b.Record(ev(FrameSent, i))
+	}
+	if b.Len() != 3 || b.Dropped() != 2 {
+		t.Fatalf("Len/Dropped = %d/%d, want 3/2", b.Len(), b.Dropped())
+	}
+	for i, e := range b.Events() {
+		if e.Node != i {
+			t.Errorf("buffer did not keep the beginning: %v", b.Events())
+		}
+	}
+}
+
+func TestBufferUnbounded(t *testing.T) {
+	b := &Buffer{}
+	for i := 0; i < 100; i++ {
+		b.Record(ev(FrameSent, i))
+	}
+	if b.Len() != 100 || b.Dropped() != 0 {
+		t.Errorf("Len/Dropped = %d/%d, want 100/0", b.Len(), b.Dropped())
+	}
+}
+
+func TestBufferReplay(t *testing.T) {
+	b := &Buffer{}
+	b.Record(ev(FrameSent, 1))
+	b.Record(ev(FrameCollided, 2))
+	c := NewCounter()
+	b.Replay(c)
+	if c.Count(FrameSent) != 1 || c.Count(FrameCollided) != 1 {
+		t.Error("Replay did not forward all events")
+	}
+	b.Replay(nil) // must not panic
+}

@@ -6,6 +6,22 @@
 // post-mortems, writers for live logs, counters for assertions, filters
 // and fan-out for routing). Tracing is optional everywhere and free when
 // disabled.
+//
+// # Ownership
+//
+// Tracers are not safe for concurrent use. Like the sim.Engine they run
+// inside, every tracer — Ring, Counter, Buffer, a Multi fan-out and
+// whatever it fans out to — belongs to exactly one simulation trial and
+// must only be Recorded into from that trial's goroutine. Do NOT share one
+// tracer between parallel trials (runner.Map with Parallelism > 1): Ring
+// and Counter mutate unguarded state and the race detector will rightly
+// object. The sanctioned cross-trial pattern is capture-then-merge: give
+// each trial its own tracer (typically a Buffer and/or a metrics.FromTrace
+// bridge composed with Multi), then after the runner returns fold the
+// per-trial captures in trial-index order — metrics registries via
+// metrics.Registry.Merge, buffered events via Buffer.Replay — so a
+// parallel run aggregates byte-identically to a sequential one (see
+// experiment.Obs).
 package trace
 
 import (
