@@ -1,12 +1,17 @@
 # Standard verify loop. `make check` is what CI and pre-commit should run:
-# vet + build + the full test suite under the race detector, so the
-# parallel trial runner's no-shared-state rule is checked on every pass.
+# vet + build + the full test suite under the race detector (so the
+# parallel trial runner's no-shared-state rule is checked on every pass),
+# plus a short coverage-guided pass over each frame-codec fuzz target.
 
 GO ?= go
+FUZZTIME ?= 10s
+# `go test -fuzz` accepts exactly one target per invocation, so the short
+# CI pass loops over them.
+FUZZ_TARGETS := FuzzAFFDecode FuzzStaticDecode FuzzAFFBitFlip FuzzStaticBitFlip
 
-.PHONY: check vet build test race bench profile
+.PHONY: check vet build test race fuzz bench profile
 
-check: vet build race
+check: vet build race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +24,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+fuzz:
+	@for target in $(FUZZ_TARGETS); do \
+		echo "fuzz $$target ($(FUZZTIME))"; \
+		$(GO) test ./internal/frame/ -run "^$$target$$" -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
 bench:
 	$(GO) test -bench . -benchmem ./...

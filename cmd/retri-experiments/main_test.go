@@ -319,3 +319,81 @@ func TestRunStdoutIdenticalWithObservability(t *testing.T) {
 		t.Errorf("unexpected baseline output:\n%s", plain)
 	}
 }
+
+func TestParseFaultAndARQFlags(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.faults != "all" || o.arqRetries != 8 {
+		t.Errorf("defaults = (%q, %d), want (all, 8)", o.faults, o.arqRetries)
+	}
+	if _, err := parseArgs([]string{"-faults", "iid,ge+crash"}); err != nil {
+		t.Errorf("valid fault list rejected: %v", err)
+	}
+	if _, err := parseArgs([]string{"-faults", "volcano"}); err == nil || !strings.Contains(err.Error(), "volcano") {
+		t.Errorf("unknown fault model: err = %v", err)
+	}
+	if _, err := parseArgs([]string{"-arq-retries", "-1"}); err == nil {
+		t.Error("negative retry budget accepted")
+	}
+	if _, err := parseArgs([]string{"-arq-rto", "0s"}); err == nil {
+		t.Error("zero RTO accepted")
+	}
+	if _, err := parseArgs([]string{"-arq-rto", "2s", "-arq-max-rto", "1s"}); err == nil {
+		t.Error("RTO above its cap accepted")
+	}
+}
+
+func TestRunRecoveryTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	args := []string{"-figure", "recovery", "-trials", "1", "-duration", "4s", "-faults", "none,iid"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-format", "csv", "-parallel", "2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecoveryScriptFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	path := filepath.Join(t.TempDir(), "sched.txt")
+	if err := os.WriteFile(path, []byte("2s crash 1\n3s restart 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-figure", "recovery", "-trials", "1", "-duration", "6s",
+		"-faults", "none", "-fault-script", path}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultScriptErrors(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.txt")
+	err := run([]string{"-figure", "recovery", "-fault-script", missing})
+	if err == nil {
+		t.Fatal("missing fault script accepted")
+	}
+	if !strings.Contains(err.Error(), "nope.txt") {
+		t.Errorf("error %q does not name the file", err)
+	}
+
+	malformed := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(malformed, []byte("# header\n1s explode 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-figure", "recovery", "-fault-script", malformed})
+	if err == nil {
+		t.Fatal("malformed fault script accepted")
+	}
+	for _, want := range []string{"bad.txt", "line 2", "explode"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %q", err, want)
+		}
+	}
+}

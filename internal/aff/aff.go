@@ -148,7 +148,34 @@ func (f *Fragmenter) Fragment(packet []byte) (Transaction, error) {
 	if len(packet) > frame.MaxPacketLen {
 		return Transaction{}, fmt.Errorf("%w: %d bytes", ErrPacketTooLarge, len(packet))
 	}
+	return f.fragmentWithID(f.sel.Next(), packet)
+}
+
+// FragmentAvoiding is Fragment with the paper's retransmission invariant
+// enforced in code: a retransmitted packet must never reuse the previous
+// attempt's identifier (Section 3 — a retry is a new transaction). The
+// selector is redrawn until it yields something other than avoid, which
+// terminates because redraws are independent (uniform/listening) or
+// cycling (sequential); a one-identifier space cannot avoid anything and
+// is used as-is.
+func (f *Fragmenter) FragmentAvoiding(packet []byte, avoid uint64) (Transaction, error) {
+	if len(packet) == 0 {
+		return Transaction{}, ErrEmptyPacket
+	}
+	if len(packet) > frame.MaxPacketLen {
+		return Transaction{}, fmt.Errorf("%w: %d bytes", ErrPacketTooLarge, len(packet))
+	}
 	id := f.sel.Next()
+	if f.cfg.Space.Size() > 1 {
+		for id == avoid {
+			id = f.sel.Next()
+		}
+	}
+	return f.fragmentWithID(id, packet)
+}
+
+// fragmentWithID splits a validated packet under the given identifier.
+func (f *Fragmenter) fragmentWithID(id uint64, packet []byte) (Transaction, error) {
 	var truth *frame.Truth
 	if f.cfg.Instrument {
 		truth = &frame.Truth{Node: f.node, Seq: f.seq}

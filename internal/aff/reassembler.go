@@ -52,6 +52,15 @@ type Reassembler struct {
 	pending map[uint64]*pending
 	stats   Stats
 
+	// expq is the amortized expiry queue: every fragment pushes one
+	// (identifier, activity-time) entry, and activity times are drawn from
+	// the monotone virtual clock, so the queue is sorted by construction.
+	// A sweep pops due entries and evicts only those whose pending state
+	// saw no later activity — O(1) amortized per fragment, replacing the
+	// full-map scan Ingest used to do on every frame.
+	expq     []expEntry
+	expqHead int
+
 	// observer, when set, is told each identifier heard and whether the
 	// fragment was an introduction (a transaction start). The node layer
 	// wires introductions to a listening selector — the paper's window is
@@ -86,6 +95,12 @@ type pending struct {
 // maxEarlyFragments bounds pre-introduction buffering per identifier so a
 // lost introduction cannot pin unbounded state.
 const maxEarlyFragments = 1 << 12
+
+// expEntry marks one identifier's activity for the expiry queue.
+type expEntry struct {
+	id uint64
+	at time.Duration
+}
 
 // NewReassembler returns a reassembler that calls deliver for each verified
 // packet. now supplies virtual time for timeout eviction (pass the engine's
@@ -151,7 +166,7 @@ func (r *Reassembler) ingestIntro(in *frame.Intro) {
 		p = &pending{}
 		r.pending[in.ID] = p
 	}
-	p.lastActivity = r.now()
+	r.touch(in.ID, p)
 	if p.haveIntro {
 		if p.totalLen != in.TotalLen || p.sum != in.Checksum {
 			// Two transactions announced under one identifier.
@@ -183,7 +198,7 @@ func (r *Reassembler) ingestData(d *frame.Data) {
 		p = &pending{}
 		r.pending[d.ID] = p
 	}
-	p.lastActivity = r.now()
+	r.touch(d.ID, p)
 	if !p.haveIntro {
 		// Introduction not yet seen (reordering is impossible on our
 		// radio, but the introduction frame itself can be lost).
@@ -252,19 +267,73 @@ func (r *Reassembler) conflict(id uint64) {
 	}
 }
 
+// touch records activity for an identifier: it stamps the pending state
+// and appends an expiry-queue entry. The queue stays sorted because the
+// virtual clock is monotone.
+func (r *Reassembler) touch(id uint64, p *pending) {
+	p.lastActivity = r.now()
+	if r.cfg.ReassemblyTimeout > 0 {
+		r.expq = append(r.expq, expEntry{id: id, at: p.lastActivity})
+	}
+}
+
 // expire evicts partial packets idle longer than the configured timeout.
+// Each queue entry is examined once ever, so the amortized cost per
+// ingested fragment is O(1); an entry made stale by later activity is
+// simply discarded (that activity pushed its own entry).
 func (r *Reassembler) expire() {
 	if r.cfg.ReassemblyTimeout <= 0 {
 		return
 	}
-	cutoff := r.now() - r.cfg.ReassemblyTimeout
-	if cutoff <= 0 {
+	now := r.now()
+	for r.expqHead < len(r.expq) {
+		e := r.expq[r.expqHead]
+		if now-e.at <= r.cfg.ReassemblyTimeout {
+			break
+		}
+		r.expqHead++
+		p, ok := r.pending[e.id]
+		if !ok || p.lastActivity != e.at {
+			continue
+		}
+		delete(r.pending, e.id)
+		r.stats.Timeouts++
+	}
+	r.compactExpq()
+}
+
+// compactExpq reclaims consumed queue prefix once it dominates the slice.
+func (r *Reassembler) compactExpq() {
+	if r.expqHead < 64 || r.expqHead*2 < len(r.expq) {
 		return
 	}
-	for id, p := range r.pending {
-		if p.lastActivity < cutoff {
-			delete(r.pending, id)
-			r.stats.Timeouts++
-		}
+	n := copy(r.expq, r.expq[r.expqHead:])
+	r.expq = r.expq[:n]
+	r.expqHead = 0
+}
+
+// Sweep runs timeout eviction at the present instant without ingesting a
+// frame. Wire it to an engine timer (node.AFFOptions.Engine) so idle
+// nodes shed stale partial-packet state instead of retaining it until the
+// next reception.
+func (r *Reassembler) Sweep() { r.expire() }
+
+// NextExpiry reports the earliest virtual time at which a pending
+// identifier could expire, and whether any timeout is outstanding. The
+// returned time is when eviction becomes possible, not a promise that
+// state will still be stale then.
+func (r *Reassembler) NextExpiry() (time.Duration, bool) {
+	if r.cfg.ReassemblyTimeout <= 0 || r.expqHead >= len(r.expq) {
+		return 0, false
 	}
+	return r.expq[r.expqHead].at + r.cfg.ReassemblyTimeout, true
+}
+
+// Reset discards all partial-packet state, modelling a node crash: RAM is
+// gone, counters (which belong to the measurement harness, not the node)
+// survive.
+func (r *Reassembler) Reset() {
+	r.pending = make(map[uint64]*pending)
+	r.expq = nil
+	r.expqHead = 0
 }

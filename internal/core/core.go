@@ -194,6 +194,14 @@ func (l *ListeningSelector) Observe(id uint64) {
 // Recent reports the number of observations currently in the window.
 func (l *ListeningSelector) Recent() int { return len(l.recent) }
 
+// Reset forgets every observation, modelling a node crash: the listening
+// window lives in RAM, so a restarted node selects as if freshly booted
+// until it has listened again.
+func (l *ListeningSelector) Reset() {
+	l.recent = nil
+	l.counts = make(map[uint64]int)
+}
+
 // RecentDistinct reports the number of distinct identifiers in the window.
 func (l *ListeningSelector) RecentDistinct() int { return len(l.counts) }
 

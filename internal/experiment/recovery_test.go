@@ -1,0 +1,280 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/faults"
+	"retri/internal/metrics"
+	"retri/internal/xrand"
+)
+
+// smallRecovery is a sweep small enough to run repeatedly in tests while
+// still covering both schemes, both modes, and a compound fault model.
+func smallRecovery() RecoveryConfig {
+	cfg := DefaultRecoveryConfig()
+	cfg.Senders = 2
+	cfg.Trials = 2
+	cfg.Duration = 8 * time.Second
+	cfg.Faults = []FaultKind{FaultIID, FaultGECrash}
+	cfg.Crash = faults.CrashPlan{MTBF: 4 * time.Second, MeanDowntime: 500 * time.Millisecond}
+	return cfg
+}
+
+func TestParseFaultKinds(t *testing.T) {
+	all, err := ParseFaultKinds("all")
+	if err != nil || len(all) != 7 {
+		t.Errorf("all = (%v, %v), want the 7 standard models", all, err)
+	}
+	got, err := ParseFaultKinds(" iid , ge+crash ")
+	if err != nil || len(got) != 2 || got[0] != FaultIID || got[1] != FaultGECrash {
+		t.Errorf("list = (%v, %v)", got, err)
+	}
+	if _, err := ParseFaultKinds("script"); err != nil {
+		t.Errorf("script rejected: %v", err)
+	}
+	if _, err := ParseFaultKinds("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown model: err = %v", err)
+	}
+	if _, err := ParseFaultKinds(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestRecoveryConfigValidation(t *testing.T) {
+	cfg := DefaultRecoveryConfig()
+	cfg.Senders = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero senders accepted")
+	}
+	cfg = DefaultRecoveryConfig()
+	cfg.IIDLoss = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("certain i.i.d. loss accepted")
+	}
+	cfg = DefaultRecoveryConfig()
+	cfg.Faults = []FaultKind{FaultScript}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "script") {
+		t.Errorf("script fault without a script: err = %v", err)
+	}
+	s, err := faults.ParseScriptString("1s crash 5\n2s restart 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Script = &s
+	cfg.Senders = 2 // nodes 0..2; the script names node 5
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "node 5") {
+		t.Errorf("out-of-population script: err = %v", err)
+	}
+	cfg.Senders = 5
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid script config rejected: %v", err)
+	}
+	cfg = DefaultRecoveryConfig()
+	cfg.Faults = []FaultKind{"volcano"}
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+}
+
+// TestRecoveryParallelByteIdentical extends the parallel runner's core
+// guarantee to the recovery sweep: table, CSV and folded metrics of a
+// parallel run must match the sequential run exactly.
+func TestRecoveryParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	runOne := func(parallelism int) (RecoveryResult, metrics.Snapshot) {
+		cfg := smallRecovery()
+		cfg.Parallelism = parallelism
+		reg := metrics.NewRegistry()
+		cfg.Obs = &Obs{Metrics: reg}
+		res, err := Recovery(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg.Snapshot()
+	}
+	seq, seqSnap := runOne(1)
+	par, parSnap := runOne(4)
+
+	if got, want := par.CSV(), seq.CSV(); got != want {
+		t.Errorf("parallel CSV differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := par.Render(), seq.Render(); got != want {
+		t.Errorf("parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	a, err := json.Marshal(seqSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("folded metrics snapshots differ between sequential and parallel runs")
+	}
+}
+
+// TestRecoveryAcceptanceGECrash is the PR's headline claim: the AFF stack
+// plus a conventional ARQ layer delivers essentially everything under
+// compound burst-loss + crash faults, with every retransmission under a
+// fresh identifier and no identifier ever repeated.
+func TestRecoveryAcceptanceGECrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultRecoveryConfig()
+	cfg.Senders = 3
+	cfg.Trials = 3
+	cfg.Duration = 30 * time.Second
+	cfg.Schemes = []Scheme{AFFScheme(8, SelListening)}
+	cfg.Faults = []FaultKind{FaultGECrash}
+	cfg.Baseline = false
+	cfg.Crash = faults.CrashPlan{MTBF: 10 * time.Second, MeanDowntime: 500 * time.Millisecond}
+
+	res, err := Recovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.Ratio.Mean < 0.99 {
+		t.Errorf("delivery ratio %.4f under ge+crash, want >= 0.99", row.Ratio.Mean)
+	}
+	if row.Retransmits == 0 {
+		t.Error("no retransmissions under ge+crash; the fault model did nothing")
+	}
+	if row.FreshIDs == 0 {
+		t.Error("no retransmission drew a fresh identifier")
+	}
+	if row.RepeatedIDs != 0 {
+		t.Errorf("RepeatedIDs = %d, want 0 by construction", row.RepeatedIDs)
+	}
+}
+
+// TestRecoveryTrialInjectsFaults checks a single trial end to end: faults
+// actually fire, and the per-model counters surface in the outcome.
+func TestRecoveryTrialInjectsFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := smallRecovery()
+	cfg.Duration = 20 * time.Second
+	out, err := RunRecoveryTrial(cfg, cfg.Schemes[0], FaultGECrash, true, xrand.NewSource(7).Child("trial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Offered == 0 {
+		t.Fatal("trial offered no packets")
+	}
+	if out.Faults.Crashes == 0 || out.Faults.Restarts != out.Faults.Crashes {
+		t.Errorf("fault counters %+v, want crashes with matching restarts", out.Faults)
+	}
+	if out.GEDrops == 0 {
+		t.Error("burst-loss model dropped nothing over 20s")
+	}
+	if out.DeliveryRatio() < 0.9 {
+		t.Errorf("single-trial ge+crash delivery %.3f suspiciously low", out.DeliveryRatio())
+	}
+
+	// The corrupt model surfaces its own counters.
+	out, err = RunRecoveryTrial(cfg, cfg.Schemes[0], FaultCorrupt, true, xrand.NewSource(7).Child("corrupt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CorruptFlips == 0 || out.Radio.Corrupted == 0 {
+		t.Errorf("corruption counters (%d flips, %d radio) never moved", out.CorruptFlips, out.Radio.Corrupted)
+	}
+}
+
+// TestRecoveryScriptedTrial replays a deterministic schedule: crash a
+// sender mid-run and bring it back, and require ARQ to ride it out.
+func TestRecoveryScriptedTrial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	s, err := faults.ParseScriptString("3s crash 1\n5s restart 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallRecovery()
+	cfg.Duration = 15 * time.Second
+	cfg.Faults = []FaultKind{FaultScript}
+	cfg.Script = &s
+	out, err := RunRecoveryTrial(cfg, cfg.Schemes[0], FaultScript, true, xrand.NewSource(9).Child("script"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.Counters{Crashes: 1, Restarts: 1}
+	if out.Faults != want {
+		t.Errorf("fault counters %+v, want exactly the scripted %+v", out.Faults, want)
+	}
+	if out.DeliveryRatio() < 0.99 {
+		t.Errorf("scripted-crash delivery %.3f, want ARQ to recover nearly everything", out.DeliveryRatio())
+	}
+}
+
+// TestRecoveryARQBeatsBaseline: under i.i.d. loss the whole point of the
+// ARQ layer is visible — the bare stack loses packets, the reliable one
+// does not.
+func TestRecoveryARQBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := smallRecovery()
+	cfg.Faults = []FaultKind{FaultIID}
+	cfg.IIDLoss = 0.2
+	res, err := Recovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[bool]float64{}
+	for _, row := range res.Rows {
+		if row.Scheme.Kind == "aff" {
+			byMode[row.Reliable] = row.Ratio.Mean
+		}
+	}
+	if byMode[true] < 0.99 {
+		t.Errorf("AFF+ARQ under 20%% i.i.d. loss delivered %.3f, want >= 0.99", byMode[true])
+	}
+	if byMode[false] > 0.95 {
+		t.Errorf("bare AFF under 20%% i.i.d. loss delivered %.3f; baseline suspiciously lossless", byMode[false])
+	}
+}
+
+func TestRecoveryRenderAndCSVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := smallRecovery()
+	cfg.Faults = []FaultKind{FaultNone}
+	cfg.Trials = 1
+	cfg.Duration = 4 * time.Second
+	res, err := Recovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(cfg.Schemes) * 2 // one fault, bare + arq
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	table := res.Render()
+	for _, needle := range []string{"fault", "delivery", "retx", "fresh"} {
+		if !strings.Contains(table, needle) {
+			t.Errorf("table lacks %q:\n%s", needle, table)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(res.CSV()), "\n")
+	if len(lines) != wantRows+1 {
+		t.Errorf("CSV has %d lines, want header + %d rows:\n%s", len(lines), wantRows, res.CSV())
+	}
+	if !strings.HasPrefix(lines[0], "scheme,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}

@@ -1,0 +1,35 @@
+package faults
+
+import "math/rand/v2"
+
+// BitFlipper is a radio.Corrupter that, with probability Prob per
+// delivery, flips one uniformly chosen bit of the payload — the classic
+// single-bit channel error the frame checksum must catch. It always
+// mutates a private copy; the on-air payload shared with other receivers
+// is untouched.
+type BitFlipper struct {
+	prob  float64
+	rng   *rand.Rand
+	flips int64
+}
+
+// NewBitFlipper returns a corrupter flipping one bit with the given
+// per-delivery probability.
+func NewBitFlipper(prob float64, rng *rand.Rand) *BitFlipper {
+	return &BitFlipper{prob: prob, rng: rng}
+}
+
+// Corrupt possibly flips one bit in a copy of p.
+func (b *BitFlipper) Corrupt(p []byte) ([]byte, bool) {
+	if b.prob <= 0 || len(p) == 0 || b.rng.Float64() >= b.prob {
+		return p, false
+	}
+	out := append([]byte(nil), p...)
+	bit := b.rng.IntN(8 * len(out))
+	out[bit/8] ^= 1 << uint(bit%8)
+	b.flips++
+	return out, true
+}
+
+// Flips reports payloads this corrupter has damaged.
+func (b *BitFlipper) Flips() int64 { return b.flips }

@@ -1,0 +1,272 @@
+// Package faults is the deterministic fault-injection engine behind the
+// recovery experiments: scripted and stochastic schedules for node
+// crash/restart and per-edge link flapping, a Gilbert–Elliott burst-loss
+// channel (an alternative to the medium's i.i.d. FrameLoss), and payload
+// corruption the checksum layer must catch.
+//
+// Everything runs on the simulation clock from labelled xrand streams, so
+// a (seed, schedule) pair reproduces the same fault sequence exactly —
+// fault injection never perturbs a run's determinism, it is part of the
+// run's definition. Crash semantics follow the paper's node-dynamics
+// story: a crash wipes the node's soft state (reassembler, selector
+// window) and takes the radio down; a restart brings the radio back with
+// empty state, and any higher recovery layer simply resumes — every
+// retransmission drawing a fresh RETRI identifier (Section 3).
+package faults
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/sim"
+	"retri/internal/trace"
+)
+
+// NodeControl is the slice of a node stack the injector needs: Crash takes
+// the radio down and wipes soft state; Restart powers the radio back up.
+// Both node.AFFDriver and node.StaticDriver implement it.
+type NodeControl interface {
+	Crash()
+	Restart()
+}
+
+// Counters tallies injected faults.
+type Counters struct {
+	Crashes   int64
+	Restarts  int64
+	LinkDowns int64
+	LinkUps   int64
+}
+
+// Injector schedules and applies faults on one trial's engine. Like every
+// other simulation component it is single-goroutine: one injector per
+// trial.
+type Injector struct {
+	eng    *sim.Engine
+	nodes  map[radio.NodeID]NodeControl
+	flaky  *FlakyTopology
+	tracer trace.Tracer
+	// horizon bounds stochastic plans: no new fault begins at or after it
+	// (in-progress downtime still completes, so a run always ends with
+	// every node restarted and every link restored).
+	horizon time.Duration
+	ctr     Counters
+}
+
+// NewInjector returns an injector on eng whose stochastic plans stop
+// starting new faults at the horizon.
+func NewInjector(eng *sim.Engine, horizon time.Duration) *Injector {
+	return &Injector{
+		eng:     eng,
+		nodes:   make(map[radio.NodeID]NodeControl),
+		horizon: horizon,
+	}
+}
+
+// SetTracer installs a tracer for fault events; nil disables.
+func (in *Injector) SetTracer(t trace.Tracer) { in.tracer = t }
+
+// SetFlaky installs the wrapped topology link faults act on.
+func (in *Injector) SetFlaky(f *FlakyTopology) { in.flaky = f }
+
+// Register attaches a node's control interface under its radio ID.
+func (in *Injector) Register(id radio.NodeID, n NodeControl) {
+	in.nodes[id] = n
+}
+
+// Counters returns a snapshot of the injected-fault tallies.
+func (in *Injector) Counters() Counters { return in.ctr }
+
+func (in *Injector) emit(kind trace.Kind, node, peer radio.NodeID) {
+	if in.tracer == nil {
+		return
+	}
+	in.tracer.Record(trace.Event{At: in.eng.Now(), Kind: kind, Node: int(node), Peer: int(peer)})
+}
+
+// Crash crashes a registered node immediately.
+func (in *Injector) Crash(id radio.NodeID) error {
+	n, ok := in.nodes[id]
+	if !ok {
+		return fmt.Errorf("faults: crash of unregistered node %d", id)
+	}
+	n.Crash()
+	in.ctr.Crashes++
+	in.emit(trace.NodeCrash, id, id)
+	return nil
+}
+
+// Restart restarts a registered node immediately.
+func (in *Injector) Restart(id radio.NodeID) error {
+	n, ok := in.nodes[id]
+	if !ok {
+		return fmt.Errorf("faults: restart of unregistered node %d", id)
+	}
+	n.Restart()
+	in.ctr.Restarts++
+	in.emit(trace.NodeRestart, id, id)
+	return nil
+}
+
+// LinkDown severs the link a—b on the flaky topology.
+func (in *Injector) LinkDown(a, b radio.NodeID) error {
+	if in.flaky == nil {
+		return fmt.Errorf("faults: link fault without a flaky topology")
+	}
+	in.flaky.SetLinkDown(a, b, true)
+	in.ctr.LinkDowns++
+	in.emit(trace.LinkDown, a, b)
+	return nil
+}
+
+// LinkUp restores the link a—b on the flaky topology.
+func (in *Injector) LinkUp(a, b radio.NodeID) error {
+	if in.flaky == nil {
+		return fmt.Errorf("faults: link fault without a flaky topology")
+	}
+	in.flaky.SetLinkDown(a, b, false)
+	in.ctr.LinkUps++
+	in.emit(trace.LinkUp, a, b)
+	return nil
+}
+
+// Apply validates a script against the registered nodes/topology and
+// schedules every action at its absolute virtual time. Call it before
+// running the engine.
+func (in *Injector) Apply(s Script) error {
+	for _, a := range s.Actions {
+		switch a.Op {
+		case OpCrash, OpRestart:
+			if _, ok := in.nodes[a.Node]; !ok {
+				return fmt.Errorf("faults: script line %d: node %d not part of this experiment", a.Line, a.Node)
+			}
+		case OpLinkDown, OpLinkUp:
+			if in.flaky == nil {
+				return fmt.Errorf("faults: script line %d: link faults need a flappable topology", a.Line)
+			}
+		default:
+			return fmt.Errorf("faults: script line %d: unknown op %q", a.Line, a.Op)
+		}
+	}
+	for _, a := range s.Actions {
+		a := a
+		in.eng.ScheduleAt(a.At, func() {
+			switch a.Op {
+			case OpCrash:
+				_ = in.Crash(a.Node)
+			case OpRestart:
+				_ = in.Restart(a.Node)
+			case OpLinkDown:
+				_ = in.LinkDown(a.Node, a.Peer)
+			case OpLinkUp:
+				_ = in.LinkUp(a.Node, a.Peer)
+			}
+		})
+	}
+	return nil
+}
+
+// CrashPlan is a stochastic crash/restart schedule for one node:
+// exponential up-times with the given mean between failures, then an
+// exponential downtime before restart.
+type CrashPlan struct {
+	// MTBF is the mean up-time before a crash.
+	MTBF time.Duration
+	// MeanDowntime is the mean time a crashed node stays down.
+	MeanDowntime time.Duration
+}
+
+// Validate rejects non-positive means.
+func (p CrashPlan) Validate() error {
+	if p.MTBF <= 0 || p.MeanDowntime <= 0 {
+		return fmt.Errorf("faults: crash plan needs positive MTBF and downtime, got %v/%v", p.MTBF, p.MeanDowntime)
+	}
+	return nil
+}
+
+// StartCrashPlan runs the plan for a registered node until the horizon,
+// drawing from rng. The final restart always completes.
+func (in *Injector) StartCrashPlan(id radio.NodeID, p CrashPlan, rng *rand.Rand) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, ok := in.nodes[id]; !ok {
+		return fmt.Errorf("faults: crash plan for unregistered node %d", id)
+	}
+	var up func()
+	up = func() {
+		life := expDuration(rng, p.MTBF)
+		at := in.eng.Now() + life
+		if at >= in.horizon {
+			return
+		}
+		in.eng.Schedule(life, func() {
+			_ = in.Crash(id)
+			down := expDuration(rng, p.MeanDowntime)
+			in.eng.Schedule(down, func() {
+				_ = in.Restart(id)
+				up()
+			})
+		})
+	}
+	up()
+	return nil
+}
+
+// FlapPlan is a stochastic link-flapping schedule for one edge:
+// exponential up-times, then exponential outages.
+type FlapPlan struct {
+	// MeanUp is the mean time the link stays up between flaps.
+	MeanUp time.Duration
+	// MeanDown is the mean outage length.
+	MeanDown time.Duration
+}
+
+// Validate rejects non-positive means.
+func (p FlapPlan) Validate() error {
+	if p.MeanUp <= 0 || p.MeanDown <= 0 {
+		return fmt.Errorf("faults: flap plan needs positive up/down means, got %v/%v", p.MeanUp, p.MeanDown)
+	}
+	return nil
+}
+
+// StartFlapPlan runs the plan for the edge a—b until the horizon, drawing
+// from rng. The final restore always completes.
+func (in *Injector) StartFlapPlan(a, b radio.NodeID, p FlapPlan, rng *rand.Rand) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if in.flaky == nil {
+		return fmt.Errorf("faults: flap plan without a flappable topology")
+	}
+	var up func()
+	up = func() {
+		hold := expDuration(rng, p.MeanUp)
+		at := in.eng.Now() + hold
+		if at >= in.horizon {
+			return
+		}
+		in.eng.Schedule(hold, func() {
+			_ = in.LinkDown(a, b)
+			outage := expDuration(rng, p.MeanDown)
+			in.eng.Schedule(outage, func() {
+				_ = in.LinkUp(a, b)
+				up()
+			})
+		})
+	}
+	up()
+	return nil
+}
+
+// expDuration draws an exponential duration with the given mean, clamped
+// to at least one nanosecond so schedules always advance.
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

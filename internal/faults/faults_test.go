@@ -1,0 +1,404 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+func TestParseScriptGrammar(t *testing.T) {
+	s, err := ParseScriptString(`
+# warm-up, nothing happens
+10s crash 2
+500ms linkdown 0 3   # sever the sink link early
+10s restart 2        # same instant as the crash: keeps script order
+1m30s linkup 0 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Action{
+		{At: 500 * time.Millisecond, Op: OpLinkDown, Node: 0, Peer: 3, Line: 4},
+		{At: 10 * time.Second, Op: OpCrash, Node: 2, Line: 3},
+		{At: 10 * time.Second, Op: OpRestart, Node: 2, Line: 5},
+		{At: 90 * time.Second, Op: OpLinkUp, Node: 0, Peer: 3, Line: 6},
+	}
+	if len(s.Actions) != len(want) {
+		t.Fatalf("parsed %d actions, want %d: %+v", len(s.Actions), len(want), s.Actions)
+	}
+	for i, a := range s.Actions {
+		if a != want[i] {
+			t.Errorf("action %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+	if got := s.MaxNode(); got != 3 {
+		t.Errorf("MaxNode = %d, want 3 (a link peer)", got)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := []struct {
+		script string
+		line   int
+		expect string // substring the error must carry besides the line number
+	}{
+		{"banana\n", 1, "<time>"},
+		{"\n\nnonsense crash 1\n", 3, "bad time"},
+		{"-5s crash 1\n", 1, "negative"},
+		{"1s explode 1\n", 1, "unknown action"},
+		{"1s crash\n", 1, "one node ID"},
+		{"1s crash 1 2\n", 1, "one node ID"},
+		{"1s crash minus-one\n", 1, "bad node ID"},
+		{"1s crash -1\n", 1, "bad node ID"},
+		{"1s linkdown 1\n", 1, "two node IDs"},
+		{"1s linkup 4 4\n", 1, "endpoints must differ"},
+	}
+	for _, c := range cases {
+		_, err := ParseScriptString(c.script)
+		if err == nil {
+			t.Errorf("script %q accepted", c.script)
+			continue
+		}
+		if want := fmt.Sprintf("line %d", c.line); !strings.Contains(err.Error(), want) {
+			t.Errorf("script %q: error %q lacks %q", c.script, err, want)
+		}
+		if !strings.Contains(err.Error(), c.expect) {
+			t.Errorf("script %q: error %q lacks %q", c.script, err, c.expect)
+		}
+	}
+}
+
+func TestMaxNodeEmptyScript(t *testing.T) {
+	s, err := ParseScriptString("# only comments\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxNode(); got != -1 {
+		t.Errorf("MaxNode of empty script = %d, want -1", got)
+	}
+}
+
+func TestGEParamsValidate(t *testing.T) {
+	if err := DefaultGEParams().Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	bad := []GEParams{
+		{PGB: -0.1, PBG: 0.5},
+		{PGB: 0.1, PBG: 1.5},
+		{LossGood: 2},
+		{LossBad: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v accepted", p)
+		}
+	}
+}
+
+func TestGEMeanLoss(t *testing.T) {
+	p := GEParams{PGB: 0.1, PBG: 0.3, LossGood: 0, LossBad: 1}
+	// Stationary bad probability 0.1/0.4 = 0.25.
+	if got := p.MeanLoss(); got < 0.24 || got > 0.26 {
+		t.Errorf("MeanLoss = %v, want 0.25", got)
+	}
+	// Degenerate chain: never transitions, loss is the good rate.
+	p = GEParams{LossGood: 0.07}
+	if got := p.MeanLoss(); got != 0.07 {
+		t.Errorf("frozen-chain MeanLoss = %v, want 0.07", got)
+	}
+}
+
+func TestGilbertElliottDeterministic(t *testing.T) {
+	draw := func() []bool {
+		g := NewGilbertElliott(DefaultGEParams(), xrand.NewSource(42).Stream("ge"))
+		out := make([]bool, 0, 500)
+		for i := 0; i < 500; i++ {
+			out = append(out, g.Drop(1, 2, time.Duration(i)))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop sequence diverged at frame %d: same seed must reproduce", i)
+		}
+	}
+}
+
+func TestGilbertElliottLossNearStationaryMean(t *testing.T) {
+	p := DefaultGEParams()
+	g := NewGilbertElliott(p, xrand.NewSource(7).Stream("ge-mean"))
+	const n = 20000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if g.Drop(1, 2, time.Duration(i)) {
+			drops++
+		}
+	}
+	if int64(drops) != g.Drops() {
+		t.Errorf("Drops() = %d, observed %d", g.Drops(), drops)
+	}
+	got := float64(drops) / n
+	want := p.MeanLoss()
+	if got < want/2 || got > want*2 {
+		t.Errorf("observed loss %v too far from stationary mean %v", got, want)
+	}
+}
+
+func TestGilbertElliottPerLinkChains(t *testing.T) {
+	// Two directed links advance independent chains: hammering one link
+	// into its bad state must not raise the other's loss.
+	p := GEParams{PGB: 1, PBG: 0, LossGood: 0, LossBad: 1}
+	g := NewGilbertElliott(p, xrand.NewSource(9).Stream("ge-links"))
+	if !g.Drop(1, 2, 0) {
+		t.Fatal("link 1→2 should be bad (and lossy) after one frame")
+	}
+	// A fresh link starts good; its first frame transitions it to bad and
+	// then loses it, so frame one drops but the *state map* is per-link.
+	if len(g.bad) != 2 && !g.bad[[2]radio.NodeID{1, 2}] {
+		t.Errorf("chains are not per-link: %v", g.bad)
+	}
+}
+
+func TestFlakyTopology(t *testing.T) {
+	f := NewFlakyTopology(radio.FullMesh{})
+	if !f.Connected(1, 2) {
+		t.Fatal("full mesh starts connected")
+	}
+	f.SetLinkDown(2, 1, true) // reversed endpoints: edges are symmetric
+	if f.Connected(1, 2) || f.Connected(2, 1) {
+		t.Error("severed link still connected")
+	}
+	if !f.LinkDown(1, 2) {
+		t.Error("LinkDown not reported")
+	}
+	if !f.Connected(1, 3) {
+		t.Error("unrelated link severed")
+	}
+	f.SetLinkDown(1, 2, false)
+	if !f.Connected(1, 2) {
+		t.Error("restored link still severed")
+	}
+	// Self-loops are ignored; full mesh never connects a node to itself.
+	f.SetLinkDown(4, 4, true)
+	if f.LinkDown(4, 4) {
+		t.Error("self-loop recorded")
+	}
+}
+
+func TestBitFlipper(t *testing.T) {
+	rng := xrand.NewSource(3).Stream("flip")
+	never := NewBitFlipper(0, rng)
+	p := []byte{1, 2, 3}
+	if out, hit := never.Corrupt(p); hit || !bytes.Equal(out, p) {
+		t.Error("zero-probability flipper corrupted")
+	}
+	always := NewBitFlipper(1, rng)
+	for i := 0; i < 100; i++ {
+		orig := []byte{0xAA, 0x55, 0x00, 0xFF}
+		out, hit := always.Corrupt(orig)
+		if !hit {
+			t.Fatal("certain flipper did not corrupt")
+		}
+		if !bytes.Equal(orig, []byte{0xAA, 0x55, 0x00, 0xFF}) {
+			t.Fatal("corrupter mutated the shared on-air payload")
+		}
+		diff := 0
+		for j := range out {
+			b := out[j] ^ orig[j]
+			for ; b != 0; b &= b - 1 {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("flip changed %d bits, want exactly 1", diff)
+		}
+	}
+	if always.Flips() != 100 {
+		t.Errorf("Flips = %d, want 100", always.Flips())
+	}
+	if out, hit := always.Corrupt(nil); hit || out != nil {
+		t.Error("empty payload corrupted")
+	}
+}
+
+// recorder is a NodeControl that logs fault times against the engine clock.
+type recorder struct {
+	eng      *sim.Engine
+	up       bool
+	crashes  []time.Duration
+	restarts []time.Duration
+}
+
+func (r *recorder) Crash()   { r.up = false; r.crashes = append(r.crashes, r.eng.Now()) }
+func (r *recorder) Restart() { r.up = true; r.restarts = append(r.restarts, r.eng.Now()) }
+
+func TestInjectorScriptedFaults(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, time.Hour)
+	n := &recorder{eng: eng, up: true}
+	in.Register(5, n)
+	flaky := NewFlakyTopology(radio.FullMesh{})
+	in.SetFlaky(flaky)
+
+	s, err := ParseScriptString("2s crash 5\n3s linkdown 0 1\n4s restart 5\n5s linkup 0 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	if len(n.crashes) != 1 || n.crashes[0] != 2*time.Second {
+		t.Errorf("crashes at %v, want [2s]", n.crashes)
+	}
+	if len(n.restarts) != 1 || n.restarts[0] != 4*time.Second {
+		t.Errorf("restarts at %v, want [4s]", n.restarts)
+	}
+	if !n.up {
+		t.Error("node left crashed after scripted restart")
+	}
+	if flaky.LinkDown(0, 1) {
+		t.Error("link left severed after scripted linkup")
+	}
+	ctr := in.Counters()
+	want := Counters{Crashes: 1, Restarts: 1, LinkDowns: 1, LinkUps: 1}
+	if ctr != want {
+		t.Errorf("counters = %+v, want %+v", ctr, want)
+	}
+}
+
+func TestInjectorApplyValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, time.Hour)
+	in.Register(0, &recorder{eng: eng})
+
+	s, _ := ParseScriptString("1s crash 9\n")
+	if err := in.Apply(s); err == nil || !strings.Contains(err.Error(), "node 9") {
+		t.Errorf("crash of unregistered node: err = %v", err)
+	}
+	s, _ = ParseScriptString("1s linkdown 0 1\n")
+	if err := in.Apply(s); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Errorf("link fault without flaky topology: err = %v", err)
+	}
+	if err := in.Crash(42); err == nil {
+		t.Error("direct crash of unregistered node accepted")
+	}
+	if err := in.Restart(42); err == nil {
+		t.Error("direct restart of unregistered node accepted")
+	}
+	if err := in.LinkDown(0, 1); err == nil {
+		t.Error("direct link fault without topology accepted")
+	}
+}
+
+func TestCrashPlanRespectsHorizonAndRecovers(t *testing.T) {
+	const horizon = time.Minute
+	eng := sim.NewEngine()
+	in := NewInjector(eng, horizon)
+	n := &recorder{eng: eng, up: true}
+	in.Register(1, n)
+
+	plan := CrashPlan{MTBF: 5 * time.Second, MeanDowntime: time.Second}
+	rng := xrand.NewSource(1).Stream("crash-plan")
+	if err := in.StartCrashPlan(1, plan, rng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // must terminate: no fault starts at or past the horizon
+
+	if len(n.crashes) == 0 {
+		t.Fatal("a 1-minute run at 5s MTBF injected no crashes")
+	}
+	if len(n.restarts) != len(n.crashes) {
+		t.Errorf("%d crashes but %d restarts: every downtime must complete", len(n.crashes), len(n.restarts))
+	}
+	if !n.up {
+		t.Error("node left crashed after the plan wound down")
+	}
+	for _, at := range n.crashes {
+		if at >= horizon {
+			t.Errorf("crash at %v, at/after horizon %v", at, horizon)
+		}
+	}
+	ctr := in.Counters()
+	if ctr.Crashes != int64(len(n.crashes)) || ctr.Restarts != int64(len(n.restarts)) {
+		t.Errorf("counters %+v disagree with recorder (%d/%d)", ctr, len(n.crashes), len(n.restarts))
+	}
+}
+
+func TestCrashPlanValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, time.Minute)
+	in.Register(1, &recorder{eng: eng})
+	rng := xrand.NewSource(2).Stream("bad-plan")
+	if err := in.StartCrashPlan(1, CrashPlan{}, rng); err == nil {
+		t.Error("zero-mean crash plan accepted")
+	}
+	if err := in.StartCrashPlan(7, CrashPlan{MTBF: time.Second, MeanDowntime: time.Second}, rng); err == nil {
+		t.Error("crash plan for unregistered node accepted")
+	}
+}
+
+func TestFlapPlanRespectsHorizonAndRestores(t *testing.T) {
+	const horizon = time.Minute
+	eng := sim.NewEngine()
+	in := NewInjector(eng, horizon)
+	flaky := NewFlakyTopology(radio.FullMesh{})
+	in.SetFlaky(flaky)
+
+	plan := FlapPlan{MeanUp: 5 * time.Second, MeanDown: time.Second}
+	rng := xrand.NewSource(3).Stream("flap-plan")
+	if err := in.StartFlapPlan(2, 3, plan, rng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	ctr := in.Counters()
+	if ctr.LinkDowns == 0 {
+		t.Fatal("a 1-minute run at 5s mean up-time flapped nothing")
+	}
+	if ctr.LinkUps != ctr.LinkDowns {
+		t.Errorf("%d downs but %d ups: every outage must end", ctr.LinkDowns, ctr.LinkUps)
+	}
+	if flaky.LinkDown(2, 3) {
+		t.Error("link left severed after the plan wound down")
+	}
+	if err := in.StartFlapPlan(2, 3, FlapPlan{}, rng); err == nil {
+		t.Error("zero-mean flap plan accepted")
+	}
+	bare := NewInjector(eng, horizon)
+	if err := bare.StartFlapPlan(1, 2, plan, rng); err == nil {
+		t.Error("flap plan without flaky topology accepted")
+	}
+}
+
+func TestDeterministicPlansSameSeed(t *testing.T) {
+	run := func() []time.Duration {
+		eng := sim.NewEngine()
+		in := NewInjector(eng, 30*time.Second)
+		n := &recorder{eng: eng, up: true}
+		in.Register(1, n)
+		rng := xrand.NewSource(99).Stream("det")
+		if err := in.StartCrashPlan(1, CrashPlan{MTBF: 3 * time.Second, MeanDowntime: 500 * time.Millisecond}, rng); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return append(append([]time.Duration{}, n.crashes...), n.restarts...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("fault counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault time %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"retri/internal/radio"
+)
+
+// GEParams configures a Gilbert–Elliott two-state burst-loss channel.
+// Every (frame, receiver) delivery attempt on a directed link first
+// advances that link's good/bad state with the per-frame transition
+// probabilities, then draws loss at the state's rate. The stationary bad
+// probability is PGB/(PGB+PBG); mean burst length in frames is 1/PBG.
+type GEParams struct {
+	// PGB is the per-frame probability of a good→bad transition.
+	PGB float64
+	// PBG is the per-frame probability of a bad→good transition.
+	PBG float64
+	// LossGood is the loss rate while the link is good.
+	LossGood float64
+	// LossBad is the loss rate while the link is bad.
+	LossBad float64
+}
+
+// DefaultGEParams is a moderately bursty channel: ~17% of frames arrive in
+// a bad state losing 60% of them, against a 0.5% background — about 10%
+// average loss in bursts a few frames long.
+func DefaultGEParams() GEParams {
+	return GEParams{PGB: 0.05, PBG: 0.25, LossGood: 0.005, LossBad: 0.6}
+}
+
+// Validate rejects parameters outside [0, 1].
+func (p GEParams) Validate() error {
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{{"PGB", p.PGB}, {"PBG", p.PBG}, {"LossGood", p.LossGood}, {"LossBad", p.LossBad}} {
+		if v.v < 0 || v.v > 1 {
+			return fmt.Errorf("faults: Gilbert–Elliott %s = %v out of [0, 1]", v.name, v.v)
+		}
+	}
+	return nil
+}
+
+// MeanLoss returns the stationary average loss rate.
+func (p GEParams) MeanLoss() float64 {
+	if p.PGB+p.PBG == 0 {
+		return p.LossGood
+	}
+	bad := p.PGB / (p.PGB + p.PBG)
+	return (1-bad)*p.LossGood + bad*p.LossBad
+}
+
+// GilbertElliott is a radio.LossModel with independent per-directed-link
+// chains. All state advances happen in the medium's deterministic delivery
+// order from a private rng stream, so runs are reproducible.
+type GilbertElliott struct {
+	p     GEParams
+	rng   *rand.Rand
+	bad   map[[2]radio.NodeID]bool
+	drops int64
+}
+
+var _ radio.LossModel = (*GilbertElliott)(nil)
+
+// NewGilbertElliott returns a burst-loss channel driven by rng. Every link
+// starts in the good state.
+func NewGilbertElliott(p GEParams, rng *rand.Rand) *GilbertElliott {
+	return &GilbertElliott{p: p, rng: rng, bad: make(map[[2]radio.NodeID]bool)}
+}
+
+// Drop advances the from→to chain one frame and draws loss at the
+// resulting state's rate.
+func (g *GilbertElliott) Drop(from, to radio.NodeID, _ time.Duration) bool {
+	key := [2]radio.NodeID{from, to}
+	bad := g.bad[key]
+	if bad {
+		if g.p.PBG > 0 && g.rng.Float64() < g.p.PBG {
+			bad = false
+		}
+	} else if g.p.PGB > 0 && g.rng.Float64() < g.p.PGB {
+		bad = true
+	}
+	g.bad[key] = bad
+	rate := g.p.LossGood
+	if bad {
+		rate = g.p.LossBad
+	}
+	if rate > 0 && g.rng.Float64() < rate {
+		g.drops++
+		return true
+	}
+	return false
+}
+
+// Drops reports frames this model has dropped.
+func (g *GilbertElliott) Drops() int64 { return g.drops }

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"retri/internal/radio"
+)
+
+// Op is a scripted fault action.
+type Op string
+
+// Script operations.
+const (
+	OpCrash    Op = "crash"
+	OpRestart  Op = "restart"
+	OpLinkDown Op = "linkdown"
+	OpLinkUp   Op = "linkup"
+)
+
+// Action is one scripted fault.
+type Action struct {
+	// At is the absolute virtual time the fault fires.
+	At time.Duration
+	// Op selects the fault.
+	Op Op
+	// Node is the crash/restart target, or one endpoint of a link fault.
+	Node radio.NodeID
+	// Peer is the other endpoint of a link fault (unused for node faults).
+	Peer radio.NodeID
+	// Line is the 1-based script line, for error messages.
+	Line int
+}
+
+// Script is a parsed, validated fault schedule.
+type Script struct {
+	Actions []Action
+}
+
+// ParseScript reads a fault script: one action per line, `#` comments and
+// blank lines ignored. Grammar:
+//
+//	<when> crash <node>
+//	<when> restart <node>
+//	<when> linkdown <nodeA> <nodeB>
+//	<when> linkup <nodeA> <nodeB>
+//
+// where <when> is a Go duration (absolute virtual time, e.g. 10s, 1m30s)
+// and nodes are non-negative radio IDs. Malformed lines are rejected with
+// the line number and what was expected.
+func ParseScript(r io.Reader) (Script, error) {
+	var s Script
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return Script{}, fmt.Errorf("faults: script line %d: want \"<time> <action> <node...>\", got %q", line, text)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return Script{}, fmt.Errorf("faults: script line %d: bad time %q: %v", line, fields[0], err)
+		}
+		if at < 0 {
+			return Script{}, fmt.Errorf("faults: script line %d: negative time %q", line, fields[0])
+		}
+		a := Action{At: at, Op: Op(fields[1]), Line: line}
+		switch a.Op {
+		case OpCrash, OpRestart:
+			if len(fields) != 3 {
+				return Script{}, fmt.Errorf("faults: script line %d: %s wants one node ID, got %d args", line, a.Op, len(fields)-2)
+			}
+			a.Node, err = parseNode(fields[2])
+			if err != nil {
+				return Script{}, fmt.Errorf("faults: script line %d: %v", line, err)
+			}
+		case OpLinkDown, OpLinkUp:
+			if len(fields) != 4 {
+				return Script{}, fmt.Errorf("faults: script line %d: %s wants two node IDs, got %d args", line, a.Op, len(fields)-2)
+			}
+			a.Node, err = parseNode(fields[2])
+			if err != nil {
+				return Script{}, fmt.Errorf("faults: script line %d: %v", line, err)
+			}
+			a.Peer, err = parseNode(fields[3])
+			if err != nil {
+				return Script{}, fmt.Errorf("faults: script line %d: %v", line, err)
+			}
+			if a.Node == a.Peer {
+				return Script{}, fmt.Errorf("faults: script line %d: link endpoints must differ, got %d—%d", line, a.Node, a.Peer)
+			}
+		default:
+			return Script{}, fmt.Errorf("faults: script line %d: unknown action %q (want crash, restart, linkdown or linkup)", line, fields[1])
+		}
+		s.Actions = append(s.Actions, a)
+	}
+	if err := sc.Err(); err != nil {
+		return Script{}, fmt.Errorf("faults: reading script: %w", err)
+	}
+	// Stable-sort by time so Apply schedules in firing order and
+	// same-instant actions keep script order.
+	sort.SliceStable(s.Actions, func(i, j int) bool { return s.Actions[i].At < s.Actions[j].At })
+	return s, nil
+}
+
+// ParseScriptString is ParseScript over a string.
+func ParseScriptString(text string) (Script, error) {
+	return ParseScript(strings.NewReader(text))
+}
+
+// MaxNode returns the largest node ID the script references, or -1 for an
+// empty script — used to validate a script against an experiment's
+// population before running it.
+func (s Script) MaxNode() radio.NodeID {
+	max := radio.NodeID(-1)
+	for _, a := range s.Actions {
+		if a.Node > max {
+			max = a.Node
+		}
+		switch a.Op {
+		case OpLinkDown, OpLinkUp:
+			if a.Peer > max {
+				max = a.Peer
+			}
+		}
+	}
+	return max
+}
+
+func parseNode(s string) (radio.NodeID, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad node ID %q (want a non-negative integer)", s)
+	}
+	return radio.NodeID(n), nil
+}

@@ -96,3 +96,113 @@ func FuzzStaticDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAFFBitFlip models the channel-corruption threat directly at the
+// codec: take a well-formed frame, flip one fuzz-chosen bit, and require
+// the decoder to either reject it or produce a fragment that still
+// satisfies the re-encode round trip. Whatever survives here is caught
+// one layer up by the packet checksum (see the node-level corruption
+// test); the codec's own duty is merely to never panic or drift.
+func FuzzAFFBitFlip(f *testing.F) {
+	f.Add(uint64(5), 80, uint16(0xAB), 20, []byte{1, 2, 3}, 9, uint(0))
+	f.Add(uint64(511), 1, uint16(0), 0, []byte{}, 9, uint(13))
+	f.Add(uint64(1), 300, uint16(0xFFFF), 299, []byte{0xFF}, 32, uint(77))
+
+	f.Fuzz(func(t *testing.T, id uint64, totalLen int, sum uint16, offset int, payload []byte, idBits int, flip uint) {
+		c := AFFCodec{IDBits: ((idBits%32)+32)%32 + 1}
+		if c.IDBits > 32 {
+			c.IDBits = 32
+		}
+		id &= 1<<uint(c.IDBits) - 1
+		totalLen = ((totalLen % MaxPacketLen) + MaxPacketLen) % MaxPacketLen
+		offset = ((offset % MaxPacketLen) + MaxPacketLen) % MaxPacketLen
+
+		check := func(buf []byte) {
+			if len(buf) == 0 {
+				return
+			}
+			mut := append([]byte(nil), buf...)
+			bit := int(flip) % (8 * len(mut))
+			mut[bit/8] ^= 1 << uint(bit%8)
+			decoded, err := c.Decode(mut)
+			if err != nil {
+				return // rejected: fine
+			}
+			switch fr := decoded.(type) {
+			case *Intro:
+				re, _, err := c.EncodeIntro(*fr)
+				if err != nil {
+					t.Fatalf("decoded corrupt intro failed to re-encode: %v (%+v)", err, fr)
+				}
+				back, err := c.Decode(re)
+				if err != nil {
+					t.Fatalf("re-decode of corrupt intro: %v", err)
+				}
+				ri := back.(*Intro)
+				if ri.ID != fr.ID || ri.TotalLen != fr.TotalLen || ri.Checksum != fr.Checksum {
+					t.Fatalf("corrupt intro round trip drift: %+v vs %+v", fr, ri)
+				}
+			case *Data:
+				if _, _, err := c.EncodeData(*fr); err != nil {
+					t.Fatalf("decoded corrupt data failed to re-encode: %v (%+v)", err, fr)
+				}
+			default:
+				t.Fatalf("unexpected decode type %T", decoded)
+			}
+		}
+
+		if buf, _, err := c.EncodeIntro(Intro{ID: id, TotalLen: totalLen, Checksum: sum}); err == nil {
+			check(buf)
+		}
+		if buf, _, err := c.EncodeData(Data{ID: id, Offset: offset, Payload: payload}); err == nil {
+			check(buf)
+		}
+	})
+}
+
+// FuzzStaticBitFlip: the same single-bit-corruption contract for the
+// statically addressed format.
+func FuzzStaticBitFlip(f *testing.F) {
+	f.Add(uint64(7), uint64(3), 10, uint16(1), 0, []byte{9}, uint(0))
+	f.Add(uint64(0xFFFF), uint64(0xFFFF), 300, uint16(0xFFFF), 299, []byte{}, uint(50))
+
+	f.Fuzz(func(t *testing.T, src, seq uint64, totalLen int, sum uint16, offset int, payload []byte, flip uint) {
+		c := StaticCodec{AddrBits: 16, SeqBits: 16}
+		src &= 1<<16 - 1
+		seq &= 1<<16 - 1
+		totalLen = ((totalLen % MaxPacketLen) + MaxPacketLen) % MaxPacketLen
+		offset = ((offset % MaxPacketLen) + MaxPacketLen) % MaxPacketLen
+
+		check := func(buf []byte) {
+			if len(buf) == 0 {
+				return
+			}
+			mut := append([]byte(nil), buf...)
+			bit := int(flip) % (8 * len(mut))
+			mut[bit/8] ^= 1 << uint(bit%8)
+			decoded, err := c.Decode(mut)
+			if err != nil {
+				return
+			}
+			switch fr := decoded.(type) {
+			case *StaticIntro:
+				if _, _, err := c.EncodeIntro(*fr); err != nil {
+					t.Fatalf("decoded corrupt intro failed to re-encode: %v (%+v)", err, fr)
+				}
+			case *StaticData:
+				if _, _, err := c.EncodeData(*fr); err != nil {
+					t.Fatalf("decoded corrupt data failed to re-encode: %v (%+v)", err, fr)
+				}
+			default:
+				t.Fatalf("unexpected decode type %T", decoded)
+			}
+		}
+
+		if buf, _, err := c.EncodeIntro(StaticIntro{Src: src, Seq: seq, TotalLen: totalLen, Checksum: sum}); err == nil {
+			check(buf)
+		}
+		if buf, _, err := c.EncodeData(StaticData{Src: src, Seq: seq, Offset: offset, Payload: payload}); err == nil {
+			check(buf)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"retri/internal/core"
 	"retri/internal/density"
 	"retri/internal/radio"
+	"retri/internal/sim"
 )
 
 // PacketHandler receives reassembled packets.
@@ -63,6 +64,11 @@ type AFFOptions struct {
 	// Truth, when set, runs a ground-truth reassembler alongside the one
 	// under test (requires cfg.Instrument; Section 5.1 methodology).
 	Truth *aff.TruthReassembler
+	// Engine, when set, drives reassembly-timeout eviction from engine
+	// timers, so an idle node sheds stale partial-packet state instead of
+	// retaining it until its next reception. Without it, eviction happens
+	// only inside Ingest, exactly as before.
+	Engine *sim.Engine
 }
 
 // AFFDriver is the address-free fragmentation stack on one radio.
@@ -77,6 +83,8 @@ type AFFDriver struct {
 	sent    int64
 
 	notifBits int // size of a collision-notification frame, bits
+
+	sweep *sim.Timer // pending reassembly-timeout sweep, when opts.Engine is set
 }
 
 var _ Driver = (*AFFDriver)(nil)
@@ -155,6 +163,23 @@ func (d *AFFDriver) SendPacket(p []byte) error {
 	if err != nil {
 		return err
 	}
+	return d.sendTx(tx)
+}
+
+// SendPacketAvoiding fragments p under a fresh identifier guaranteed to
+// differ from avoid — the retransmission path: an ARQ layer passes the
+// previous attempt's identifier so a retry is, on air, a brand-new
+// transaction. It returns the identifier drawn so the caller can avoid it
+// on the next retry.
+func (d *AFFDriver) SendPacketAvoiding(p []byte, avoid uint64) (uint64, error) {
+	tx, err := d.frag.FragmentAvoiding(p, avoid)
+	if err != nil {
+		return 0, err
+	}
+	return tx.ID, d.sendTx(tx)
+}
+
+func (d *AFFDriver) sendTx(tx aff.Transaction) error {
 	if d.opts.ObserveOwn {
 		d.sel.Observe(tx.ID)
 		if d.opts.Estimator != nil {
@@ -172,6 +197,52 @@ func (d *AFFDriver) SendPacket(p []byte) error {
 	}
 	d.sent++
 	return nil
+}
+
+// Crash models a node failure: the radio goes down (dropping its transmit
+// queue) and all RAM-resident protocol state — partial reassemblies, the
+// selector's listening window, the density estimator — is wiped.
+func (d *AFFDriver) Crash() {
+	d.r.SetUp(false)
+	d.reasm.Reset()
+	if rs, ok := d.sel.(interface{ Reset() }); ok {
+		rs.Reset()
+	}
+	if rs, ok := d.opts.Estimator.(interface{ Reset() }); ok {
+		rs.Reset()
+	}
+	if d.sweep != nil {
+		d.sweep.Cancel()
+		d.sweep = nil
+	}
+}
+
+// Restart powers the radio back up after a Crash. State stays empty; the
+// node relearns the channel by listening, exactly like a fresh boot.
+func (d *AFFDriver) Restart() {
+	d.r.SetUp(true)
+}
+
+// armSweep schedules the next timeout sweep from the reassembler's expiry
+// queue. One-shot and self-re-arming only while partial state exists, so
+// an otherwise-finished simulation still terminates.
+func (d *AFFDriver) armSweep() {
+	if d.opts.Engine == nil {
+		return
+	}
+	next, ok := d.reasm.NextExpiry()
+	if !ok {
+		return
+	}
+	// Expiry requires strictly exceeding the timeout, so fire 1ns after.
+	at := next + 1
+	if d.sweep != nil && !d.sweep.Stopped() {
+		return // head activity times are monotone: the pending sweep is due first
+	}
+	d.sweep = d.opts.Engine.ScheduleAt(at, func() {
+		d.reasm.Sweep()
+		d.armSweep()
+	})
 }
 
 // onFrame dispatches a received frame to the reassembler(s), unwrapping the
@@ -196,6 +267,7 @@ func (d *AFFDriver) onFrame(f radio.Frame) {
 	if d.opts.Truth != nil {
 		d.opts.Truth.Ingest(payload)
 	}
+	d.armSweep()
 }
 
 // sendNotification broadcasts a collision notification for id.

@@ -72,3 +72,17 @@ func (d *StaticDriver) SendPacket(p []byte) error {
 	d.sent++
 	return nil
 }
+
+// Crash models a node failure: radio down (transmit queue dropped),
+// partial reassemblies wiped. The fragmenter's sequence counter survives,
+// modelling the flash-backed sequence a statically addressed stack must
+// keep anyway to avoid reusing (address, sequence) keys after a reboot.
+func (d *StaticDriver) Crash() {
+	d.r.SetUp(false)
+	d.reasm.Reset()
+}
+
+// Restart powers the radio back up after a Crash.
+func (d *StaticDriver) Restart() {
+	d.r.SetUp(true)
+}

@@ -34,6 +34,24 @@ const (
 	ALOHA
 )
 
+// LossModel decides whether an otherwise-receivable frame is lost on the
+// directed link from→to. It replaces the i.i.d. FrameLoss draw when set,
+// allowing correlated loss processes (e.g. a Gilbert–Elliott burst
+// channel, internal/faults). The medium consults it once per (frame,
+// receiver) pair in attachment order, so a deterministic implementation
+// keeps the whole run deterministic.
+type LossModel interface {
+	Drop(from, to NodeID, at time.Duration) bool
+}
+
+// Corrupter may damage a frame's payload on its way to one receiver. It
+// must return a private copy when it mutates (the same payload bytes are
+// delivered to every other receiver) and report whether it did. Corrupted
+// frames are still delivered — catching them is the checksum layer's job.
+type Corrupter interface {
+	Corrupt(payload []byte) ([]byte, bool)
+}
+
 // Params configures a Medium.
 type Params struct {
 	// MTU is the maximum frame payload in bytes (the paper's RPC radio:
@@ -42,8 +60,14 @@ type Params struct {
 	// BitRate is the on-air rate in bits per second.
 	BitRate float64
 	// FrameLoss is the independent per-receiver probability that an
-	// otherwise-receivable frame is lost.
+	// otherwise-receivable frame is lost. Ignored when Loss is set.
 	FrameLoss float64
+	// Loss, when non-nil, replaces the FrameLoss coin flip with a
+	// correlated loss process (fault injection).
+	Loss LossModel
+	// Corrupt, when non-nil, may flip bits in delivered payloads (fault
+	// injection); corrupted deliveries are counted and traced.
+	Corrupt Corrupter
 	// MAC is the per-frame framing overhead profile (airtime and energy).
 	MAC energy.MACProfile
 	// Access selects CSMA or ALOHA.
@@ -82,6 +106,7 @@ type Counters struct {
 	RandomLoss int64 // receptions dropped by the loss model
 	NotHeard   int64 // receiver down or not listening during the frame
 	Backoffs   int64 // CSMA backoff events
+	Corrupted  int64 // deliveries whose payload the fault model damaged
 }
 
 var (
@@ -321,16 +346,30 @@ func (m *Medium) deliver(t *transmission, v *Radio) {
 		m.emit(trace.FrameCollided, v.id, t.from, bits)
 		return
 	}
-	if m.p.FrameLoss > 0 && m.rng.Float64() < m.p.FrameLoss {
+	if m.p.Loss != nil {
+		if m.p.Loss.Drop(t.from, v.id, m.eng.Now()) {
+			m.ctr.RandomLoss++
+			m.emit(trace.FrameRandomLoss, v.id, t.from, bits)
+			return
+		}
+	} else if m.p.FrameLoss > 0 && m.rng.Float64() < m.p.FrameLoss {
 		m.ctr.RandomLoss++
 		m.emit(trace.FrameRandomLoss, v.id, t.from, bits)
 		return
+	}
+	f := t.frame
+	if m.p.Corrupt != nil {
+		if damaged, ok := m.p.Corrupt.Corrupt(f.Payload); ok {
+			f.Payload = damaged
+			m.ctr.Corrupted++
+			m.emit(trace.FrameCorrupted, v.id, t.from, bits)
+		}
 	}
 	m.ctr.Delivered++
 	m.emit(trace.FrameDelivered, v.id, t.from, bits)
 	v.meter.AddRx(bits)
 	if v.handler != nil {
-		v.handler(t.frame)
+		v.handler(f)
 	}
 }
 

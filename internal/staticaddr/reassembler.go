@@ -80,6 +80,12 @@ func (r *Reassembler) Stats() Stats { return r.stats }
 // PendingCount reports partial packets held.
 func (r *Reassembler) PendingCount() int { return len(r.pending) }
 
+// Reset discards all partial-packet state, modelling a node crash.
+// Counters belong to the measurement harness and survive.
+func (r *Reassembler) Reset() {
+	r.pending = make(map[key]*pending)
+}
+
 // Ingest processes one received frame.
 func (r *Reassembler) Ingest(frameBytes []byte) {
 	r.expire()

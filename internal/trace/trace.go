@@ -50,6 +50,19 @@ const (
 	FrameRandomLoss
 	// FrameNotHeard: Node was down or not listening.
 	FrameNotHeard
+	// FrameCorrupted: the fault model damaged a frame's payload on the way
+	// to Node; the frame is still delivered (the checksum layer must catch
+	// it).
+	FrameCorrupted
+	// NodeCrash: the fault engine crashed Node (radio down, soft state
+	// wiped).
+	NodeCrash
+	// NodeRestart: the fault engine restarted Node.
+	NodeRestart
+	// LinkDown: the fault engine severed the Node—Peer link.
+	LinkDown
+	// LinkUp: the fault engine restored the Node—Peer link.
+	LinkUp
 	// Custom: anything a higher layer wants to record; see Note.
 	Custom
 )
@@ -61,6 +74,11 @@ var kindNames = map[Kind]string{
 	FrameHalfDuplex: "half-duplex",
 	FrameRandomLoss: "random-loss",
 	FrameNotHeard:   "not-heard",
+	FrameCorrupted:  "corrupted",
+	NodeCrash:       "node-crash",
+	NodeRestart:     "node-restart",
+	LinkDown:        "link-down",
+	LinkUp:          "link-up",
 	Custom:          "custom",
 }
 
@@ -94,6 +112,10 @@ func (e Event) String() string {
 	switch e.Kind {
 	case FrameSent:
 		return fmt.Sprintf("%12v node %d %s (%d bits)", e.At, e.Node, e.Kind, e.Bits)
+	case NodeCrash, NodeRestart:
+		return fmt.Sprintf("%12v node %d %s", e.At, e.Node, e.Kind)
+	case LinkDown, LinkUp:
+		return fmt.Sprintf("%12v link %d—%d %s", e.At, e.Node, e.Peer, e.Kind)
 	case Custom:
 		return fmt.Sprintf("%12v node %d %s: %s", e.At, e.Node, e.Kind, e.Note)
 	default:
