@@ -1,17 +1,23 @@
 # Standard verify loop. `make check` is what CI and pre-commit should run:
 # vet + build + the full test suite under the race detector (so the
 # parallel trial runner's no-shared-state rule is checked on every pass),
-# plus a short coverage-guided pass over each frame-codec fuzz target.
+# a short coverage-guided pass over each parser/codec fuzz target, and a
+# one-iteration benchmark smoke so the benchmarks never bit-rot.
 
 GO ?= go
 FUZZTIME ?= 10s
-# `go test -fuzz` accepts exactly one target per invocation, so the short
-# CI pass loops over them.
-FUZZ_TARGETS := FuzzAFFDecode FuzzStaticDecode FuzzAFFBitFlip FuzzStaticBitFlip
+# `go test -fuzz` accepts exactly one target per invocation and one
+# package per -fuzz run, so the short CI pass loops over pkg:target pairs.
+FUZZ_TARGETS := \
+	./internal/frame/:FuzzAFFDecode \
+	./internal/frame/:FuzzStaticDecode \
+	./internal/frame/:FuzzAFFBitFlip \
+	./internal/frame/:FuzzStaticBitFlip \
+	./internal/mobility/:FuzzMobilityScript
 
-.PHONY: check vet build test race fuzz bench profile
+.PHONY: check vet build test race fuzz benchsmoke bench profile
 
-check: vet build race fuzz
+check: vet build race fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -26,10 +32,17 @@ race:
 	$(GO) test -race ./...
 
 fuzz:
-	@for target in $(FUZZ_TARGETS); do \
-		echo "fuzz $$target ($(FUZZTIME))"; \
-		$(GO) test ./internal/frame/ -run "^$$target$$" -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	@for entry in $(FUZZ_TARGETS); do \
+		pkg=$${entry%%:*}; target=$${entry##*:}; \
+		echo "fuzz $$pkg $$target ($(FUZZTIME))"; \
+		$(GO) test $$pkg -run "^$$target$$" -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+
+# benchsmoke compiles and runs every benchmark for exactly one iteration —
+# cheap enough for every check, and it catches benchmarks broken by API
+# drift long before anyone needs a real measurement.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 bench:
 	$(GO) test -bench . -benchmem ./...

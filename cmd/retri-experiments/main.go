@@ -11,6 +11,8 @@
 //	retri-experiments -ablation all -quick
 //	retri-experiments -figure recovery -faults ge,crash -arq-retries 8
 //	retri-experiments -figure recovery -fault-script sched.txt
+//	retri-experiments -figure dynamics -scenarios waypoint,churn
+//	retri-experiments -figure dynamics -mobility-script moves.txt
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"retri/internal/energy"
 	"retri/internal/experiment"
 	"retri/internal/faults"
+	"retri/internal/mobility"
 )
 
 func main() {
@@ -48,6 +51,9 @@ type options struct {
 	arqRetries  int
 	arqRTO      time.Duration
 	arqMaxRTO   time.Duration
+	// Dynamics knobs for -figure dynamics.
+	scenarios      string
+	mobilityScript string
 	// Observability outputs. All of them write to side files or stderr;
 	// stdout is byte-identical with or without them.
 	traceOut   string
@@ -63,7 +69,7 @@ type options struct {
 func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("retri-experiments", flag.ContinueOnError)
 	var o options
-	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling, recovery or all")
+	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling, recovery, dynamics or all")
 	fs.StringVar(&o.ablation, "ablation", "", "ablation to run: window, hidden, mac, lengths, flood, estimator, lifetime, churn or all")
 	fs.IntVar(&o.trials, "trials", 10, "trials per configuration (figure 4 and ablations)")
 	fs.DurationVar(&o.duration, "duration", 2*time.Minute, "simulated time per trial")
@@ -81,12 +87,17 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.arqRetries, "arq-retries", 8, "ARQ retry budget per packet (-figure recovery)")
 	fs.DurationVar(&o.arqRTO, "arq-rto", 250*time.Millisecond, "ARQ initial retransmission timeout (-figure recovery)")
 	fs.DurationVar(&o.arqMaxRTO, "arq-max-rto", 8*time.Second, "ARQ backoff cap (-figure recovery)")
+	fs.StringVar(&o.scenarios, "scenarios", "all", "dynamics scenarios for -figure dynamics: comma list of stationary, waypoint, churn; or all")
+	fs.StringVar(&o.mobilityScript, "mobility-script", "", "mobility schedule file for -figure dynamics (adds the script scenario)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	// Fault flags are validated up front so a typo fails fast even when the
 	// recovery figure is not the first thing to run.
 	if _, err := experiment.ParseFaultKinds(o.faults); err != nil {
+		return options{}, err
+	}
+	if _, err := experiment.ParseDynScenarios(o.scenarios); err != nil {
 		return options{}, err
 	}
 	if o.arqRetries < 0 {
@@ -200,6 +211,34 @@ func run(args []string) error {
 				return err
 			}
 			emit("Recovery under faults", useCSV, res)
+			return nil
+		},
+		"dynamics": func() error {
+			cfg := experiment.DefaultDynamicsConfig()
+			cfg.Seed = o.seed
+			cfg.Trials = o.trials
+			cfg.Duration = o.duration
+			cfg.Parallelism = o.parallel
+			cfg.Obs = col.obs()
+			cfg.Hooks = col.hooks()
+			scenarios, err := experiment.ParseDynScenarios(o.scenarios)
+			if err != nil {
+				return err
+			}
+			cfg.Scenarios = scenarios
+			if o.mobilityScript != "" {
+				script, err := loadMobilityScript(o.mobilityScript)
+				if err != nil {
+					return err
+				}
+				cfg.Script = script
+				cfg.Scenarios = append(cfg.Scenarios, experiment.DynScript)
+			}
+			res, err := experiment.Dynamics(cfg)
+			if err != nil {
+				return err
+			}
+			emit("Dynamics: identifier sizing under mobility and churn", useCSV, res)
 			return nil
 		},
 		"scaling": func() error {
@@ -346,8 +385,8 @@ func run(args []string) error {
 		return invoke(sel)
 	}
 
-	// "all" keeps its historical set; the recovery figure is a fault-
-	// injection harness rather than a paper figure, so it runs only when
+	// "all" keeps its historical set; the recovery and dynamics figures
+	// are harnesses beyond the paper's own plots, so they run only when
 	// selected explicitly and existing outputs stay byte-identical.
 	runErr := runSet(o.figure, "figure-", figures, []string{"1", "2", "3", "4", "scaling"})
 	if runErr == nil {
@@ -368,6 +407,21 @@ func loadFaultScript(path string) (*faults.Script, error) {
 	}
 	defer f.Close()
 	s, err := faults.ParseScript(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// loadMobilityScript parses a mobility schedule file, wrapping parse
+// errors (which carry line numbers) with the file name.
+func loadMobilityScript(path string) (*mobility.Script, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mobility script: %w", err)
+	}
+	defer f.Close()
+	s, err := mobility.ParseScript(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -1,0 +1,137 @@
+// Package adapt closes the loop the paper leaves open: identifier width
+// should track the *observed* transaction density T, not a compile-time
+// guess (Section 4 — "the optimal number of bits depends on the transaction
+// density, not on the number of nodes"). A Controller feeds a running
+// density estimate into Equation 4's optimum and steps a per-transaction
+// identifier width toward it, with hysteresis and min/max clamps so the
+// width never thrashes on estimator noise.
+//
+// The controller only decides a width; carrying it on air is the aff
+// layer's adaptive-width wire format (aff.Config.AdaptiveWidth), and wiring
+// the decision into each outgoing transaction is the node layer's
+// AFFOptions.Width hook.
+package adapt
+
+import (
+	"errors"
+	"fmt"
+
+	"retri/internal/density"
+	"retri/internal/model"
+)
+
+// Config parameterizes a width controller.
+type Config struct {
+	// DataBits is the typical packet payload size in bits — the D of
+	// Equation 1 the optimum is computed against.
+	DataBits int
+	// Min and Max clamp the chosen width (bits). Max also bounds the
+	// Equation 4 search and must not exceed the identifier space width.
+	Min, Max int
+	// Deadband is the hysteresis: the width only moves when the computed
+	// target differs from the current width by at least this many bits.
+	// Default 1 (track every whole-bit change); larger values trade
+	// tracking lag for stability. Must be >= 1.
+	Deadband int
+	// Initial is the width before any density evidence arrives. Default
+	// Max: a cold node assumes contention rather than risking collisions.
+	Initial int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Deadband == 0 {
+		c.Deadband = 1
+	}
+	if c.Initial == 0 {
+		c.Initial = c.Max
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.DataBits <= 0 {
+		return fmt.Errorf("adapt: DataBits %d must be positive", c.DataBits)
+	}
+	if c.Min < 1 || c.Max < c.Min {
+		return fmt.Errorf("adapt: width clamp [%d, %d] invalid", c.Min, c.Max)
+	}
+	if c.Deadband < 1 {
+		return fmt.Errorf("adapt: deadband %d must be >= 1", c.Deadband)
+	}
+	if c.Initial < c.Min || c.Initial > c.Max {
+		return fmt.Errorf("adapt: initial width %d outside [%d, %d]", c.Initial, c.Min, c.Max)
+	}
+	return nil
+}
+
+// Controller is a per-node closed-loop width policy. It is not safe for
+// concurrent use; like every other protocol component it lives on one
+// node inside one single-threaded simulation.
+type Controller struct {
+	cfg Config
+	est density.TEstimator
+	cur int
+
+	decisions int64
+	moves     int64
+}
+
+// New returns a controller reading density from est.
+func New(cfg Config, est density.TEstimator) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if est == nil {
+		return nil, errors.New("adapt: nil estimator")
+	}
+	return &Controller{cfg: cfg, est: est, cur: cfg.Initial}, nil
+}
+
+// Target computes the Equation 4 optimum for the current density estimate,
+// clamped to the configured range, without moving the width.
+func (c *Controller) Target() int {
+	h, _ := model.OptimalBits(c.cfg.DataBits, c.est.Estimate(), c.cfg.Max)
+	if h < c.cfg.Min {
+		h = c.cfg.Min
+	}
+	return h
+}
+
+// Bits decides the width for the next transaction: one bit toward the
+// target when the gap reaches the deadband, otherwise hold. One-bit steps
+// rate-limit the response so a transient density spike cannot slam the
+// width across its whole range within a single estimator excursion.
+func (c *Controller) Bits() int {
+	c.decisions++
+	target := c.Target()
+	gap := target - c.cur
+	if gap >= c.cfg.Deadband {
+		c.cur++
+		c.moves++
+	} else if -gap >= c.cfg.Deadband {
+		c.cur--
+		c.moves++
+	}
+	return c.cur
+}
+
+// Current returns the width without deciding (instrumentation).
+func (c *Controller) Current() int { return c.cur }
+
+// Decisions and Moves report how often the controller was consulted and
+// how often it changed width — the thrash diagnostics.
+func (c *Controller) Decisions() int64 { return c.decisions }
+func (c *Controller) Moves() int64     { return c.moves }
+
+// Reset returns the width to its initial value, modelling a node crash
+// wiping RAM state. Counters belong to the harness and survive.
+func (c *Controller) Reset() { c.cur = c.cfg.Initial }
+
+// Fixed is the degenerate policy: a constant width. It exists so the
+// adaptive machinery (in-band width format, mixed-width reassembly) can be
+// exercised at a pinned width in tests and ablations.
+type Fixed int
+
+// Bits returns the constant width.
+func (f Fixed) Bits() int { return int(f) }

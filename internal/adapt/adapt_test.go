@@ -1,0 +1,150 @@
+package adapt
+
+import (
+	"testing"
+
+	"retri/internal/model"
+)
+
+// stubEstimator returns a settable density, satisfying density.TEstimator.
+type stubEstimator struct{ t float64 }
+
+func (s *stubEstimator) Observe(uint64)    {}
+func (s *stubEstimator) Estimate() float64 { return s.t }
+func (s *stubEstimator) Window() int       { return 2 * int(s.t) }
+
+func newController(t *testing.T, cfg Config, est *stubEstimator) *Controller {
+	t.Helper()
+	c, err := New(cfg, est)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	est := &stubEstimator{t: 1}
+	cases := []Config{
+		{DataBits: 0, Min: 1, Max: 9},
+		{DataBits: 640, Min: 0, Max: 9},
+		{DataBits: 640, Min: 5, Max: 4},
+		{DataBits: 640, Min: 2, Max: 9, Initial: 1},
+		{DataBits: 640, Min: 2, Max: 9, Initial: 10},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg, est); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(Config{DataBits: 640, Min: 1, Max: 9}, nil); err == nil {
+		t.Error("nil estimator accepted")
+	}
+}
+
+func TestColdStartAssumesContention(t *testing.T) {
+	c := newController(t, Config{DataBits: 640, Min: 1, Max: 16}, &stubEstimator{t: 1})
+	if c.Current() != 16 {
+		t.Errorf("initial width = %d, want Max (16)", c.Current())
+	}
+}
+
+// TestConvergesToOptimum drives the controller at a constant density until
+// steady state: it must land exactly on the clamped Equation 4 optimum and
+// hold there (deadband 1, so zero steady-state error).
+func TestConvergesToOptimum(t *testing.T) {
+	for _, density := range []float64{1, 3, 10, 40} {
+		est := &stubEstimator{t: density}
+		c := newController(t, Config{DataBits: 640, Min: 1, Max: 16}, est)
+		want, _ := model.OptimalBits(640, density, 16)
+		if want < 1 {
+			want = 1
+		}
+		for i := 0; i < 32; i++ {
+			c.Bits()
+		}
+		if c.Current() != want {
+			t.Errorf("T=%v: settled at %d bits, optimum %d", density, c.Current(), want)
+		}
+		moves := c.Moves()
+		c.Bits()
+		if c.Moves() != moves {
+			t.Errorf("T=%v: controller still moving at steady state", density)
+		}
+	}
+}
+
+func TestOneBitStepsRateLimit(t *testing.T) {
+	est := &stubEstimator{t: 1}
+	c := newController(t, Config{DataBits: 640, Min: 1, Max: 16, Initial: 16}, est)
+	first := c.Bits()
+	if first != 15 {
+		t.Errorf("first decision moved to %d, want a single-bit step to 15", first)
+	}
+}
+
+func TestDeadbandHolds(t *testing.T) {
+	est := &stubEstimator{t: 10}
+	c := newController(t, Config{DataBits: 640, Min: 1, Max: 16, Deadband: 2}, est)
+	for i := 0; i < 32; i++ {
+		c.Bits()
+	}
+	settled := c.Current()
+	target := c.Target()
+	if diff := settled - target; diff < 0 || diff >= 2 {
+		t.Errorf("deadband 2 settled %d bits from target", diff)
+	}
+	// A one-bit target wobble must not move the width.
+	moves := c.Moves()
+	est.t = 12 // nudges the optimum by at most a bit at these densities
+	if gap := c.Target() - settled; gap > -2 && gap < 2 {
+		c.Bits()
+		if c.Moves() != moves {
+			t.Error("deadband 2 moved on a sub-deadband target change")
+		}
+	}
+}
+
+func TestClampsRespectMinMax(t *testing.T) {
+	// T=1 makes every width collision-free, so the unclamped optimum is
+	// H=1; Min must hold the floor.
+	est := &stubEstimator{t: 1}
+	c := newController(t, Config{DataBits: 640, Min: 6, Max: 9}, est)
+	for i := 0; i < 16; i++ {
+		c.Bits()
+	}
+	if c.Current() != 6 {
+		t.Errorf("width %d, want Min clamp 6", c.Current())
+	}
+	// At T=40 the unclamped optimum for 640-bit packets exceeds 4 bits
+	// (TestConvergesToOptimum pins it at Max=16), so Max=4 must cap it.
+	est.t = 40
+	c2 := newController(t, Config{DataBits: 640, Min: 1, Max: 4}, est)
+	for i := 0; i < 16; i++ {
+		c2.Bits()
+	}
+	if c2.Current() != 4 {
+		t.Errorf("width %d, want Max clamp 4", c2.Current())
+	}
+}
+
+func TestResetRestoresInitialKeepsCounters(t *testing.T) {
+	est := &stubEstimator{t: 4}
+	c := newController(t, Config{DataBits: 640, Min: 1, Max: 16}, est)
+	for i := 0; i < 8; i++ {
+		c.Bits()
+	}
+	decisions := c.Decisions()
+	c.Reset()
+	if c.Current() != 16 {
+		t.Errorf("Reset left width %d, want Initial 16", c.Current())
+	}
+	if c.Decisions() != decisions {
+		t.Error("Reset wiped harness counters")
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	if Fixed(9).Bits() != 9 {
+		t.Error("Fixed(9).Bits() != 9")
+	}
+}

@@ -51,6 +51,12 @@ type Config struct {
 	// 30s). Identifier reuse by later transactions depends on stale state
 	// not lingering.
 	ReassemblyTimeout time.Duration
+	// AdaptiveWidth switches to the in-band-width wire format: every
+	// fragment spends 5 extra header bits announcing its identifier's
+	// width, letting each transaction pick any width up to Space.Bits()
+	// (see Fragmenter.FragmentWidth) and letting one reassembler demux a
+	// mix of widths. Both ends must agree on it — it changes the format.
+	AdaptiveWidth bool
 }
 
 func (c Config) withDefaults() Config {
@@ -67,7 +73,22 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) codec() frame.AFFCodec {
-	return frame.AFFCodec{IDBits: c.Space.Bits(), Instrument: c.Instrument}
+	return frame.AFFCodec{IDBits: c.Space.Bits(), Instrument: c.Instrument, InBandWidth: c.AdaptiveWidth}
+}
+
+// WidthKey builds the composite reassembly key for an identifier heard at
+// the given width. Identifiers drawn at different widths are distinct
+// transactions even when their numeric values coincide — a 4-bit id 3 and
+// a 9-bit id 3 must never merge — so adaptive-mode reassembly state is
+// keyed by (width, id). Widths are at most 32 bits, so the pair packs
+// losslessly into one uint64.
+func WidthKey(bits int, id uint64) uint64 {
+	return uint64(bits)<<32 | id
+}
+
+// SplitWidthKey undoes WidthKey, returning the width and raw identifier.
+func SplitWidthKey(key uint64) (bits int, id uint64) {
+	return int(key >> 32), key & (1<<32 - 1)
 }
 
 // Fragment is one encoded radio frame of a transaction.
@@ -89,6 +110,10 @@ type Transaction struct {
 	// DataBits is the packet's payload size in bits (the "useful bits"
 	// numerator of Equation 1).
 	DataBits int
+	// IDBits is the identifier width this transaction was encoded at. It
+	// equals the space width except for adaptive-width transactions, which
+	// may choose narrower.
+	IDBits int
 }
 
 // TotalBits sums the meaningful bits across all fragments (the
@@ -148,7 +173,32 @@ func (f *Fragmenter) Fragment(packet []byte) (Transaction, error) {
 	if len(packet) > frame.MaxPacketLen {
 		return Transaction{}, fmt.Errorf("%w: %d bytes", ErrPacketTooLarge, len(packet))
 	}
-	return f.fragmentWithID(f.sel.Next(), packet)
+	return f.fragmentWithID(f.codec, f.sel.Next(), packet)
+}
+
+// FragmentWidth is Fragment with a per-transaction identifier width, the
+// adaptive-sizing hook (paper Section 4: width should track observed
+// density, not network size). It requires AdaptiveWidth and accepts any
+// width from 1 to Space.Bits(). The identifier is the selector's draw
+// masked to the requested width: a uniform draw stays uniform, which is
+// the only selector the adaptive controller is specified against.
+func (f *Fragmenter) FragmentWidth(packet []byte, bits int) (Transaction, error) {
+	if !f.cfg.AdaptiveWidth {
+		return Transaction{}, errors.New("aff: FragmentWidth requires Config.AdaptiveWidth")
+	}
+	if bits < 1 || bits > f.cfg.Space.Bits() {
+		return Transaction{}, fmt.Errorf("aff: width %d outside [1, %d]", bits, f.cfg.Space.Bits())
+	}
+	if len(packet) == 0 {
+		return Transaction{}, ErrEmptyPacket
+	}
+	if len(packet) > frame.MaxPacketLen {
+		return Transaction{}, fmt.Errorf("%w: %d bytes", ErrPacketTooLarge, len(packet))
+	}
+	codec := f.codec
+	codec.IDBits = bits
+	var mask uint64 = 1<<uint(bits) - 1
+	return f.fragmentWithID(codec, f.sel.Next()&mask, packet)
 }
 
 // FragmentAvoiding is Fragment with the paper's retransmission invariant
@@ -171,26 +221,29 @@ func (f *Fragmenter) FragmentAvoiding(packet []byte, avoid uint64) (Transaction,
 			id = f.sel.Next()
 		}
 	}
-	return f.fragmentWithID(id, packet)
+	return f.fragmentWithID(f.codec, id, packet)
 }
 
-// fragmentWithID splits a validated packet under the given identifier.
-func (f *Fragmenter) fragmentWithID(id uint64, packet []byte) (Transaction, error) {
+// fragmentWithID splits a validated packet under the given identifier,
+// encoding with the given codec (the fragmenter's own, or a narrower-width
+// variant built by FragmentWidth).
+func (f *Fragmenter) fragmentWithID(codec frame.AFFCodec, id uint64, packet []byte) (Transaction, error) {
 	var truth *frame.Truth
 	if f.cfg.Instrument {
 		truth = &frame.Truth{Node: f.node, Seq: f.seq}
 		f.seq++
 	}
 
-	maxPayload := f.codec.MaxPayload(f.cfg.MTU)
+	maxPayload := codec.MaxPayload(f.cfg.MTU)
 	nData := (len(packet) + maxPayload - 1) / maxPayload
 	tx := Transaction{
 		ID:        id,
 		Fragments: make([]Fragment, 0, nData+1),
 		DataBits:  8 * len(packet),
+		IDBits:    codec.IDBits,
 	}
 
-	introBytes, introBits, err := f.codec.EncodeIntro(frame.Intro{
+	introBytes, introBits, err := codec.EncodeIntro(frame.Intro{
 		ID:       id,
 		TotalLen: len(packet),
 		Checksum: checksum.Sum(f.cfg.Checksum, packet),
@@ -206,7 +259,7 @@ func (f *Fragmenter) fragmentWithID(id uint64, packet []byte) (Transaction, erro
 		if end > len(packet) {
 			end = len(packet)
 		}
-		dataBytes, dataBits, err := f.codec.EncodeData(frame.Data{
+		dataBytes, dataBits, err := codec.EncodeData(frame.Data{
 			ID:      id,
 			Offset:  off,
 			Payload: packet[off:end],

@@ -31,7 +31,9 @@ type Stats struct {
 
 // Packet is a reassembled, verified packet.
 type Packet struct {
-	// ID is the AFF identifier the packet was reassembled under.
+	// ID is the AFF identifier the packet was reassembled under. In
+	// adaptive-width mode it is the composite WidthKey(bits, id); use
+	// SplitWidthKey to recover the raw identifier.
 	ID uint64
 	// Data is the packet payload.
 	Data []byte
@@ -148,29 +150,42 @@ func (r *Reassembler) Ingest(frameBytes []byte) {
 	r.stats.FragmentsIn++
 	switch fr := decoded.(type) {
 	case *frame.Intro:
+		key := r.key(fr.IDBits, fr.ID)
 		if r.observer != nil {
-			r.observer(fr.ID, true)
+			r.observer(key, true)
 		}
-		r.ingestIntro(fr)
+		r.ingestIntro(key, fr)
 	case *frame.Data:
+		key := r.key(fr.IDBits, fr.ID)
 		if r.observer != nil {
-			r.observer(fr.ID, false)
+			r.observer(key, false)
 		}
-		r.ingestData(fr)
+		r.ingestData(key, fr)
 	}
 }
 
-func (r *Reassembler) ingestIntro(in *frame.Intro) {
-	p, ok := r.pending[in.ID]
+// key maps a decoded fragment to its reassembly key. Fixed-width decodes
+// report width 0 and key by the raw identifier, exactly as before
+// adaptive mode existed; in-band decodes key by (width, id) so
+// transactions at different widths never share state.
+func (r *Reassembler) key(decodedWidth int, id uint64) uint64 {
+	if decodedWidth == 0 {
+		return id
+	}
+	return WidthKey(decodedWidth, id)
+}
+
+func (r *Reassembler) ingestIntro(key uint64, in *frame.Intro) {
+	p, ok := r.pending[key]
 	if !ok {
 		p = &pending{}
-		r.pending[in.ID] = p
+		r.pending[key] = p
 	}
-	r.touch(in.ID, p)
+	r.touch(key, p)
 	if p.haveIntro {
 		if p.totalLen != in.TotalLen || p.sum != in.Checksum {
 			// Two transactions announced under one identifier.
-			r.conflict(in.ID)
+			r.conflict(key)
 		}
 		// A byte-identical duplicate introduction is harmless.
 		return
@@ -185,20 +200,20 @@ func (r *Reassembler) ingestIntro(in *frame.Intro) {
 	early := p.early
 	p.early = nil
 	for _, d := range early {
-		if !r.apply(in.ID, p, d) {
+		if !r.apply(key, p, d) {
 			return // conflict dropped the state
 		}
 	}
-	r.maybeComplete(in.ID, p)
+	r.maybeComplete(key, p)
 }
 
-func (r *Reassembler) ingestData(d *frame.Data) {
-	p, ok := r.pending[d.ID]
+func (r *Reassembler) ingestData(key uint64, d *frame.Data) {
+	p, ok := r.pending[key]
 	if !ok {
 		p = &pending{}
-		r.pending[d.ID] = p
+		r.pending[key] = p
 	}
-	r.touch(d.ID, p)
+	r.touch(key, p)
 	if !p.haveIntro {
 		// Introduction not yet seen (reordering is impossible on our
 		// radio, but the introduction frame itself can be lost).
@@ -207,10 +222,10 @@ func (r *Reassembler) ingestData(d *frame.Data) {
 		}
 		return
 	}
-	if !r.apply(d.ID, p, d) {
+	if !r.apply(key, p, d) {
 		return
 	}
-	r.maybeComplete(d.ID, p)
+	r.maybeComplete(key, p)
 }
 
 // apply merges a data fragment into a pending packet with a known length.

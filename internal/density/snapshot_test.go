@@ -1,0 +1,111 @@
+package density
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"retri/internal/metrics"
+)
+
+// TestResetWipesLearnedState is the crash/restart regression: before
+// Reset existed, node.AFFDriver.Crash's interface assertion silently
+// matched nothing and a "rebooted" node kept its pre-crash density — on
+// dynamic topologies that stale estimate steers the adaptive width wrong
+// for a full relearning period.
+func TestResetWipesLearnedState(t *testing.T) {
+	c := &clock{}
+	e := New(time.Second, 1, c.now)
+	for id := uint64(0); id < 8; id++ {
+		e.Observe(id)
+	}
+	if e.Estimate() < 2 {
+		t.Fatalf("setup: estimate %v should reflect 8 concurrent ids", e.Estimate())
+	}
+	e.Reset()
+	if got := e.Estimate(); got != 1 {
+		t.Errorf("Estimate() after Reset = %v, want the fresh floor 1", got)
+	}
+	if got := e.Active(); got != 0 {
+		t.Errorf("Active() after Reset = %d, want 0", got)
+	}
+	// A reset estimator must relearn exactly like a fresh one: the first
+	// observation seeds the EMA rather than averaging into stale state.
+	e.Observe(42)
+	fresh := New(time.Second, 1, c.now)
+	fresh.Observe(42)
+	if e.Estimate() != fresh.Estimate() {
+		t.Errorf("post-reset estimate %v differs from fresh estimator %v", e.Estimate(), fresh.Estimate())
+	}
+}
+
+func TestIntervalResetWipesLearnedState(t *testing.T) {
+	c := &clock{}
+	e := NewInterval(10*time.Second, time.Second, c.now)
+	for id := uint64(0); id < 6; id++ {
+		e.Observe(id)
+	}
+	c.t = 500 * time.Millisecond
+	for id := uint64(0); id < 6; id++ {
+		e.Observe(id)
+	}
+	if e.Estimate() < 2 {
+		t.Fatalf("setup: estimate %v should reflect 6 concurrent ids", e.Estimate())
+	}
+	e.Reset()
+	if got := e.Estimate(); got != 1 {
+		t.Errorf("Estimate() after Reset = %v, want 1", got)
+	}
+}
+
+// TestSnapshotIntoDeterministic: publishing the same estimator state into
+// two registries yields identical snapshots — the property the metrics
+// merge discipline needs for byte-identical parallel runs.
+func TestSnapshotIntoDeterministic(t *testing.T) {
+	c := &clock{}
+	e := New(time.Second, 0, c.now)
+	for id := uint64(0); id < 5; id++ {
+		e.Observe(id)
+		c.t += 10 * time.Millisecond
+	}
+	a, b := metrics.NewRegistry(), metrics.NewRegistry()
+	e.SnapshotInto(a, "node=3")
+	e.SnapshotInto(b, "node=3")
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Error("snapshots of identical state differ")
+	}
+	sn := a.Snapshot()
+	if len(sn.Gauges) != 3 {
+		t.Fatalf("published %d gauges, want 3", len(sn.Gauges))
+	}
+	byName := map[string]float64{}
+	for _, g := range sn.Gauges {
+		if g.Label != "node=3" {
+			t.Errorf("gauge %q label = %q, want node=3", g.Name, g.Label)
+		}
+		byName[g.Name] = g.Value
+	}
+	if byName["density_active"] != float64(e.Active()) {
+		t.Errorf("density_active = %v, want %v", byName["density_active"], e.Active())
+	}
+	if byName["density_estimate"] != e.Estimate() {
+		t.Errorf("density_estimate = %v, want %v", byName["density_estimate"], e.Estimate())
+	}
+	if byName["density_window"] != float64(e.Window()) {
+		t.Errorf("density_window = %v, want %v", byName["density_window"], e.Window())
+	}
+}
+
+func TestIntervalSnapshotInto(t *testing.T) {
+	c := &clock{}
+	e := NewInterval(0, 0, c.now)
+	e.Observe(7)
+	c.t = 50 * time.Millisecond
+	e.Observe(7)
+	reg := metrics.NewRegistry()
+	e.SnapshotInto(reg, "")
+	sn := reg.Snapshot()
+	if len(sn.Gauges) != 3 {
+		t.Fatalf("published %d gauges, want 3", len(sn.Gauges))
+	}
+}

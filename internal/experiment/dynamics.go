@@ -1,0 +1,714 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"retri/internal/adapt"
+	"retri/internal/aff"
+	"retri/internal/core"
+	"retri/internal/density"
+	"retri/internal/metrics"
+	"retri/internal/mobility"
+	"retri/internal/model"
+	"retri/internal/node"
+	"retri/internal/radio"
+	"retri/internal/runner"
+	"retri/internal/sim"
+	"retri/internal/stats"
+	"retri/internal/workload"
+	"retri/internal/xrand"
+)
+
+// DynScenario names a dynamics scenario for the adaptive-width experiment.
+type DynScenario string
+
+// Dynamics scenarios under test.
+const (
+	// DynStationary keeps every node where it was placed — the control.
+	DynStationary DynScenario = "stationary"
+	// DynWaypoint moves every sender with the random-waypoint model, so
+	// the density each node sees drifts as neighborhoods form and
+	// dissolve.
+	DynWaypoint DynScenario = "waypoint"
+	// DynChurn duty-cycles every sender (exponential up/down), so
+	// returning nodes relearn the channel from wiped state.
+	DynChurn DynScenario = "churn"
+	// DynScript replays the mobility script in DynamicsConfig.Script.
+	DynScript DynScenario = "script"
+)
+
+// AllDynScenarios lists every named scenario except script, in sweep order.
+func AllDynScenarios() []DynScenario {
+	return []DynScenario{DynStationary, DynWaypoint, DynChurn}
+}
+
+// ParseDynScenarios parses a comma-separated scenario list for the CLI.
+func ParseDynScenarios(s string) ([]DynScenario, error) {
+	if s == "all" {
+		return AllDynScenarios(), nil
+	}
+	known := map[DynScenario]bool{DynStationary: true, DynWaypoint: true, DynChurn: true, DynScript: true}
+	var out []DynScenario
+	for _, part := range strings.Split(s, ",") {
+		k := DynScenario(strings.TrimSpace(part))
+		if k == "" {
+			continue
+		}
+		if !known[k] {
+			return nil, fmt.Errorf("experiment: unknown dynamics scenario %q (want stationary, waypoint, churn, script or all)", k)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: empty scenario list %q", s)
+	}
+	return out, nil
+}
+
+// WidthPolicyKind names an identifier-width policy arm.
+type WidthPolicyKind string
+
+// Width policies under test.
+const (
+	// WidthFixed is today's compile-time width: the wire format carries
+	// no width field and every transaction uses FixedBits.
+	WidthFixed WidthPolicyKind = "fixed"
+	// WidthAdaptive closes the loop: each sender's adapt.Controller feeds
+	// its density estimate into Equation 4 and the chosen width rides
+	// in-band on every fragment (aff.Config.AdaptiveWidth).
+	WidthAdaptive WidthPolicyKind = "adaptive"
+)
+
+// AllWidthPolicies lists both arms in sweep order.
+func AllWidthPolicies() []WidthPolicyKind {
+	return []WidthPolicyKind{WidthFixed, WidthAdaptive}
+}
+
+// DynamicsConfig parameterizes the dynamics experiment: senders stream
+// packets at one sink on a unit-disk radio while the scenario moves or
+// churns them, and the two width policies are compared on delivery,
+// goodput efficiency, collision rate and achieved-vs-optimal identifier
+// width over time.
+type DynamicsConfig struct {
+	// Seed roots all randomness; trials use derived streams.
+	Seed uint64
+	// Senders stream packets at the sink (node 0); they are nodes 1..N.
+	Senders int
+	// PacketSize is the application payload in bytes. Its bit size is the
+	// D the adaptive controller optimizes against.
+	PacketSize int
+	// Duration is simulated time per trial.
+	Duration time.Duration
+	// Trials per (scenario, policy) row.
+	Trials int
+	// Scenarios are the dynamics swept.
+	Scenarios []DynScenario
+	// Policies are the width arms compared.
+	Policies []WidthPolicyKind
+	// FixedBits is the static arm's identifier width (and pool size).
+	FixedBits int
+	// MinBits and MaxBits clamp the adaptive arm; MaxBits is also its
+	// identifier pool width, so the adaptive arm pays for its headroom
+	// only through the in-band width field, never through wider-than-
+	// chosen identifiers.
+	MinBits, MaxBits int
+	// Area is the deployment region; the sink sits at its center.
+	Area mobility.Area
+	// Range is the unit-disk radio range.
+	Range float64
+	// MinSpeed, MaxSpeed and Pause parameterize DynWaypoint.
+	MinSpeed, MaxSpeed float64
+	Pause              time.Duration
+	// Duty parameterizes DynChurn.
+	Duty mobility.DutyCycle
+	// SampleInterval spaces the achieved-vs-optimal width probes.
+	SampleInterval time.Duration
+	// Script is the schedule DynScript replays; required iff DynScript is
+	// selected. Membership ops may only target senders.
+	Script *mobility.Script
+	// Params overrides the radio parameters when non-nil.
+	Params *radio.Params
+	// ReassemblyTimeout bounds partial-packet state, as in Figure 4.
+	ReassemblyTimeout time.Duration
+	// Parallelism, Obs and Hooks behave exactly as in Figure4Config.
+	Parallelism int
+	Obs         *Obs
+	Hooks       RunHooks
+}
+
+// DefaultDynamicsConfig is an 8-sender deployment on a 60x60 area with a
+// 20-unit radio range: roughly a third of the senders are within range of
+// the sink at any instant, so mobility genuinely modulates the density
+// each node observes.
+func DefaultDynamicsConfig() DynamicsConfig {
+	return DynamicsConfig{
+		Seed:              1,
+		Senders:           8,
+		PacketSize:        48,
+		Duration:          2 * time.Minute,
+		Trials:            5,
+		Scenarios:         AllDynScenarios(),
+		Policies:          AllWidthPolicies(),
+		FixedBits:         10,
+		MinBits:           2,
+		MaxBits:           16,
+		Area:              mobility.Area{W: 60, H: 60},
+		Range:             20,
+		MinSpeed:          1,
+		MaxSpeed:          3,
+		Pause:             2 * time.Second,
+		Duty:              mobility.DutyCycle{MeanUp: 20 * time.Second, MeanDown: 5 * time.Second},
+		SampleInterval:    time.Second,
+		ReassemblyTimeout: 250 * time.Millisecond,
+	}
+}
+
+// Validate rejects configurations the trial loop cannot honor.
+func (cfg DynamicsConfig) Validate() error {
+	if cfg.Senders < 1 || cfg.Trials < 1 || len(cfg.Scenarios) == 0 || len(cfg.Policies) == 0 {
+		return fmt.Errorf("experiment: degenerate dynamics config (senders=%d trials=%d scenarios=%d policies=%d)",
+			cfg.Senders, cfg.Trials, len(cfg.Scenarios), len(cfg.Policies))
+	}
+	if cfg.Duration <= 0 || cfg.SampleInterval <= 0 || cfg.SampleInterval > cfg.Duration {
+		return fmt.Errorf("experiment: dynamics needs 0 < sample interval <= duration, got %v/%v", cfg.SampleInterval, cfg.Duration)
+	}
+	if cfg.PacketSize < 1 {
+		return fmt.Errorf("experiment: dynamics packet size %d must be positive", cfg.PacketSize)
+	}
+	if cfg.FixedBits < 1 || cfg.FixedBits > 32 {
+		return fmt.Errorf("experiment: fixed width %d outside [1, 32]", cfg.FixedBits)
+	}
+	if cfg.MinBits < 1 || cfg.MaxBits < cfg.MinBits || cfg.MaxBits > 32 {
+		return fmt.Errorf("experiment: adaptive width clamp [%d, %d] invalid", cfg.MinBits, cfg.MaxBits)
+	}
+	if !(cfg.Area.W > 0) || !(cfg.Area.H > 0) || math.IsInf(cfg.Area.W, 0) || math.IsInf(cfg.Area.H, 0) {
+		return fmt.Errorf("experiment: dynamics area %vx%v invalid", cfg.Area.W, cfg.Area.H)
+	}
+	if !(cfg.Range > 0) {
+		return fmt.Errorf("experiment: dynamics radio range %v must be positive", cfg.Range)
+	}
+	for _, s := range cfg.Scenarios {
+		switch s {
+		case DynStationary:
+		case DynWaypoint:
+			if !(cfg.MinSpeed > 0) || cfg.MaxSpeed < cfg.MinSpeed || cfg.Pause < 0 {
+				return fmt.Errorf("experiment: waypoint speeds [%v, %v] pause %v invalid", cfg.MinSpeed, cfg.MaxSpeed, cfg.Pause)
+			}
+		case DynChurn:
+			if err := cfg.Duty.Validate(); err != nil {
+				return err
+			}
+		case DynScript:
+			if cfg.Script == nil {
+				return fmt.Errorf("experiment: scenario %q selected without a script", DynScript)
+			}
+			if max := cfg.Script.MaxNode(); int(max) > cfg.Senders {
+				return fmt.Errorf("experiment: mobility script references node %d; this run has nodes 0..%d", max, cfg.Senders)
+			}
+		default:
+			return fmt.Errorf("experiment: unknown dynamics scenario %q", s)
+		}
+	}
+	for _, p := range cfg.Policies {
+		if p != WidthFixed && p != WidthAdaptive {
+			return fmt.Errorf("experiment: unknown width policy %q", p)
+		}
+	}
+	return nil
+}
+
+// DynPoint is one instant of the achieved-vs-optimal width time series,
+// averaged over the senders awake and placed at that instant.
+type DynPoint struct {
+	At        time.Duration
+	AchievedH float64
+	OptimalH  float64
+	Awake     float64
+}
+
+// DynamicsOutcome reports one trial.
+type DynamicsOutcome struct {
+	// Offered counts packets the workload generators handed down.
+	Offered int64
+	// TruthDelivered and AFFDelivered are the sink's ground-truth and
+	// identifier-keyed packet counts, as in Figure 4.
+	TruthDelivered int64
+	AFFDelivered   int64
+	// DeliveredBits is application payload delivered at the sink; TxBits
+	// is every bit any radio transmitted. Their ratio is the measured
+	// goodput efficiency — the adaptive arm pays its in-band width field
+	// here, honestly.
+	DeliveredBits int64
+	TxBits        int64
+	// CollisionRate is 1 - AFF/Truth (identifier-only loss).
+	CollisionRate float64
+	// Goodput is DeliveredBits/TxBits (0 when nothing was sent).
+	Goodput float64
+	// MeanAchievedH, MeanOptimalH and HGap summarize the steady state
+	// (second half of the trial): mean width in use, mean omniscient
+	// Equation 4 optimum for the true awake-neighbor density, and the
+	// mean absolute gap between them.
+	MeanAchievedH float64
+	MeanOptimalH  float64
+	HGap          float64
+	// Churn tallies membership events (zero outside churn/script).
+	Churn mobility.ChurnCounters
+	// Samples is the per-instant width time series.
+	Samples []DynPoint
+	// Obs is the trial's private observability capture, nil unless
+	// requested.
+	Obs *TrialObs
+}
+
+// DeliveryRatio is sink deliveries over offered packets. Under a range-
+// limited topology this counts RF unreachability too, not just identifier
+// loss — compare CollisionRate for the identifier-only view.
+func (o DynamicsOutcome) DeliveryRatio() float64 {
+	if o.Offered == 0 {
+		return 0
+	}
+	return float64(o.AFFDelivered) / float64(o.Offered)
+}
+
+// DynamicsRow aggregates one (scenario, policy) cell over trials.
+type DynamicsRow struct {
+	Scenario DynScenario
+	Policy   WidthPolicyKind
+	// Delivery, Goodput, Collision, AchievedH, OptimalH and Gap summarize
+	// the per-trial outcome fields of the same names.
+	Delivery  stats.Summary
+	Goodput   stats.Summary
+	Collision stats.Summary
+	AchievedH stats.Summary
+	OptimalH  stats.Summary
+	Gap       stats.Summary
+	// Totals across trials.
+	Offered        int64
+	TruthDelivered int64
+	AFFDelivered   int64
+	Churn          mobility.ChurnCounters
+	// Series is the trial-averaged achieved-vs-optimal width time series.
+	Series []DynPoint
+}
+
+// DynamicsResult is the full sweep.
+type DynamicsResult struct {
+	Config DynamicsConfig
+	Rows   []DynamicsRow
+}
+
+// Dynamics runs the sweep: scenario x policy x trials.
+func Dynamics(cfg DynamicsConfig) (DynamicsResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return DynamicsResult{}, err
+	}
+	src := xrand.NewSource(cfg.Seed).Child("dynamics")
+	type job struct {
+		scenario DynScenario
+		policy   WidthPolicyKind
+		src      *xrand.Source
+	}
+	var jobs []job
+	for _, scenario := range cfg.Scenarios {
+		for _, policy := range cfg.Policies {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				jobs = append(jobs, job{scenario, policy,
+					src.Child(string(scenario), string(policy), fmt.Sprint(trial))})
+			}
+		}
+	}
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (DynamicsOutcome, error) {
+		return RunDynamicsTrial(cfg, jobs[i].scenario, jobs[i].policy, jobs[i].src)
+	})
+	if err != nil {
+		return DynamicsResult{}, err
+	}
+	wrapped := make([]TrialOutcome, len(outs))
+	for i := range outs {
+		wrapped[i].Obs = outs[i].Obs
+	}
+	if err := foldTrialObs(cfg.Obs, wrapped, func(i int) string {
+		return fmt.Sprintf("dynamics %s", dynamicsLabel(jobs[i].scenario, jobs[i].policy))
+	}); err != nil {
+		return DynamicsResult{}, err
+	}
+
+	res := DynamicsResult{Config: cfg}
+	type accs struct {
+		row                          DynamicsRow
+		del, good, coll, ach, op, gp stats.Accumulator
+		sumAch, sumOpt, sumAwake     []float64
+		trials                       int
+	}
+	byRow := make(map[string]*accs)
+	var order []string
+	for i, out := range outs {
+		j := jobs[i]
+		k := dynamicsLabel(j.scenario, j.policy)
+		a, ok := byRow[k]
+		if !ok {
+			a = &accs{row: DynamicsRow{Scenario: j.scenario, Policy: j.policy}}
+			byRow[k] = a
+			order = append(order, k)
+		}
+		a.del.Add(out.DeliveryRatio())
+		a.good.Add(out.Goodput)
+		a.coll.Add(out.CollisionRate)
+		a.ach.Add(out.MeanAchievedH)
+		a.op.Add(out.MeanOptimalH)
+		a.gp.Add(out.HGap)
+		a.row.Offered += out.Offered
+		a.row.TruthDelivered += out.TruthDelivered
+		a.row.AFFDelivered += out.AFFDelivered
+		a.row.Churn.Joins += out.Churn.Joins
+		a.row.Churn.Leaves += out.Churn.Leaves
+		a.row.Churn.Sleeps += out.Churn.Sleeps
+		a.row.Churn.Wakes += out.Churn.Wakes
+		// Sampling instants are deterministic, so per-trial series align
+		// index by index and average across trials.
+		if a.sumAch == nil {
+			n := len(out.Samples)
+			a.sumAch = make([]float64, n)
+			a.sumOpt = make([]float64, n)
+			a.sumAwake = make([]float64, n)
+			a.row.Series = make([]DynPoint, n)
+			for s, p := range out.Samples {
+				a.row.Series[s].At = p.At
+			}
+		}
+		for s, p := range out.Samples {
+			a.sumAch[s] += p.AchievedH
+			a.sumOpt[s] += p.OptimalH
+			a.sumAwake[s] += p.Awake
+		}
+		a.trials++
+	}
+	for _, k := range order {
+		a := byRow[k]
+		a.row.Delivery = a.del.Summary()
+		a.row.Goodput = a.good.Summary()
+		a.row.Collision = a.coll.Summary()
+		a.row.AchievedH = a.ach.Summary()
+		a.row.OptimalH = a.op.Summary()
+		a.row.Gap = a.gp.Summary()
+		for s := range a.row.Series {
+			n := float64(a.trials)
+			a.row.Series[s].AchievedH = a.sumAch[s] / n
+			a.row.Series[s].OptimalH = a.sumOpt[s] / n
+			a.row.Series[s].Awake = a.sumAwake[s] / n
+		}
+		res.Rows = append(res.Rows, a.row)
+	}
+	return res, nil
+}
+
+func dynamicsLabel(s DynScenario, p WidthPolicyKind) string {
+	return fmt.Sprintf("scenario=%s,policy=%s", s, p)
+}
+
+// RunDynamicsTrial executes one trial of one (scenario, policy) cell:
+// cfg.Senders continuous streamers on a unit disk around a central sink,
+// moved or churned by the scenario, measured against the sink's
+// ground-truth reassembler and an omniscient Equation 4 probe.
+func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPolicyKind, src *xrand.Source) (DynamicsOutcome, error) {
+	eng := sim.NewEngine()
+	params := radio.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	disk := radio.NewUnitDisk(cfg.Range)
+	med := radio.NewMedium(eng, disk, params, src.Stream("medium"))
+	trialObs, tracer := newTrialObs(cfg.Obs)
+	if tracer != nil {
+		med.SetTracer(tracer)
+	}
+
+	// The fixed arm runs today's wire format bit for bit; the adaptive arm
+	// opens the MaxBits pool and carries each transaction's width in-band.
+	affCfg := aff.Config{
+		Space:             core.MustSpace(cfg.FixedBits),
+		MTU:               params.MTU,
+		Instrument:        true,
+		ReassemblyTimeout: cfg.ReassemblyTimeout,
+	}
+	if policy == WidthAdaptive {
+		affCfg.Space = core.MustSpace(cfg.MaxBits)
+		affCfg.AdaptiveWidth = true
+	}
+
+	const sinkID radio.NodeID = 0
+	disk.Place(sinkID, radio.Point{X: cfg.Area.W / 2, Y: cfg.Area.H / 2})
+	rxRadio := med.MustAttach(sinkID)
+	truth := aff.NewTruthReassembler(affCfg, eng.Now)
+	rxEst := density.New(0, 0, eng.Now)
+	rxSel, err := makeSelector(SelListening, affCfg.Space, src.Stream("rx-sel"), rxEst.Window)
+	if err != nil {
+		return DynamicsOutcome{}, err
+	}
+	rx, err := node.NewAFF(rxRadio, affCfg, rxSel, node.AFFOptions{
+		Estimator: rxEst,
+		Truth:     truth,
+		Engine:    eng,
+	})
+	if err != nil {
+		return DynamicsOutcome{}, err
+	}
+
+	var churner *mobility.Churner
+	if scenario == DynChurn || scenario == DynScript {
+		churner = mobility.NewChurner(eng, cfg.Duration)
+		churner.SetDisk(disk)
+		churner.SetTracer(tracer)
+	}
+
+	dataBits := 8 * cfg.PacketSize
+	ctls := make(map[radio.NodeID]*adapt.Controller)
+	radios := []*radio.Radio{rxRadio}
+	var gens []*workload.Continuous
+	for i := 1; i <= cfg.Senders; i++ {
+		id := radio.NodeID(i)
+		label := fmt.Sprint(i)
+		if scenario != DynWaypoint {
+			// Waypoint walkers place themselves; everyone else scatters
+			// uniformly up front.
+			pos := src.Stream("pos", label)
+			disk.Place(id, radio.Point{X: pos.Float64() * cfg.Area.W, Y: pos.Float64() * cfg.Area.H})
+		}
+		txRadio := med.MustAttach(id)
+		radios = append(radios, txRadio)
+		est := density.New(0, 0, eng.Now)
+		sel, err := makeSelector(SelListening, affCfg.Space, src.Stream("sel", label), est.Window)
+		if err != nil {
+			return DynamicsOutcome{}, err
+		}
+		opts := node.AFFOptions{Estimator: est, ObserveOwn: true, Engine: eng}
+		if policy == WidthAdaptive {
+			ctl, err := adapt.New(adapt.Config{DataBits: dataBits, Min: cfg.MinBits, Max: cfg.MaxBits}, est)
+			if err != nil {
+				return DynamicsOutcome{}, err
+			}
+			ctls[id] = ctl
+			opts.Width = ctl
+		}
+		d, err := node.NewAFF(txRadio, affCfg, sel, opts)
+		if err != nil {
+			return DynamicsOutcome{}, err
+		}
+		gen := workload.NewContinuousMixed(eng, d, []int{cfg.PacketSize}, 0, src.Stream("wl", label))
+		gen.Start(cfg.Duration)
+		gens = append(gens, gen)
+
+		switch scenario {
+		case DynWaypoint:
+			wcfg := mobility.WaypointConfig{
+				Area:     cfg.Area,
+				MinSpeed: cfg.MinSpeed,
+				MaxSpeed: cfg.MaxSpeed,
+				Pause:    cfg.Pause,
+			}
+			if _, err := mobility.StartWaypoint(eng, disk, id, wcfg, src.Stream("mob", label), cfg.Duration); err != nil {
+				return DynamicsOutcome{}, err
+			}
+		case DynChurn:
+			churner.Register(id, d)
+			if err := churner.StartDutyCycle(id, cfg.Duty, src.Stream("duty", label)); err != nil {
+				return DynamicsOutcome{}, err
+			}
+		case DynScript:
+			churner.Register(id, d)
+		}
+	}
+	if scenario == DynScript {
+		dir := mobility.NewDirector(eng, disk, churner, 0, cfg.Duration)
+		if err := dir.Apply(*cfg.Script); err != nil {
+			return DynamicsOutcome{}, err
+		}
+	}
+
+	// The omniscient probe: at each sample instant, every awake placed
+	// sender's true density is itself plus its awake sender neighbors
+	// (continuous workloads keep one transaction in flight per sender),
+	// and its Equation 4 optimum is clamped exactly as the controller's
+	// target is, so the gap measures tracking, not clamping.
+	awake := func(id radio.NodeID) bool {
+		return churner == nil || churner.Awake(id)
+	}
+	widthOf := func(id radio.NodeID) int {
+		if ctl, ok := ctls[id]; ok {
+			return ctl.Current()
+		}
+		return cfg.FixedBits
+	}
+	var samples []DynPoint
+	var sumAch, sumOpt, sumGap float64
+	var steady int
+	half := cfg.Duration / 2
+	for at := cfg.SampleInterval; at <= cfg.Duration; at += cfg.SampleInterval {
+		at := at
+		eng.ScheduleAt(at, func() {
+			var ach, opt float64
+			n := 0
+			for i := 1; i <= cfg.Senders; i++ {
+				id := radio.NodeID(i)
+				if !awake(id) {
+					continue
+				}
+				if _, placed := disk.Position(id); !placed {
+					continue
+				}
+				t := 1.0
+				for _, nb := range disk.Neighbors(id) {
+					if nb != sinkID && awake(nb) {
+						t++
+					}
+				}
+				h, _ := model.OptimalBits(dataBits, t, cfg.MaxBits)
+				if h < cfg.MinBits {
+					h = cfg.MinBits
+				}
+				w := widthOf(id)
+				ach += float64(w)
+				opt += float64(h)
+				n++
+				if at > half {
+					sumAch += float64(w)
+					sumOpt += float64(h)
+					sumGap += math.Abs(float64(w - h))
+					steady++
+				}
+			}
+			p := DynPoint{At: at}
+			if n > 0 {
+				p.AchievedH = ach / float64(n)
+				p.OptimalH = opt / float64(n)
+				p.Awake = float64(n)
+			}
+			samples = append(samples, p)
+		})
+	}
+
+	eng.Run()
+
+	out := DynamicsOutcome{
+		TruthDelivered: truth.Stats().Delivered,
+		AFFDelivered:   rx.Reassembler().Stats().Delivered,
+		DeliveredBits:  rx.Reassembler().Stats().DeliveredBits,
+		Samples:        samples,
+	}
+	for _, g := range gens {
+		out.Offered += g.Stats().PacketsOffered
+	}
+	for _, r := range radios {
+		out.TxBits += r.Meter().TxBits
+	}
+	if out.TruthDelivered > 0 {
+		lost := out.TruthDelivered - out.AFFDelivered
+		if lost < 0 {
+			lost = 0
+		}
+		out.CollisionRate = float64(lost) / float64(out.TruthDelivered)
+	}
+	if out.TxBits > 0 {
+		out.Goodput = float64(out.DeliveredBits) / float64(out.TxBits)
+	}
+	if steady > 0 {
+		out.MeanAchievedH = sumAch / float64(steady)
+		out.MeanOptimalH = sumOpt / float64(steady)
+		out.HGap = sumGap / float64(steady)
+	}
+	if churner != nil {
+		out.Churn = churner.Counters()
+	}
+
+	if trialObs != nil && trialObs.Metrics != nil {
+		label := dynamicsLabel(scenario, policy)
+		collectEngine(trialObs.Metrics, eng.Stats())
+		collectDynamics(trialObs.Metrics, label, out)
+		rxEst.SnapshotInto(trialObs.Metrics, label)
+		for _, r := range radios {
+			collectEnergy(trialObs.Metrics, r.ID(), r.Meter())
+		}
+	}
+	out.Obs = trialObs
+	return out, nil
+}
+
+// collectDynamics records one trial's dynamics counters and the steady-
+// state width gauges (gauges merge by max, so the snapshot carries the
+// worst trial per cell).
+func collectDynamics(reg *metrics.Registry, label string, out DynamicsOutcome) {
+	reg.Counter("dyn_offered_total", label).Add(out.Offered)
+	reg.Counter("dyn_truth_delivered_total", label).Add(out.TruthDelivered)
+	reg.Counter("dyn_aff_delivered_total", label).Add(out.AFFDelivered)
+	reg.Counter("dyn_delivered_bits_total", label).Add(out.DeliveredBits)
+	reg.Counter("dyn_tx_bits_total", label).Add(out.TxBits)
+	reg.Counter("churn_joins_total", label).Add(out.Churn.Joins)
+	reg.Counter("churn_leaves_total", label).Add(out.Churn.Leaves)
+	reg.Counter("churn_sleeps_total", label).Add(out.Churn.Sleeps)
+	reg.Counter("churn_wakes_total", label).Add(out.Churn.Wakes)
+	reg.Gauge("dyn_achieved_h_steady", label).SetMax(out.MeanAchievedH)
+	reg.Gauge("dyn_optimal_h_steady", label).SetMax(out.MeanOptimalH)
+	reg.Gauge("dyn_h_gap_steady", label).SetMax(out.HGap)
+}
+
+// Render renders the sweep as a table, one row per cell.
+func (res DynamicsResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Identifier sizing under dynamics (%d senders, %v x %d trials, %gx%g area, range %g)\n",
+		res.Config.Senders, res.Config.Duration, res.Config.Trials,
+		res.Config.Area.W, res.Config.Area.H, res.Config.Range)
+	fmt.Fprintf(&b, "%-11s %-9s %18s %8s %8s %6s %6s %12s %15s\n",
+		"scenario", "policy", "delivery", "goodput", "collide", "achH", "optH", "gap", "churn j/l/s/w")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%-11s %-9s %9.4f ± %.4f %8.4f %8.4f %6.2f %6.2f %5.2f ± %.2f %15s\n",
+			r.Scenario, r.Policy,
+			r.Delivery.Mean, r.Delivery.StdDev,
+			r.Goodput.Mean, r.Collision.Mean,
+			r.AchievedH.Mean, r.OptimalH.Mean,
+			r.Gap.Mean, r.Gap.StdDev,
+			fmt.Sprintf("%d/%d/%d/%d", r.Churn.Joins, r.Churn.Leaves, r.Churn.Sleeps, r.Churn.Wakes))
+	}
+	return b.String()
+}
+
+// CSV renders the sweep for plotting. Summary records (kind=summary) carry
+// one row per cell; time-series records (kind=h_t) carry the trial-
+// averaged achieved-vs-optimal width at each sample instant.
+func (res DynamicsResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"kind", "scenario", "policy", "t_seconds",
+		"delivery", "delivery_stddev", "goodput", "collision_rate",
+		"achieved_h", "optimal_h", "h_gap", "h_gap_stddev", "awake",
+		"offered", "truth_delivered", "aff_delivered",
+		"joins", "leaves", "sleeps", "wakes", "trials"})
+	for _, r := range res.Rows {
+		_ = w.Write([]string{"summary", string(r.Scenario), string(r.Policy), "",
+			formatFloat(r.Delivery.Mean), formatFloat(r.Delivery.StdDev),
+			formatFloat(r.Goodput.Mean), formatFloat(r.Collision.Mean),
+			formatFloat(r.AchievedH.Mean), formatFloat(r.OptimalH.Mean),
+			formatFloat(r.Gap.Mean), formatFloat(r.Gap.StdDev), "",
+			strconv.FormatInt(r.Offered, 10), strconv.FormatInt(r.TruthDelivered, 10),
+			strconv.FormatInt(r.AFFDelivered, 10),
+			strconv.FormatInt(r.Churn.Joins, 10), strconv.FormatInt(r.Churn.Leaves, 10),
+			strconv.FormatInt(r.Churn.Sleeps, 10), strconv.FormatInt(r.Churn.Wakes, 10),
+			strconv.Itoa(r.Delivery.N),
+		})
+	}
+	for _, r := range res.Rows {
+		for _, p := range r.Series {
+			_ = w.Write([]string{"h_t", string(r.Scenario), string(r.Policy),
+				formatFloat(p.At.Seconds()), "", "", "", "",
+				formatFloat(p.AchievedH), formatFloat(p.OptimalH), "", "",
+				formatFloat(p.Awake), "", "", "", "", "", "", "", "",
+			})
+		}
+	}
+	w.Flush()
+	return sb.String()
+}

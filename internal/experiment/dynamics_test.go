@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/metrics"
+	"retri/internal/mobility"
+)
+
+// smallDynamics is a sweep small enough to run twice in a test yet
+// covering both a movement scenario and a churn scenario in both arms.
+func smallDynamics() DynamicsConfig {
+	cfg := DefaultDynamicsConfig()
+	cfg.Senders = 3
+	cfg.Trials = 2
+	cfg.Duration = 6 * time.Second
+	cfg.SampleInterval = time.Second
+	cfg.Scenarios = []DynScenario{DynWaypoint, DynChurn}
+	cfg.Duty = mobility.DutyCycle{MeanUp: 2 * time.Second, MeanDown: time.Second}
+	return cfg
+}
+
+func TestDynamicsValidate(t *testing.T) {
+	bad := []func(*DynamicsConfig){
+		func(c *DynamicsConfig) { c.Senders = 0 },
+		func(c *DynamicsConfig) { c.Trials = 0 },
+		func(c *DynamicsConfig) { c.Scenarios = nil },
+		func(c *DynamicsConfig) { c.Policies = []WidthPolicyKind{"telepathic"} },
+		func(c *DynamicsConfig) { c.SampleInterval = 0 },
+		func(c *DynamicsConfig) { c.SampleInterval = c.Duration + time.Second },
+		func(c *DynamicsConfig) { c.FixedBits = 0 },
+		func(c *DynamicsConfig) { c.MinBits = 9; c.MaxBits = 4 },
+		func(c *DynamicsConfig) { c.MaxBits = 40 },
+		func(c *DynamicsConfig) { c.Area = mobility.Area{} },
+		func(c *DynamicsConfig) { c.Range = 0 },
+		func(c *DynamicsConfig) { c.MinSpeed = 0 },
+		func(c *DynamicsConfig) { c.Scenarios = []DynScenario{DynScript} }, // no script
+		func(c *DynamicsConfig) { c.Duty = mobility.DutyCycle{} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultDynamicsConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultDynamicsConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	// A script referencing a node beyond the population is rejected.
+	s, err := mobility.ParseScriptString("1s move 9 0 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDynamicsConfig()
+	cfg.Scenarios = []DynScenario{DynScript}
+	cfg.Script = &s
+	if err := cfg.Validate(); err == nil {
+		t.Error("script referencing node 9 accepted with 8 senders")
+	}
+}
+
+func TestParseDynScenarios(t *testing.T) {
+	got, err := ParseDynScenarios("waypoint, churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []DynScenario{DynWaypoint, DynChurn}) {
+		t.Errorf("parsed %v", got)
+	}
+	if all, _ := ParseDynScenarios("all"); !reflect.DeepEqual(all, AllDynScenarios()) {
+		t.Errorf("all parsed as %v", all)
+	}
+	for _, bad := range []string{"", "teleport", "waypoint,,bogus"} {
+		if _, err := ParseDynScenarios(bad); err == nil {
+			t.Errorf("scenario list %q accepted", bad)
+		}
+	}
+}
+
+// TestDynamicsParallelByteIdentical: the dynamics sweep honors the repo's
+// parallel-runner contract — table, CSV and folded metrics of a parallel
+// run match the sequential run exactly.
+func TestDynamicsParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	run := func(parallelism int) (DynamicsResult, *metrics.Registry) {
+		cfg := smallDynamics()
+		cfg.Parallelism = parallelism
+		reg := metrics.NewRegistry()
+		cfg.Obs = &Obs{Metrics: reg}
+		res, err := Dynamics(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg
+	}
+	seq, seqReg := run(1)
+	par, parReg := run(4)
+	if got, want := par.CSV(), seq.CSV(); got != want {
+		t.Errorf("parallel CSV differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := par.Render(), seq.Render(); got != want {
+		t.Errorf("parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if !reflect.DeepEqual(parReg.Snapshot(), seqReg.Snapshot()) {
+		t.Error("parallel metrics snapshot differs from sequential")
+	}
+}
+
+// TestDynamicsAdaptiveConverges pins the tentpole's acceptance criterion:
+// with every sender in range of every other (stable true density), the
+// adaptive arm settles within one bit of the Equation 4 optimum in steady
+// state, while the fixed arm stays pinned at its compile-time width.
+func TestDynamicsAdaptiveConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultDynamicsConfig()
+	cfg.Senders = 5
+	cfg.Trials = 2
+	cfg.Duration = 40 * time.Second
+	cfg.Area = mobility.Area{W: 10, H: 10}
+	cfg.Range = 100 // full mesh: T = senders, constant
+	cfg.Scenarios = []DynScenario{DynStationary}
+	res, err := Dynamics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		switch r.Policy {
+		case WidthFixed:
+			if r.AchievedH.Mean != float64(cfg.FixedBits) {
+				t.Errorf("fixed arm achieved %.2f bits, want pinned %d", r.AchievedH.Mean, cfg.FixedBits)
+			}
+			if r.Gap.StdDev != 0 && r.OptimalH.StdDev != 0 {
+				t.Errorf("fixed stationary arm jittered: gap %+v optimal %+v", r.Gap, r.OptimalH)
+			}
+		case WidthAdaptive:
+			if r.Gap.Mean > 1 {
+				t.Errorf("adaptive arm steady-state gap %.2f bits exceeds 1 (achieved %.2f, optimal %.2f)",
+					r.Gap.Mean, r.AchievedH.Mean, r.OptimalH.Mean)
+			}
+		}
+		if r.AFFDelivered == 0 || r.TruthDelivered == 0 {
+			t.Errorf("%s/%s delivered nothing", r.Scenario, r.Policy)
+		}
+	}
+}
+
+// TestDynamicsScriptScenario drives the script scenario end to end: the
+// scripted sleep shows up in the churn counters and the run still
+// delivers.
+func TestDynamicsScriptScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := mobility.ParseScriptString(`
+1s  sleep 1
+3s  wake 1
+2s  walk 2 5 5 4
+4s  leave 3
+5s  join 3 30 30
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallDynamics()
+	cfg.Scenarios = []DynScenario{DynScript}
+	cfg.Script = &s
+	cfg.Trials = 1
+	res, err := Dynamics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Churn.Sleeps != 1 || r.Churn.Wakes != 1 || r.Churn.Leaves != 1 || r.Churn.Joins != 1 {
+			t.Errorf("%s/%s churn counters %+v, want one of each", r.Scenario, r.Policy, r.Churn)
+		}
+		if r.TruthDelivered == 0 {
+			t.Errorf("%s/%s delivered nothing", r.Scenario, r.Policy)
+		}
+	}
+}
+
+// TestDynamicsCSVShape: the CSV carries both record kinds under one
+// header, and the time series has one record per sample instant per cell.
+func TestDynamicsCSVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := smallDynamics()
+	cfg.Scenarios = []DynScenario{DynStationary}
+	cfg.Policies = []WidthPolicyKind{WidthAdaptive}
+	cfg.Trials = 1
+	res, err := Dynamics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.CSV()), "\n")
+	wantSamples := int(cfg.Duration / cfg.SampleInterval)
+	if got, want := len(lines), 1+1+wantSamples; got != want {
+		t.Fatalf("CSV has %d lines, want header + 1 summary + %d samples", got, wantSamples)
+	}
+	if !strings.HasPrefix(lines[1], "summary,stationary,adaptive,") {
+		t.Errorf("summary record %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "h_t,stationary,adaptive,1,") {
+		t.Errorf("first series record %q", lines[2])
+	}
+}

@@ -36,9 +36,13 @@ const (
 	checksumBits = 16
 	offsetBits   = 16
 	truthBits    = 64 // 32-bit node + 32-bit sequence, instrumentation only
+	widthBits    = 5  // in-band identifier width, stored as IDBits-1 (1..32)
 
 	// MaxPacketLen is the largest packet either format can describe.
 	MaxPacketLen = 1<<lenBits - 1
+
+	// MaxIDBits is the widest identifier either AFF format can carry.
+	MaxIDBits = 32
 )
 
 // Fragment kinds on the wire.
@@ -71,6 +75,10 @@ type Intro struct {
 	TotalLen int
 	Checksum uint16
 	Truth    *Truth
+	// IDBits is the identifier width the fragment was decoded with. It is
+	// set only by in-band-width codecs (InBandWidth); fixed-width decodes
+	// leave it 0, meaning "the codec's configured width".
+	IDBits int
 }
 
 // Data is a data fragment: the identifier plus "the byte offset of the
@@ -80,24 +88,42 @@ type Data struct {
 	Offset  int
 	Payload []byte
 	Truth   *Truth
+	// IDBits is the decoded identifier width; see Intro.IDBits.
+	IDBits int
 }
 
 // AFFCodec encodes and decodes address-free fragments with IDBits-wide
 // identifiers. Instrument appends the Truth trailer to every fragment.
+//
+// InBandWidth switches to the adaptive-width wire format: a 5-bit field
+// after the kind bit carries the identifier width (stored as IDBits-1),
+// and the identifier that follows is exactly that many bits. Encoding
+// still uses the codec's IDBits — an adaptive fragmenter builds one codec
+// per transaction at the width its controller chose — while decoding
+// trusts the in-band field, so one receiver codec demuxes a mix of widths.
+// With InBandWidth unset the wire format is bit-for-bit the original.
 type AFFCodec struct {
-	IDBits     int
-	Instrument bool
+	IDBits      int
+	Instrument  bool
+	InBandWidth bool
 }
 
 // IntroBits returns the meaningful bit length of an introduction fragment.
 func (c AFFCodec) IntroBits() int {
-	return kindBits + c.IDBits + lenBits + checksumBits + c.truthOverhead()
+	return kindBits + c.widthOverhead() + c.IDBits + lenBits + checksumBits + c.truthOverhead()
 }
 
 // DataHeaderBits returns the meaningful bit length of a data fragment's
 // header, excluding payload.
 func (c AFFCodec) DataHeaderBits() int {
-	return kindBits + c.IDBits + offsetBits + c.truthOverhead()
+	return kindBits + c.widthOverhead() + c.IDBits + offsetBits + c.truthOverhead()
+}
+
+func (c AFFCodec) widthOverhead() int {
+	if c.InBandWidth {
+		return widthBits
+	}
+	return 0
 }
 
 // MaxPayload returns the number of data bytes that fit in one data
@@ -138,6 +164,7 @@ func (c AFFCodec) EncodeIntro(in Intro) ([]byte, int, error) {
 	}
 	w := bitio.NewWriter()
 	mustWrite(w, kindIntro, kindBits)
+	c.writeWidth(w)
 	mustWrite(w, in.ID, c.IDBits)
 	mustWrite(w, uint64(in.TotalLen), lenBits)
 	mustWrite(w, uint64(in.Checksum), checksumBits)
@@ -165,6 +192,7 @@ func (c AFFCodec) EncodeData(d Data) ([]byte, int, error) {
 	}
 	w := bitio.NewWriter()
 	mustWrite(w, kindData, kindBits)
+	c.writeWidth(w)
 	mustWrite(w, d.ID, c.IDBits)
 	mustWrite(w, uint64(d.Offset), offsetBits)
 	writeTruth(w, c.Instrument, d.Truth)
@@ -183,7 +211,11 @@ func (c AFFCodec) Decode(p []byte) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
-	id, err := r.ReadBits(c.IDBits)
+	idBits, decodedWidth, err := c.readWidth(r)
+	if err != nil {
+		return nil, err
+	}
+	id, err := r.ReadBits(idBits)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
@@ -201,7 +233,7 @@ func (c AFFCodec) Decode(p []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Intro{ID: id, TotalLen: int(total), Checksum: uint16(sum), Truth: truth}, nil
+		return &Intro{ID: id, TotalLen: int(total), Checksum: uint16(sum), Truth: truth, IDBits: decodedWidth}, nil
 	default: // kindData; a 1-bit field has no other values
 		off, err := r.ReadBits(offsetBits)
 		if err != nil {
@@ -220,8 +252,30 @@ func (c AFFCodec) Decode(p []byte) (any, error) {
 		if err := r.ReadBytes(payload); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
-		return &Data{ID: id, Offset: int(off), Payload: payload, Truth: truth}, nil
+		return &Data{ID: id, Offset: int(off), Payload: payload, Truth: truth, IDBits: decodedWidth}, nil
 	}
+}
+
+// writeWidth emits the in-band width field (IDBits-1) when enabled.
+func (c AFFCodec) writeWidth(w *bitio.Writer) {
+	if c.InBandWidth {
+		mustWrite(w, uint64(c.IDBits-1), widthBits)
+	}
+}
+
+// readWidth returns the identifier width to decode with. In fixed mode it
+// is the codec's own width and the reported decoded width is 0; in in-band
+// mode the width is read off the wire (always 1..32 — every 5-bit value
+// plus one is a legal width) and reported back to the caller.
+func (c AFFCodec) readWidth(r *bitio.Reader) (idBits, decodedWidth int, err error) {
+	if !c.InBandWidth {
+		return c.IDBits, 0, nil
+	}
+	v, err := r.ReadBits(widthBits)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return int(v) + 1, int(v) + 1, nil
 }
 
 func writeTruth(w *bitio.Writer, on bool, t *Truth) {

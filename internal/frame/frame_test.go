@@ -248,6 +248,88 @@ func TestAFFRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestAFFInBandWidthCostsBits(t *testing.T) {
+	plain := AFFCodec{IDBits: 9}
+	adaptive := AFFCodec{IDBits: 9, InBandWidth: true}
+	if adaptive.IntroBits() != plain.IntroBits()+5 {
+		t.Errorf("in-band intro = %d bits, want %d", adaptive.IntroBits(), plain.IntroBits()+5)
+	}
+	if adaptive.DataHeaderBits() != plain.DataHeaderBits()+5 {
+		t.Errorf("in-band data header = %d bits, want %d", adaptive.DataHeaderBits(), plain.DataHeaderBits()+5)
+	}
+}
+
+// TestAFFInBandWidthDemux is the adaptive-width contract: one receiver
+// codec decodes fragments produced at any width, recovering both the
+// identifier and the width it was sent at.
+func TestAFFInBandWidthDemux(t *testing.T) {
+	rx := AFFCodec{IDBits: MaxIDBits, InBandWidth: true}
+	for _, w := range []int{1, 2, 5, 9, 16, 32} {
+		tx := AFFCodec{IDBits: w, InBandWidth: true}
+		id := uint64(1)<<uint(w) - 1 // all-ones id exercises every bit
+		buf, bits, err := tx.EncodeIntro(Intro{ID: id, TotalLen: 80, Checksum: 0xBEEF})
+		if err != nil {
+			t.Fatalf("width %d: EncodeIntro: %v", w, err)
+		}
+		if bits != tx.IntroBits() {
+			t.Errorf("width %d: intro bits = %d, want %d", w, bits, tx.IntroBits())
+		}
+		got, err := rx.Decode(buf)
+		if err != nil {
+			t.Fatalf("width %d: Decode: %v", w, err)
+		}
+		gi, ok := got.(*Intro)
+		if !ok {
+			t.Fatalf("width %d: Decode returned %T, want *Intro", w, got)
+		}
+		if gi.ID != id || gi.IDBits != w {
+			t.Errorf("width %d: decoded id=%d bits=%d, want id=%d bits=%d", w, gi.ID, gi.IDBits, id, w)
+		}
+
+		buf, _, err = tx.EncodeData(Data{ID: id, Offset: 32, Payload: []byte{0xA5}})
+		if err != nil {
+			t.Fatalf("width %d: EncodeData: %v", w, err)
+		}
+		gd, err := rx.Decode(buf)
+		if err != nil {
+			t.Fatalf("width %d: Decode data: %v", w, err)
+		}
+		d, ok := gd.(*Data)
+		if !ok {
+			t.Fatalf("width %d: Decode returned %T, want *Data", w, gd)
+		}
+		if d.ID != id || d.IDBits != w {
+			t.Errorf("width %d: decoded data id=%d bits=%d, want id=%d bits=%d", w, d.ID, d.IDBits, id, w)
+		}
+	}
+}
+
+// TestAFFFixedWidthBytesUnchanged pins the original wire format: a codec
+// without InBandWidth must emit exactly the bytes it always has, and its
+// decodes must leave IDBits zero.
+func TestAFFFixedWidthBytesUnchanged(t *testing.T) {
+	c := AFFCodec{IDBits: 9}
+	buf, bits, err := c.EncodeIntro(Intro{ID: 0x1AB, TotalLen: 80, Checksum: 0xBEEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != 1+9+16+16 {
+		t.Errorf("fixed intro bits = %d, want 42", bits)
+	}
+	// kind=0, id=0x1AB (9 bits), len=80, sum=0xBEEF, packed MSB-first.
+	want := []byte{0x6A, 0xC0, 0x14, 0x2F, 0xBB, 0xC0}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("fixed intro bytes = %x, want %x", buf, want)
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi := got.(*Intro); gi.IDBits != 0 {
+		t.Errorf("fixed decode set IDBits = %d, want 0", gi.IDBits)
+	}
+}
+
 func BenchmarkAFFEncodeData(b *testing.B) {
 	c := AFFCodec{IDBits: 9}
 	payload := make([]byte, 20)

@@ -1,0 +1,65 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzMobilityScript: the parser must never panic on arbitrary text, and
+// everything it accepts must satisfy the Script invariants the Director
+// relies on — non-negative sorted times, known ops, non-negative nodes,
+// finite coordinates, positive walk speeds.
+func FuzzMobilityScript(f *testing.F) {
+	f.Add("10s move 1 2 3\n5s walk 0 9 9 1.5\n")
+	f.Add("# comment only\n\n")
+	f.Add("1s sleep 4\n1s wake 4\n2s leave 4\n3s join 4 0 0\n")
+	f.Add("10s walk 1 2 3")
+	f.Add("1h30m move 0 -5.5 1e3\n")
+	f.Add("99999999999999999h move 0 0 0\n")
+	f.Add("10s move 1 NaN Inf\n")
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseScriptString(text)
+		if err != nil {
+			return
+		}
+		var prev time.Duration
+		for _, a := range s.Actions {
+			if a.At < 0 {
+				t.Fatalf("accepted negative time %v", a.At)
+			}
+			if a.At < prev {
+				t.Fatalf("actions not sorted: %v after %v", a.At, prev)
+			}
+			prev = a.At
+			if a.Node < 0 {
+				t.Fatalf("accepted negative node %d", a.Node)
+			}
+			switch a.Op {
+			case OpMove, OpJoin:
+				mustFinite(t, a.X, a.Y)
+			case OpWalk:
+				mustFinite(t, a.X, a.Y)
+				if !(a.Speed > 0) {
+					t.Fatalf("accepted non-positive speed %v", a.Speed)
+				}
+			case OpLeave, OpSleep, OpWake:
+			default:
+				t.Fatalf("accepted unknown op %q", a.Op)
+			}
+			if a.Line < 1 {
+				t.Fatalf("action missing its script line: %+v", a)
+			}
+		}
+	})
+}
+
+func mustFinite(t *testing.T, vs ...float64) {
+	t.Helper()
+	for _, v := range vs {
+		if v != v || v > 1e308 || v < -1e308 {
+			t.Fatalf("accepted non-finite coordinate %v", v)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package mobility
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/sim"
+)
+
+func TestParseScript(t *testing.T) {
+	s, err := ParseScriptString(`
+# partition-and-merge: group B walks away, then back
+10s  walk 4 90 50 2.5   # B leader heads east
+5s   move 1 10 20
+20s  sleep 2
+30s  wake 2
+40s  leave 3
+50s  join 3 45 45
+`)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(s.Actions) != 6 {
+		t.Fatalf("parsed %d actions, want 6", len(s.Actions))
+	}
+	// Stable-sorted by time: the 5s move comes first despite line order.
+	if s.Actions[0].Op != OpMove || s.Actions[0].At != 5*time.Second {
+		t.Errorf("first action = %+v, want the 5s move", s.Actions[0])
+	}
+	w := s.Actions[1]
+	if w.Op != OpWalk || w.Node != 4 || w.X != 90 || w.Y != 50 || w.Speed != 2.5 {
+		t.Errorf("walk parsed as %+v", w)
+	}
+	if got := s.MaxNode(); got != 4 {
+		t.Errorf("MaxNode = %d, want 4", got)
+	}
+	if got := (Script{}).MaxNode(); got != -1 {
+		t.Errorf("empty MaxNode = %d, want -1", got)
+	}
+}
+
+func TestParseScriptRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"10s",                 // no action
+		"10s move",            // no node
+		"nonsense move 1 2 3", // bad time
+		"-5s move 1 2 3",      // negative time
+		"10s move -1 2 3",     // negative node
+		"10s move 1 2",        // missing y
+		"10s move 1 2 3 4",    // extra arg
+		"10s walk 1 2 3",      // missing speed
+		"10s walk 1 2 3 0",    // zero speed
+		"10s walk 1 2 3 -1",   // negative speed
+		"10s walk 1 2 3 +Inf", // infinite speed
+		"10s move 1 NaN 3",    // NaN coordinate
+		"10s join 1",          // missing position
+		"10s leave 1 2",       // extra arg
+		"10s sleep 1 2",       // extra arg
+		"10s explode 1",       // unknown action
+	}
+	for _, text := range cases {
+		if _, err := ParseScriptString(text); err == nil {
+			t.Errorf("script %q accepted", text)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("script %q error lacks line number: %v", text, err)
+		}
+	}
+}
+
+func TestDirectorAppliesScript(t *testing.T) {
+	eng := sim.NewEngine()
+	disk := radio.NewUnitDisk(10)
+	ch := NewChurner(eng, horizon)
+	ch.SetDisk(disk)
+	nodes := map[radio.NodeID]*stubNode{}
+	for id := radio.NodeID(0); id < 3; id++ {
+		n := &stubNode{up: true}
+		nodes[id] = n
+		ch.Register(id, n)
+		disk.Place(id, radio.Point{X: float64(id), Y: 0})
+	}
+	d := NewDirector(eng, disk, ch, 0, horizon)
+	s, err := ParseScriptString(`
+1s  move 0 5 5
+2s  walk 1 21 0 2      # 20 units at 2/s: arrives at 12s
+5s  sleep 2
+8s  wake 2
+20s leave 1
+30s join 1 7 7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.RunUntil(1500 * time.Millisecond)
+	if p, _ := disk.Position(0); p != (radio.Point{X: 5, Y: 5}) {
+		t.Errorf("move put node 0 at %v", p)
+	}
+	eng.RunUntil(7 * time.Second) // mid-walk, node 2 asleep
+	if p, _ := disk.Position(1); p.X <= 1 || p.X >= 21 {
+		t.Errorf("node 1 mid-walk at %v, want strictly between start and goal", p)
+	}
+	if ch.Awake(2) || nodes[2].up {
+		t.Error("node 2 should be asleep at 7s")
+	}
+	eng.RunUntil(15 * time.Second)
+	if p, _ := disk.Position(1); p != (radio.Point{X: 21, Y: 0}) {
+		t.Errorf("walk ended at %v, want (21, 0)", p)
+	}
+	if !ch.Awake(2) {
+		t.Error("node 2 should be awake again at 15s")
+	}
+	eng.RunUntil(25 * time.Second)
+	if _, ok := disk.Position(1); ok {
+		t.Error("node 1 still placed after leave")
+	}
+	eng.Run()
+	if p, ok := disk.Position(1); !ok || p != (radio.Point{X: 7, Y: 7}) {
+		t.Errorf("node 1 after rejoin at %v, %v", p, ok)
+	}
+}
+
+// TestDirectorPreemptsWalk: a later order for the same node cancels its
+// in-progress glide — the node changes course from wherever it is.
+func TestDirectorPreemptsWalk(t *testing.T) {
+	eng := sim.NewEngine()
+	disk := radio.NewUnitDisk(10)
+	disk.Place(0, radio.Point{})
+	d := NewDirector(eng, disk, nil, 0, horizon)
+	s, err := ParseScriptString(`
+0s walk 0 100 0 1     # would take 100s
+5s move 0 -3 -3       # preempts at 5s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if p, _ := disk.Position(0); p != (radio.Point{X: -3, Y: -3}) {
+		t.Errorf("final position %v, want the preempting move target", p)
+	}
+	if len(d.walkers) != 0 {
+		t.Errorf("%d walkers leaked", len(d.walkers))
+	}
+}
+
+func TestDirectorValidatesAgainstChurner(t *testing.T) {
+	eng := sim.NewEngine()
+	disk := radio.NewUnitDisk(10)
+	s, err := ParseScriptString("1s sleep 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirector(eng, disk, nil, 0, horizon)
+	if err := d.Apply(s); err == nil {
+		t.Error("membership op accepted without a churner")
+	}
+	ch := NewChurner(eng, horizon)
+	d2 := NewDirector(eng, disk, ch, 0, horizon)
+	if err := d2.Apply(s); err == nil {
+		t.Error("membership op accepted for an unregistered node")
+	}
+}
+
+// TestDirectorWalkUnplacedNodePlacesAtGoal documents the edge case: a
+// scripted walk of a node with no position is a placement at the goal.
+func TestDirectorWalkUnplacedNodePlacesAtGoal(t *testing.T) {
+	eng := sim.NewEngine()
+	disk := radio.NewUnitDisk(10)
+	d := NewDirector(eng, disk, nil, 0, horizon)
+	s, _ := ParseScriptString("1s walk 5 8 9 1")
+	if err := d.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if p, ok := disk.Position(5); !ok || p != (radio.Point{X: 8, Y: 9}) {
+		t.Errorf("unplaced walk target at %v, %v", p, ok)
+	}
+}

@@ -28,6 +28,15 @@ import (
 // PacketHandler receives reassembled packets.
 type PacketHandler func(data []byte)
 
+// WidthPolicy decides the identifier width for each outgoing transaction.
+// adapt.Controller (closed-loop, Eq. 4 set-point) and adapt.Fixed both
+// satisfy it; the node layer depends on the interface so it never imports
+// the controller.
+type WidthPolicy interface {
+	// Bits returns the width for the next transaction, in [1, Space.Bits()].
+	Bits() int
+}
+
 // Driver is the packet-level service both stacks provide.
 type Driver interface {
 	// SendPacket fragments and queues a packet for broadcast.
@@ -69,6 +78,10 @@ type AFFOptions struct {
 	// retaining it until its next reception. Without it, eviction happens
 	// only inside Ingest, exactly as before.
 	Engine *sim.Engine
+	// Width, when set, chooses a per-transaction identifier width
+	// (requires cfg.AdaptiveWidth — the in-band-width wire format). Nil
+	// keeps the fixed-width format, bit-for-bit today's behaviour.
+	Width WidthPolicy
 }
 
 // AFFDriver is the address-free fragmentation stack on one radio.
@@ -94,6 +107,15 @@ var _ Driver = (*AFFDriver)(nil)
 func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) (*AFFDriver, error) {
 	if r == nil {
 		return nil, errNilRadio
+	}
+	if opts.Width != nil && !cfg.AdaptiveWidth {
+		return nil, errors.New("node: Width policy requires aff.Config.AdaptiveWidth")
+	}
+	if cfg.AdaptiveWidth && opts.NotifyCollisions {
+		// Notification frames carry a raw Space.Bits()-wide identifier;
+		// adaptive transactions are keyed by (width, id), which that format
+		// cannot express. Nobody has needed the combination yet.
+		return nil, errors.New("node: NotifyCollisions is not supported with AdaptiveWidth")
 	}
 	if opts.NotifyCollisions {
 		// The discriminator bit rides in front of every fragment; the
@@ -157,9 +179,16 @@ func (d *AFFDriver) PacketsSent() int64 { return d.sent }
 func (d *AFFDriver) PacketsDelivered() int64 { return d.reasm.Stats().Delivered }
 
 // SendPacket fragments p under a fresh RETRI identifier and queues every
-// fragment for broadcast.
+// fragment for broadcast. With a Width policy installed, each transaction
+// is encoded at the width the policy chooses.
 func (d *AFFDriver) SendPacket(p []byte) error {
-	tx, err := d.frag.Fragment(p)
+	var tx aff.Transaction
+	var err error
+	if d.opts.Width != nil {
+		tx, err = d.frag.FragmentWidth(p, d.opts.Width.Bits())
+	} else {
+		tx, err = d.frag.Fragment(p)
+	}
 	if err != nil {
 		return err
 	}
@@ -181,9 +210,15 @@ func (d *AFFDriver) SendPacketAvoiding(p []byte, avoid uint64) (uint64, error) {
 
 func (d *AFFDriver) sendTx(tx aff.Transaction) error {
 	if d.opts.ObserveOwn {
-		d.sel.Observe(tx.ID)
+		// Observe under the same key a receiver would use, so the node's
+		// own transactions and overheard ones share one namespace.
+		key := tx.ID
+		if d.frag.Config().AdaptiveWidth {
+			key = aff.WidthKey(tx.IDBits, tx.ID)
+		}
+		d.sel.Observe(key)
 		if d.opts.Estimator != nil {
-			d.opts.Estimator.Observe(tx.ID)
+			d.opts.Estimator.Observe(key)
 		}
 	}
 	for _, fr := range tx.Fragments {
@@ -209,6 +244,9 @@ func (d *AFFDriver) Crash() {
 		rs.Reset()
 	}
 	if rs, ok := d.opts.Estimator.(interface{ Reset() }); ok {
+		rs.Reset()
+	}
+	if rs, ok := d.opts.Width.(interface{ Reset() }); ok {
 		rs.Reset()
 	}
 	if d.sweep != nil {

@@ -58,3 +58,44 @@ func BenchmarkMediumMetricsBridge(b *testing.B) {
 func BenchmarkMediumJSONWriter(b *testing.B) {
 	benchWorkload(b, trace.NewJSONWriter(io.Discard))
 }
+
+// benchDisk builds a populated unit disk for the mobility benchmarks:
+// 256 nodes scattered over a 10×10-cell area.
+func benchDisk() *UnitDisk {
+	u := NewUnitDisk(10)
+	rng := xrand.NewSource(7).Stream("disk")
+	for i := 0; i < 256; i++ {
+		u.Place(NodeID(i), Point{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+	}
+	return u
+}
+
+// BenchmarkUnitDiskConnectedUnderMoves interleaves moves with connectivity
+// checks — the dynamics workload. The spatial grid must keep Place cheap
+// (two map ops within a cell) without slowing the Connected hot path the
+// medium hits on every delivery.
+func BenchmarkUnitDiskConnectedUnderMoves(b *testing.B) {
+	u := benchDisk()
+	rng := xrand.NewSource(7).Stream("moves")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := NodeID(rng.IntN(256))
+		u.Place(id, Point{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+		for j := 0; j < 8; j++ {
+			u.Connected(id, NodeID(rng.IntN(256)))
+		}
+	}
+}
+
+// BenchmarkUnitDiskNeighbors measures the grid-backed range query against
+// the O(n) scan it replaces (every experiment-side omniscient density
+// probe is one of these).
+func BenchmarkUnitDiskNeighbors(b *testing.B) {
+	u := benchDisk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Neighbors(NodeID(i % 256))
+	}
+}

@@ -1,6 +1,9 @@
 package radio
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // NodeID identifies a radio on a medium. IDs are assigned by the caller and
 // carry no protocol meaning — that is the point of the paper: the wire
@@ -27,6 +30,16 @@ func (FullMesh) Connected(from, to NodeID) bool { return from != to }
 // hidden-terminal scenarios: A—B and B—C connected, A—C not.
 type Graph struct {
 	links map[[2]NodeID]bool
+}
+
+// Remove severs every link touching id, freeing the topology state a
+// churned-out node leaves behind.
+func (g *Graph) Remove(id NodeID) {
+	for key := range g.links {
+		if key[0] == id || key[1] == id {
+			delete(g.links, key)
+		}
+	}
 }
 
 // NewGraph returns a topology with no links.
@@ -75,19 +88,105 @@ func (p Point) Dist(q Point) float64 {
 // UnitDisk connects nodes within Range of each other — the standard
 // sensor-network propagation abstraction. Positions may be changed at any
 // time (node mobility, one of the paper's "dynamics").
+//
+// Placed nodes are also indexed in a spatial grid with cells the size of
+// the radio range, maintained incrementally on Place and Remove, so
+// Neighbors answers range queries by scanning the 3×3 cell block around a
+// node instead of the whole population.
 type UnitDisk struct {
 	Range     float64
 	positions map[NodeID]Point
+
+	// cellSize is the grid pitch the cells map was built with. It tracks
+	// Range lazily: mutating Range directly invalidates the grid, which is
+	// rebuilt on the next Place/Remove/Neighbors.
+	cellSize float64
+	cells    map[cellKey]map[NodeID]struct{}
 }
+
+// cellKey addresses one grid cell.
+type cellKey struct{ x, y int32 }
 
 // NewUnitDisk returns an empty unit-disk topology with the given radio range.
 func NewUnitDisk(radioRange float64) *UnitDisk {
-	return &UnitDisk{Range: radioRange, positions: make(map[NodeID]Point)}
+	u := &UnitDisk{Range: radioRange, positions: make(map[NodeID]Point)}
+	u.rebuildGrid()
+	return u
 }
 
-// Place sets (or moves) a node's position.
+// pitch returns the grid pitch for the current range; a degenerate range
+// still yields usable (if pointless) cells.
+func (u *UnitDisk) pitch() float64 {
+	if u.Range > 0 {
+		return u.Range
+	}
+	return 1
+}
+
+// rebuildGrid reindexes every placed node, called when the pitch changes.
+func (u *UnitDisk) rebuildGrid() {
+	u.cellSize = u.pitch()
+	u.cells = make(map[cellKey]map[NodeID]struct{})
+	for id, p := range u.positions {
+		u.gridAdd(id, p)
+	}
+}
+
+// syncGrid rebuilds the index iff Range was mutated since the last build.
+func (u *UnitDisk) syncGrid() {
+	if u.cellSize != u.pitch() {
+		u.rebuildGrid()
+	}
+}
+
+func (u *UnitDisk) cellOf(p Point) cellKey {
+	return cellKey{int32(math.Floor(p.X / u.cellSize)), int32(math.Floor(p.Y / u.cellSize))}
+}
+
+func (u *UnitDisk) gridAdd(id NodeID, p Point) {
+	key := u.cellOf(p)
+	cell, ok := u.cells[key]
+	if !ok {
+		cell = make(map[NodeID]struct{})
+		u.cells[key] = cell
+	}
+	cell[id] = struct{}{}
+}
+
+func (u *UnitDisk) gridRemove(id NodeID, p Point) {
+	key := u.cellOf(p)
+	if cell, ok := u.cells[key]; ok {
+		delete(cell, id)
+		if len(cell) == 0 {
+			delete(u.cells, key)
+		}
+	}
+}
+
+// Place sets (or moves) a node's position, updating the grid index
+// incrementally — a move within one cell costs two map lookups.
 func (u *UnitDisk) Place(id NodeID, p Point) {
+	u.syncGrid()
+	if old, ok := u.positions[id]; ok {
+		if u.cellOf(old) == u.cellOf(p) {
+			u.positions[id] = p
+			return
+		}
+		u.gridRemove(id, old)
+	}
 	u.positions[id] = p
+	u.gridAdd(id, p)
+}
+
+// Remove forgets a node's position and frees its grid slot. A node that
+// has churned out of the network keeps no topology state; Connected
+// reports false for it until the next Place.
+func (u *UnitDisk) Remove(id NodeID) {
+	u.syncGrid()
+	if p, ok := u.positions[id]; ok {
+		u.gridRemove(id, p)
+		delete(u.positions, id)
+	}
 }
 
 // Position returns the node's position and whether it has been placed.
@@ -95,6 +194,9 @@ func (u *UnitDisk) Position(id NodeID) (Point, bool) {
 	p, ok := u.positions[id]
 	return p, ok
 }
+
+// Len reports the number of placed nodes.
+func (u *UnitDisk) Len() int { return len(u.positions) }
 
 // Connected reports whether both nodes are placed and within range.
 func (u *UnitDisk) Connected(from, to NodeID) bool {
@@ -104,4 +206,65 @@ func (u *UnitDisk) Connected(from, to NodeID) bool {
 	a, okA := u.positions[from]
 	b, okB := u.positions[to]
 	return okA && okB && a.Dist(b) <= u.Range
+}
+
+// Neighbors returns the placed nodes within range of id, in ascending ID
+// order (deterministic despite the map-backed grid). It scans only the
+// 3×3 cell block around the node's cell; with cells the size of the radio
+// range that block covers every possible neighbor.
+func (u *UnitDisk) Neighbors(id NodeID) []NodeID {
+	u.syncGrid()
+	p, ok := u.positions[id]
+	if !ok {
+		return nil
+	}
+	center := u.cellOf(p)
+	var out []NodeID
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			cell, ok := u.cells[cellKey{center.x + dx, center.y + dy}]
+			if !ok {
+				continue
+			}
+			for other := range cell {
+				if other == id {
+					continue
+				}
+				if q := u.positions[other]; p.Dist(q) <= u.Range {
+					out = append(out, other)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeighborCount reports how many placed nodes are within range of id,
+// without allocating the sorted slice Neighbors returns.
+func (u *UnitDisk) NeighborCount(id NodeID) int {
+	u.syncGrid()
+	p, ok := u.positions[id]
+	if !ok {
+		return 0
+	}
+	center := u.cellOf(p)
+	n := 0
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			cell, ok := u.cells[cellKey{center.x + dx, center.y + dy}]
+			if !ok {
+				continue
+			}
+			for other := range cell {
+				if other == id {
+					continue
+				}
+				if q := u.positions[other]; p.Dist(q) <= u.Range {
+					n++
+				}
+			}
+		}
+	}
+	return n
 }

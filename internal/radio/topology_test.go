@@ -91,6 +91,96 @@ func TestUnitDiskMobility(t *testing.T) {
 	}
 }
 
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph()
+	g.SetLink(1, 2, true)
+	g.SetLink(2, 3, true)
+	g.SetLink(3, 4, true)
+	g.Remove(2)
+	if g.Connected(1, 2) || g.Connected(2, 3) {
+		t.Error("links touching removed node survive")
+	}
+	if !g.Connected(3, 4) {
+		t.Error("unrelated link removed")
+	}
+	if len(g.links) != 1 {
+		t.Errorf("link state not freed: %d entries, want 1", len(g.links))
+	}
+}
+
+func TestUnitDiskRemove(t *testing.T) {
+	u := NewUnitDisk(10)
+	u.Place(1, Point{})
+	u.Place(2, Point{X: 5})
+	if !u.Connected(1, 2) {
+		t.Fatal("setup: nodes should connect")
+	}
+	u.Remove(2)
+	if u.Connected(1, 2) {
+		t.Error("removed node still connected")
+	}
+	if _, ok := u.Position(2); ok {
+		t.Error("removed node still has a position")
+	}
+	if u.Len() != 1 {
+		t.Errorf("Len = %d, want 1", u.Len())
+	}
+	if got := u.Neighbors(1); len(got) != 0 {
+		t.Errorf("Neighbors(1) = %v after removal, want none", got)
+	}
+	u.Remove(2) // removing twice is a no-op
+	u.Place(2, Point{X: 5})
+	if !u.Connected(1, 2) {
+		t.Error("re-placed node not connected")
+	}
+}
+
+// TestUnitDiskNeighborsMatchesConnected is the grid's correctness
+// invariant: for every pair, membership in Neighbors must equal Connected,
+// including after moves that cross cells and nodes sitting on negative
+// coordinates and cell boundaries.
+func TestUnitDiskNeighborsMatchesConnected(t *testing.T) {
+	u := NewUnitDisk(7)
+	pts := []Point{
+		{0, 0}, {6.9, 0}, {7.1, 0}, {-3, -3}, {-14, 2}, {21, 21},
+		{7, 7}, {13.9, 0}, {0, -7}, {3.5, 3.5},
+	}
+	for i, p := range pts {
+		u.Place(NodeID(i), p)
+	}
+	// Move a few nodes across cell boundaries.
+	u.Place(2, Point{X: -6, Y: 0})
+	u.Place(5, Point{X: 1, Y: 1})
+	u.Remove(8)
+	check := func() {
+		t.Helper()
+		for id := NodeID(0); id < NodeID(len(pts)); id++ {
+			nbrs := u.Neighbors(id)
+			inNbrs := make(map[NodeID]bool, len(nbrs))
+			for i, n := range nbrs {
+				inNbrs[n] = true
+				if i > 0 && nbrs[i-1] >= n {
+					t.Fatalf("Neighbors(%d) = %v not in ascending order", id, nbrs)
+				}
+			}
+			if got, want := len(nbrs), u.NeighborCount(id); got != want {
+				t.Errorf("NeighborCount(%d) = %d, Neighbors len = %d", id, want, got)
+			}
+			for other := NodeID(0); other < NodeID(len(pts)); other++ {
+				if got, want := inNbrs[other], u.Connected(id, other); got != want {
+					t.Errorf("Neighbors(%d) contains %d = %v, Connected = %v", id, other, got, want)
+				}
+			}
+		}
+	}
+	check()
+	// Mutating Range directly must not desync the grid: it rebuilds lazily.
+	u.Range = 15
+	check()
+	u.Range = 2
+	check()
+}
+
 func TestPointDist(t *testing.T) {
 	d := Point{X: 1, Y: 2}.Dist(Point{X: 4, Y: 6})
 	if math.Abs(d-5) > 1e-12 {
