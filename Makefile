@@ -15,9 +15,16 @@ FUZZ_TARGETS := \
 	./internal/frame/:FuzzStaticBitFlip \
 	./internal/mobility/:FuzzMobilityScript
 
-.PHONY: check vet build test race fuzz benchsmoke bench profile
+# Packages whose statement coverage `make cover` gates, with the floor in
+# percent. The density/adapt/oracle chain is the correctness core of the
+# adaptive-width story: the estimators feed the controller, and the oracle
+# is the harness that judges both, so holes there are holes in the proof.
+COVER_PKGS := internal/density internal/adapt internal/oracle
+COVER_FLOOR := 80
 
-check: vet build race fuzz benchsmoke
+.PHONY: check vet build test race fuzz benchsmoke bench profile cover
+
+check: vet build race fuzz benchsmoke cover
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +53,19 @@ benchsmoke:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# cover enforces a per-package statement-coverage floor on the estimator /
+# controller / oracle chain. Coverage is computed per package (not merged)
+# so a well-covered neighbour cannot paper over an untested one.
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -cover ./$$pkg/ | tail -1); \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage figure for $$pkg: $$out"; exit 1; fi; \
+		ok=$$(awk "BEGIN{print ($$pct >= $(COVER_FLOOR)) ? 1 : 0}"); \
+		echo "cover $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+		if [ "$$ok" != 1 ]; then echo "cover: $$pkg below $(COVER_FLOOR)% floor"; exit 1; fi; \
+	done
 
 # profile runs a quick figure-4 sweep with the CLI's profiling flags and
 # leaves pprof artifacts plus the metrics/trace side files in ./profiles.

@@ -53,6 +53,8 @@ type options struct {
 	arqMaxRTO   time.Duration
 	// Dynamics knobs for -figure dynamics.
 	scenarios      string
+	policies       string
+	oracle         bool
 	mobilityScript string
 	// Observability outputs. All of them write to side files or stderr;
 	// stdout is byte-identical with or without them.
@@ -87,7 +89,9 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.arqRetries, "arq-retries", 8, "ARQ retry budget per packet (-figure recovery)")
 	fs.DurationVar(&o.arqRTO, "arq-rto", 250*time.Millisecond, "ARQ initial retransmission timeout (-figure recovery)")
 	fs.DurationVar(&o.arqMaxRTO, "arq-max-rto", 8*time.Second, "ARQ backoff cap (-figure recovery)")
-	fs.StringVar(&o.scenarios, "scenarios", "all", "dynamics scenarios for -figure dynamics: comma list of stationary, waypoint, churn; or all")
+	fs.StringVar(&o.scenarios, "scenarios", "all", "dynamics scenarios for -figure dynamics: comma list of stationary, waypoint, churn, group; or all")
+	fs.StringVar(&o.policies, "policies", "all", "width policies for -figure dynamics: comma list of fixed, adaptive, adaptive-turnover; or all")
+	fs.BoolVar(&o.oracle, "oracle", false, "attach the omniscient conformance oracle to -figure dynamics trials")
 	fs.StringVar(&o.mobilityScript, "mobility-script", "", "mobility schedule file for -figure dynamics (adds the script scenario)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -98,6 +102,9 @@ func parseArgs(args []string) (options, error) {
 		return options{}, err
 	}
 	if _, err := experiment.ParseDynScenarios(o.scenarios); err != nil {
+		return options{}, err
+	}
+	if _, err := experiment.ParseWidthPolicies(o.policies); err != nil {
 		return options{}, err
 	}
 	if o.arqRetries < 0 {
@@ -226,6 +233,12 @@ func run(args []string) error {
 				return err
 			}
 			cfg.Scenarios = scenarios
+			policies, err := experiment.ParseWidthPolicies(o.policies)
+			if err != nil {
+				return err
+			}
+			cfg.Policies = policies
+			cfg.Oracle = o.oracle
 			if o.mobilityScript != "" {
 				script, err := loadMobilityScript(o.mobilityScript)
 				if err != nil {

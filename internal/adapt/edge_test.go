@@ -1,0 +1,157 @@
+package adapt
+
+import (
+	"testing"
+)
+
+// TestTargetSetPointEdges pins the Equation 4 set-point at the degenerate
+// densities. At T=1 the success exponent 2(T-1) is zero, so every width is
+// collision-free and the unclamped optimum collapses to H=1; T=0 (an
+// estimator that has seen nothing) degenerates the same way. In both cases
+// the Min clamp is the controller's floor.
+func TestTargetSetPointEdges(t *testing.T) {
+	cases := []struct {
+		name     string
+		density  float64
+		min, max int
+		want     int
+	}{
+		{"T=0 clamps to Min", 0, 2, 16, 2},
+		{"T=1 clamps to Min", 1, 2, 16, 2},
+		{"T=1 with Min=1", 1, 1, 16, 1},
+		{"T=0 with high floor", 0, 8, 16, 8},
+		{"T=1 respects Max", 1, 4, 4, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newController(t, Config{DataBits: 384, Min: tc.min, Max: tc.max}, &stubEstimator{t: tc.density})
+			if got := c.Target(); got != tc.want {
+				t.Errorf("Target() at T=%v with [%d,%d] = %d, want %d",
+					tc.density, tc.min, tc.max, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDeadbandBoundaryEquality pins the hysteresis comparison at exact
+// equality: a target exactly Deadband bits away must move the width, one
+// bit less must hold it — in both directions.
+func TestDeadbandBoundaryEquality(t *testing.T) {
+	// Densities chosen so the clamped Equation 4 target for 384-bit
+	// payloads sits a known distance from the initial width.
+	target := func(t *testing.T, density float64, min, max int) int {
+		t.Helper()
+		c := newController(t, Config{DataBits: 384, Min: min, Max: max}, &stubEstimator{t: density})
+		return c.Target()
+	}
+	base := target(t, 1, 2, 16) // = Min clamp 2
+	cases := []struct {
+		name     string
+		deadband int
+		initial  int // distance to target is |initial - base|
+		wantMove bool
+	}{
+		{"gap equals deadband moves (down)", 2, base + 2, true},
+		{"gap below deadband holds (down)", 2, base + 1, false},
+		{"gap above deadband moves (down)", 2, base + 3, true},
+		{"deadband 1 tracks a 1-bit gap", 1, base + 1, true},
+		{"zero gap holds", 1, base, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newController(t, Config{
+				DataBits: 384, Min: 2, Max: 16,
+				Deadband: tc.deadband, Initial: tc.initial,
+			}, &stubEstimator{t: 1})
+			got := c.Bits()
+			moved := got != tc.initial
+			if moved != tc.wantMove {
+				t.Errorf("initial %d, target %d, deadband %d: Bits() = %d (moved=%v), want moved=%v",
+					tc.initial, base, tc.deadband, got, moved, tc.wantMove)
+			}
+			if moved && got != tc.initial-1 {
+				t.Errorf("moved to %d, want a single-bit step to %d", got, tc.initial-1)
+			}
+		})
+	}
+
+	// Upward direction: a dense network pulls the target above Initial.
+	c := newController(t, Config{DataBits: 384, Min: 2, Max: 16, Deadband: 2, Initial: 2}, &stubEstimator{t: 40})
+	up := c.Target()
+	if up < 4 {
+		t.Fatalf("test premise broken: target at T=40 is %d, want >= 4", up)
+	}
+	if got := c.Bits(); got != 3 {
+		t.Errorf("upward gap %d with deadband 2: Bits() = %d, want single-bit step to 3", up-2, got)
+	}
+}
+
+// TestClampOneBitSteps drives the controller across its whole range and
+// checks every decision moves at most one bit and never leaves [Min, Max].
+func TestClampOneBitSteps(t *testing.T) {
+	cases := []struct {
+		name     string
+		density  float64
+		min, max int
+		initial  int
+		settle   int // expected steady-state width
+	}{
+		{"descend to Min clamp", 1, 2, 10, 10, 2},
+		{"ascend to Max clamp", 40, 1, 4, 1, 4},
+		{"already at clamp holds", 1, 3, 8, 3, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newController(t, Config{
+				DataBits: 384, Min: tc.min, Max: tc.max, Initial: tc.initial,
+			}, &stubEstimator{t: tc.density})
+			prev := c.Current()
+			for i := 0; i < 2*(tc.max-tc.min)+4; i++ {
+				w := c.Bits()
+				if d := w - prev; d < -1 || d > 1 {
+					t.Fatalf("decision %d jumped %d -> %d", i, prev, w)
+				}
+				if w < tc.min || w > tc.max {
+					t.Fatalf("decision %d left the clamp: %d outside [%d, %d]", i, w, tc.min, tc.max)
+				}
+				prev = w
+			}
+			if c.Current() != tc.settle {
+				t.Errorf("settled at %d, want %d", c.Current(), tc.settle)
+			}
+		})
+	}
+}
+
+// TestCrashResetMidStep crashes the controller halfway through a descent:
+// the width must snap back to Initial (RAM state is gone), the harness
+// counters must survive, and recovery must restart in single-bit steps.
+func TestCrashResetMidStep(t *testing.T) {
+	est := &stubEstimator{t: 1}
+	c := newController(t, Config{DataBits: 384, Min: 2, Max: 12}, est)
+	// Descend partway toward the Min-clamped target of 2.
+	for i := 0; i < 4; i++ {
+		c.Bits()
+	}
+	if c.Current() != 8 {
+		t.Fatalf("mid-descent width = %d, want 8", c.Current())
+	}
+	decisions, moves := c.Decisions(), c.Moves()
+
+	c.Reset()
+	if c.Current() != 12 {
+		t.Errorf("Reset left width %d, want Initial 12", c.Current())
+	}
+	if c.Decisions() != decisions || c.Moves() != moves {
+		t.Error("Reset wiped harness counters")
+	}
+
+	// Recovery is rate-limited exactly like a cold start.
+	if got := c.Bits(); got != 11 {
+		t.Errorf("first post-crash decision = %d, want single-bit step to 11", got)
+	}
+	if c.Decisions() != decisions+1 || c.Moves() != moves+1 {
+		t.Errorf("post-crash counters decisions=%d moves=%d, want %d/%d",
+			c.Decisions(), c.Moves(), decisions+1, moves+1)
+	}
+}

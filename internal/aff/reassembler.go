@@ -75,6 +75,15 @@ type Reassembler struct {
 	// (Section 3.2's "explicit identifier collision notification")
 	// broadcasts these.
 	onConflict func(id uint64)
+
+	// onComplete, when set, is told each identifier whose transaction is
+	// known complete: a data fragment covering the final byte of the
+	// announced length was observed, so the sender has nothing left to
+	// transmit. The node layer wires this to turnover-aware density
+	// estimators (density.CompletionObserver). Fired whether or not the
+	// packet ultimately verifies — a failed checksum still ends the
+	// transaction on air.
+	onComplete func(id uint64)
 }
 
 // pending accumulates one identifier's fragments.
@@ -138,6 +147,12 @@ func (r *Reassembler) SetObserver(fn func(id uint64, intro bool)) { r.observer =
 // dropped for internal inconsistency — the receiver-side trigger for the
 // paper's optional collision-notification heuristic.
 func (r *Reassembler) SetConflictHandler(fn func(id uint64)) { r.onConflict = fn }
+
+// SetCompleteHandler installs a callback invoked with each identifier
+// whose final fragment was observed — the transaction is known over. This
+// is the turnover signal for density estimation: an identifier the sender
+// has finished with need not be held active for the full idle gap.
+func (r *Reassembler) SetCompleteHandler(fn func(id uint64)) { r.onComplete = fn }
 
 // Ingest processes one received frame.
 func (r *Reassembler) Ingest(frameBytes []byte) {
@@ -252,6 +267,12 @@ func (r *Reassembler) apply(id uint64, p *pending, d *frame.Data) bool {
 			p.gotBytes++
 		}
 		p.buf[at] = b
+	}
+	if end == p.totalLen && r.onComplete != nil {
+		// The fragment covering the last announced byte is the final one
+		// the sender transmits (fragments go out in offset order): the
+		// transaction is over on air regardless of what was lost before it.
+		r.onComplete(id)
 	}
 	return true
 }

@@ -25,6 +25,28 @@ func (e *IntervalEstimator) SnapshotInto(reg *metrics.Registry, label string) {
 	reg.Gauge("density_window", label).Set(float64(e.Window()))
 }
 
+// SnapshotInto publishes the turnover estimator's state plus its
+// completion-discount counter; see Estimator.SnapshotInto.
+func (e *TurnoverEstimator) SnapshotInto(reg *metrics.Registry, label string) {
+	reg.Gauge("density_estimate", label).Set(e.Estimate())
+	reg.Gauge("density_active", label).Set(float64(e.Active()))
+	reg.Gauge("density_window", label).Set(float64(e.Window()))
+	reg.Counter("density_completions_total", label).Add(e.completions)
+}
+
+// Snapshotter is satisfied by every estimator in this package; harnesses
+// hold a TEstimator and publish through this interface without knowing the
+// concrete policy.
+type Snapshotter interface {
+	SnapshotInto(reg *metrics.Registry, label string)
+}
+
+var (
+	_ Snapshotter = (*Estimator)(nil)
+	_ Snapshotter = (*IntervalEstimator)(nil)
+	_ Snapshotter = (*TurnoverEstimator)(nil)
+)
+
 // Reset wipes all learned state, modelling a node crash: a restarted node
 // relearns the channel from nothing. The estimate returns to its floor of
 // 1 until fresh observations arrive. node.AFFDriver.Crash calls this
@@ -40,4 +62,12 @@ func (e *Estimator) Reset() {
 func (e *IntervalEstimator) Reset() {
 	e.active = make(map[uint64]*interval)
 	e.closed = nil
+}
+
+// Reset wipes all learned state; see Estimator.Reset. The completion
+// counter belongs to the measurement harness and survives.
+func (e *TurnoverEstimator) Reset() {
+	e.lastHeard = make(map[uint64]time.Duration)
+	e.ema = 0
+	e.seeded = false
 }

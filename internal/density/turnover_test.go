@@ -1,0 +1,153 @@
+package density
+
+import (
+	"testing"
+	"time"
+
+	"retri/internal/metrics"
+)
+
+func TestTurnoverDiscountsCompletedImmediately(t *testing.T) {
+	var now time.Duration
+	e := NewTurnover(100*time.Millisecond, 1, func() time.Duration { return now })
+
+	e.Observe(1)
+	e.Observe(2)
+	if got := e.Active(); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+	e.ObserveComplete(1)
+	if got := e.Active(); got != 1 {
+		t.Errorf("active after completion = %d, want 1", got)
+	}
+	if got := e.Completions(); got != 1 {
+		t.Errorf("completions = %d, want 1", got)
+	}
+	// The flat estimator would have held id 1 for the whole idle gap.
+	now = 50 * time.Millisecond
+	if got := e.Active(); got != 1 {
+		t.Errorf("active at 50ms = %d, want 1 (id 2 only)", got)
+	}
+}
+
+// TestTurnoverFastTurnoverTracksTruth is the bias scenario from ROADMAP:
+// one neighbor streams back-to-back transactions of 20ms each. The flat
+// idle-gap estimator holds ~6 identifiers active (20ms airtime + 100ms
+// linger); the turnover-aware one holds ~1, the true concurrency.
+func TestTurnoverFastTurnoverTracksTruth(t *testing.T) {
+	var now time.Duration
+	clock := func() time.Duration { return now }
+	flat := New(0, 0, clock)
+	aware := NewTurnover(0, 0, clock)
+
+	id := uint64(0)
+	for now = 0; now < 2*time.Second; now += 20 * time.Millisecond {
+		id++
+		flat.Observe(id)
+		aware.Observe(id)
+		// final fragment of the same transaction 10ms later
+		now += 10 * time.Millisecond
+		flat.Observe(id)
+		aware.Observe(id)
+		aware.ObserveComplete(id)
+		now -= 10 * time.Millisecond
+	}
+	if flatEst := flat.Estimate(); flatEst < 3 {
+		t.Errorf("flat estimator = %.2f, expected the idle-gap inflation (>= 3)", flatEst)
+	}
+	if got := aware.Estimate(); got > 1.5 {
+		t.Errorf("turnover estimator = %.2f, want ~1 (true concurrency)", got)
+	}
+}
+
+// TestTurnoverIdleGapFallback: an identifier whose completion is never
+// observed (final fragment lost) still expires after the idle gap.
+func TestTurnoverIdleGapFallback(t *testing.T) {
+	var now time.Duration
+	e := NewTurnover(100*time.Millisecond, 1, func() time.Duration { return now })
+	e.Observe(7)
+	now = 99 * time.Millisecond
+	if got := e.Active(); got != 1 {
+		t.Fatalf("active inside gap = %d, want 1", got)
+	}
+	now = 101 * time.Millisecond
+	if got := e.Active(); got != 0 {
+		t.Errorf("active past gap = %d, want 0", got)
+	}
+	// Completing an already-expired identifier is a no-op.
+	e.ObserveComplete(7)
+	if got := e.Completions(); got != 0 {
+		t.Errorf("completions after stale complete = %d, want 0", got)
+	}
+}
+
+func TestTurnoverCompleteUnknownIsNoOp(t *testing.T) {
+	e := NewTurnover(0, 0, nil)
+	e.ObserveComplete(42)
+	if got := e.Estimate(); got != 1 {
+		t.Errorf("estimate after stray completion = %v, want floor 1", got)
+	}
+	if e.Completions() != 0 {
+		t.Errorf("stray completion counted")
+	}
+}
+
+func TestTurnoverEstimateFloorAndWindow(t *testing.T) {
+	e := NewTurnover(0, 0, nil)
+	if got := e.Estimate(); got != 1 {
+		t.Errorf("unseeded estimate = %v, want 1", got)
+	}
+	if got := e.Window(); got != 2 {
+		t.Errorf("unseeded window = %d, want 2", got)
+	}
+	e.Observe(1)
+	e.Observe(2)
+	e.Observe(3)
+	if got, want := e.Window(), 2*3; got < 2 || got > want {
+		t.Errorf("window = %d, want in [2, %d]", got, want)
+	}
+}
+
+func TestTurnoverResetWipesStateKeepsCompletions(t *testing.T) {
+	e := NewTurnover(0, 0, nil)
+	e.Observe(1)
+	e.Observe(2)
+	e.ObserveComplete(1)
+	e.Reset()
+	if got := e.Active(); got != 0 {
+		t.Errorf("active after reset = %d, want 0", got)
+	}
+	if got := e.Estimate(); got != 1 {
+		t.Errorf("estimate after reset = %v, want floor 1", got)
+	}
+	if got := e.Completions(); got != 1 {
+		t.Errorf("completions after reset = %d, want 1 (harness counter survives)", got)
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	if _, ok := NewPolicy(PolicyIdleGap, 0, 0, nil).(*Estimator); !ok {
+		t.Errorf("PolicyIdleGap did not build *Estimator")
+	}
+	if _, ok := NewPolicy(PolicyTurnover, 0, 0, nil).(*TurnoverEstimator); !ok {
+		t.Errorf("PolicyTurnover did not build *TurnoverEstimator")
+	}
+	if got := NewPolicy("psychic", 0, 0, nil); got != nil {
+		t.Errorf("unknown policy built %T", got)
+	}
+}
+
+func TestTurnoverSnapshotInto(t *testing.T) {
+	e := NewTurnover(0, 0, nil)
+	e.Observe(1)
+	e.Observe(2)
+	e.ObserveComplete(2)
+	reg := metrics.NewRegistry()
+	e.SnapshotInto(reg, "node=1")
+	if got := reg.Gauge("density_active", "node=1").Value(); got != 1 {
+		t.Errorf("density_active = %v, want 1", got)
+	}
+	if got := reg.Counter("density_completions_total", "node=1").Value(); got != 1 {
+		t.Errorf("density_completions_total = %v, want 1", got)
+	}
+}

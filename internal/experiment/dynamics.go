@@ -16,6 +16,7 @@ import (
 	"retri/internal/mobility"
 	"retri/internal/model"
 	"retri/internal/node"
+	"retri/internal/oracle"
 	"retri/internal/radio"
 	"retri/internal/runner"
 	"retri/internal/sim"
@@ -38,13 +39,17 @@ const (
 	// DynChurn duty-cycles every sender (exponential up/down), so
 	// returning nodes relearn the channel from wiped state.
 	DynChurn DynScenario = "churn"
+	// DynGroup moves the senders as two reference-point-group-mobility
+	// clusters, the cleanest generator of correlated partition-and-merge:
+	// the halves drift out of mutual range together and back.
+	DynGroup DynScenario = "group"
 	// DynScript replays the mobility script in DynamicsConfig.Script.
 	DynScript DynScenario = "script"
 )
 
 // AllDynScenarios lists every named scenario except script, in sweep order.
 func AllDynScenarios() []DynScenario {
-	return []DynScenario{DynStationary, DynWaypoint, DynChurn}
+	return []DynScenario{DynStationary, DynWaypoint, DynChurn, DynGroup}
 }
 
 // ParseDynScenarios parses a comma-separated scenario list for the CLI.
@@ -52,7 +57,7 @@ func ParseDynScenarios(s string) ([]DynScenario, error) {
 	if s == "all" {
 		return AllDynScenarios(), nil
 	}
-	known := map[DynScenario]bool{DynStationary: true, DynWaypoint: true, DynChurn: true, DynScript: true}
+	known := map[DynScenario]bool{DynStationary: true, DynWaypoint: true, DynChurn: true, DynGroup: true, DynScript: true}
 	var out []DynScenario
 	for _, part := range strings.Split(s, ",") {
 		k := DynScenario(strings.TrimSpace(part))
@@ -60,7 +65,7 @@ func ParseDynScenarios(s string) ([]DynScenario, error) {
 			continue
 		}
 		if !known[k] {
-			return nil, fmt.Errorf("experiment: unknown dynamics scenario %q (want stationary, waypoint, churn, script or all)", k)
+			return nil, fmt.Errorf("experiment: unknown dynamics scenario %q (want stationary, waypoint, churn, group, script or all)", k)
 		}
 		out = append(out, k)
 	}
@@ -82,11 +87,53 @@ const (
 	// its density estimate into Equation 4 and the chosen width rides
 	// in-band on every fragment (aff.Config.AdaptiveWidth).
 	WidthAdaptive WidthPolicyKind = "adaptive"
+	// WidthAdaptiveTurnover is the adaptive arm driven by the
+	// turnover-aware density estimator (density.PolicyTurnover): an
+	// identifier whose final fragment was heard is discounted immediately
+	// instead of lingering a full idle gap, closing the estimator's
+	// over-count under fast transaction turnover.
+	WidthAdaptiveTurnover WidthPolicyKind = "adaptive-turnover"
 )
 
-// AllWidthPolicies lists both arms in sweep order.
+// AllWidthPolicies lists the arms in sweep order.
 func AllWidthPolicies() []WidthPolicyKind {
-	return []WidthPolicyKind{WidthFixed, WidthAdaptive}
+	return []WidthPolicyKind{WidthFixed, WidthAdaptive, WidthAdaptiveTurnover}
+}
+
+// ParseWidthPolicies parses a comma-separated policy list for the CLI.
+func ParseWidthPolicies(s string) ([]WidthPolicyKind, error) {
+	if s == "all" {
+		return AllWidthPolicies(), nil
+	}
+	known := map[WidthPolicyKind]bool{WidthFixed: true, WidthAdaptive: true, WidthAdaptiveTurnover: true}
+	var out []WidthPolicyKind
+	for _, part := range strings.Split(s, ",") {
+		k := WidthPolicyKind(strings.TrimSpace(part))
+		if k == "" {
+			continue
+		}
+		if !known[k] {
+			return nil, fmt.Errorf("experiment: unknown width policy %q (want fixed, adaptive, adaptive-turnover or all)", k)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: empty policy list %q", s)
+	}
+	return out, nil
+}
+
+// adaptive reports whether a policy arm runs the in-band-width wire format.
+func (p WidthPolicyKind) adaptive() bool {
+	return p == WidthAdaptive || p == WidthAdaptiveTurnover
+}
+
+// estimatorPolicy maps a width arm to its density-estimation policy.
+func (p WidthPolicyKind) estimatorPolicy() density.Policy {
+	if p == WidthAdaptiveTurnover {
+		return density.PolicyTurnover
+	}
+	return density.PolicyIdleGap
 }
 
 // DynamicsConfig parameterizes the dynamics experiment: senders stream
@@ -121,9 +168,12 @@ type DynamicsConfig struct {
 	Area mobility.Area
 	// Range is the unit-disk radio range.
 	Range float64
-	// MinSpeed, MaxSpeed and Pause parameterize DynWaypoint.
+	// MinSpeed, MaxSpeed and Pause parameterize DynWaypoint and the
+	// reference point of DynGroup.
 	MinSpeed, MaxSpeed float64
 	Pause              time.Duration
+	// GroupSpread is the member offset radius for DynGroup clusters.
+	GroupSpread float64
 	// Duty parameterizes DynChurn.
 	Duty mobility.DutyCycle
 	// SampleInterval spaces the achieved-vs-optimal width probes.
@@ -135,6 +185,12 @@ type DynamicsConfig struct {
 	Params *radio.Params
 	// ReassemblyTimeout bounds partial-packet state, as in Figure 4.
 	ReassemblyTimeout time.Duration
+	// Oracle attaches the omniscient conformance harness (internal/oracle)
+	// to every trial: ground-truth density and Equation 4 optima are
+	// sampled at each steady-state probe, every delivered packet is
+	// audited, and each row carries a merged oracle.Report. The oracle is
+	// strictly passive — enabling it leaves the simulation byte-identical.
+	Oracle bool
 	// Parallelism, Obs and Hooks behave exactly as in Figure4Config.
 	Parallelism int
 	Obs         *Obs
@@ -163,6 +219,7 @@ func DefaultDynamicsConfig() DynamicsConfig {
 		MaxSpeed:          3,
 		Pause:             2 * time.Second,
 		Duty:              mobility.DutyCycle{MeanUp: 20 * time.Second, MeanDown: 5 * time.Second},
+		GroupSpread:       8,
 		SampleInterval:    time.Second,
 		ReassemblyTimeout: 250 * time.Millisecond,
 	}
@@ -203,6 +260,13 @@ func (cfg DynamicsConfig) Validate() error {
 			if err := cfg.Duty.Validate(); err != nil {
 				return err
 			}
+		case DynGroup:
+			if !(cfg.MinSpeed > 0) || cfg.MaxSpeed < cfg.MinSpeed || cfg.Pause < 0 {
+				return fmt.Errorf("experiment: group speeds [%v, %v] pause %v invalid", cfg.MinSpeed, cfg.MaxSpeed, cfg.Pause)
+			}
+			if !(cfg.GroupSpread >= 0) || math.IsInf(cfg.GroupSpread, 0) {
+				return fmt.Errorf("experiment: group spread %v invalid", cfg.GroupSpread)
+			}
 		case DynScript:
 			if cfg.Script == nil {
 				return fmt.Errorf("experiment: scenario %q selected without a script", DynScript)
@@ -215,7 +279,7 @@ func (cfg DynamicsConfig) Validate() error {
 		}
 	}
 	for _, p := range cfg.Policies {
-		if p != WidthFixed && p != WidthAdaptive {
+		if p != WidthFixed && p != WidthAdaptive && p != WidthAdaptiveTurnover {
 			return fmt.Errorf("experiment: unknown width policy %q", p)
 		}
 	}
@@ -260,6 +324,9 @@ type DynamicsOutcome struct {
 	Churn mobility.ChurnCounters
 	// Samples is the per-instant width time series.
 	Samples []DynPoint
+	// Oracle is the trial's conformance report, nil unless
+	// DynamicsConfig.Oracle was set.
+	Oracle *oracle.Report
 	// Obs is the trial's private observability capture, nil unless
 	// requested.
 	Obs *TrialObs
@@ -294,6 +361,9 @@ type DynamicsRow struct {
 	Churn          mobility.ChurnCounters
 	// Series is the trial-averaged achieved-vs-optimal width time series.
 	Series []DynPoint
+	// Oracle is the conformance report merged over trials in trial order,
+	// nil unless the sweep ran with the oracle attached.
+	Oracle *oracle.Report
 }
 
 // DynamicsResult is the full sweep.
@@ -369,6 +439,12 @@ func Dynamics(cfg DynamicsConfig) (DynamicsResult, error) {
 		a.row.Churn.Leaves += out.Churn.Leaves
 		a.row.Churn.Sleeps += out.Churn.Sleeps
 		a.row.Churn.Wakes += out.Churn.Wakes
+		if out.Oracle != nil {
+			if a.row.Oracle == nil {
+				a.row.Oracle = &oracle.Report{}
+			}
+			a.row.Oracle.Merge(*out.Oracle)
+		}
 		// Sampling instants are deterministic, so per-trial series align
 		// index by index and average across trials.
 		if a.sumAch == nil {
@@ -436,16 +512,34 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 		Instrument:        true,
 		ReassemblyTimeout: cfg.ReassemblyTimeout,
 	}
-	if policy == WidthAdaptive {
+	if policy.adaptive() {
 		affCfg.Space = core.MustSpace(cfg.MaxBits)
 		affCfg.AdaptiveWidth = true
+	}
+
+	// The oracle watches the medium with the simulator's privileged eyes;
+	// it is strictly passive, so attaching it cannot change the run.
+	var orc *oracle.Oracle
+	if cfg.Oracle {
+		var err error
+		orc, err = oracle.New(oracle.Config{AFF: affCfg, Topo: disk, Now: eng.Now})
+		if err != nil {
+			return DynamicsOutcome{}, err
+		}
+		med.SetFrameObserver(orc)
+	}
+	audit := func(id radio.NodeID) func(aff.Packet) {
+		if orc == nil {
+			return nil
+		}
+		return func(p aff.Packet) { orc.VerifyDelivered(id, p) }
 	}
 
 	const sinkID radio.NodeID = 0
 	disk.Place(sinkID, radio.Point{X: cfg.Area.W / 2, Y: cfg.Area.H / 2})
 	rxRadio := med.MustAttach(sinkID)
 	truth := aff.NewTruthReassembler(affCfg, eng.Now)
-	rxEst := density.New(0, 0, eng.Now)
+	rxEst := density.NewPolicy(policy.estimatorPolicy(), 0, 0, eng.Now)
 	rxSel, err := makeSelector(SelListening, affCfg.Space, src.Stream("rx-sel"), rxEst.Window)
 	if err != nil {
 		return DynamicsOutcome{}, err
@@ -454,6 +548,7 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 		Estimator: rxEst,
 		Truth:     truth,
 		Engine:    eng,
+		OnDeliver: audit(sinkID),
 	})
 	if err != nil {
 		return DynamicsOutcome{}, err
@@ -468,26 +563,29 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 
 	dataBits := 8 * cfg.PacketSize
 	ctls := make(map[radio.NodeID]*adapt.Controller)
+	ests := make(map[radio.NodeID]density.TEstimator)
 	radios := []*radio.Radio{rxRadio}
 	var gens []*workload.Continuous
+	var groupMembers []radio.NodeID
 	for i := 1; i <= cfg.Senders; i++ {
 		id := radio.NodeID(i)
 		label := fmt.Sprint(i)
-		if scenario != DynWaypoint {
-			// Waypoint walkers place themselves; everyone else scatters
-			// uniformly up front.
+		if scenario != DynWaypoint && scenario != DynGroup {
+			// Waypoint walkers and group members place themselves;
+			// everyone else scatters uniformly up front.
 			pos := src.Stream("pos", label)
 			disk.Place(id, radio.Point{X: pos.Float64() * cfg.Area.W, Y: pos.Float64() * cfg.Area.H})
 		}
 		txRadio := med.MustAttach(id)
 		radios = append(radios, txRadio)
-		est := density.New(0, 0, eng.Now)
+		est := density.NewPolicy(policy.estimatorPolicy(), 0, 0, eng.Now)
+		ests[id] = est
 		sel, err := makeSelector(SelListening, affCfg.Space, src.Stream("sel", label), est.Window)
 		if err != nil {
 			return DynamicsOutcome{}, err
 		}
-		opts := node.AFFOptions{Estimator: est, ObserveOwn: true, Engine: eng}
-		if policy == WidthAdaptive {
+		opts := node.AFFOptions{Estimator: est, ObserveOwn: true, Engine: eng, OnDeliver: audit(id)}
+		if policy.adaptive() {
 			ctl, err := adapt.New(adapt.Config{DataBits: dataBits, Min: cfg.MinBits, Max: cfg.MaxBits}, est)
 			if err != nil {
 				return DynamicsOutcome{}, err
@@ -504,6 +602,8 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 		gens = append(gens, gen)
 
 		switch scenario {
+		case DynGroup:
+			groupMembers = append(groupMembers, id)
 		case DynWaypoint:
 			wcfg := mobility.WaypointConfig{
 				Area:     cfg.Area,
@@ -527,6 +627,30 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 		dir := mobility.NewDirector(eng, disk, churner, 0, cfg.Duration)
 		if err := dir.Apply(*cfg.Script); err != nil {
 			return DynamicsOutcome{}, err
+		}
+	}
+	if scenario == DynGroup {
+		// Two clusters roaming independently: the halves partition from
+		// each other (and from the sink) and merge back as their reference
+		// points cross — correlated membership change, unlike waypoint's
+		// independent walkers.
+		gcfg := mobility.GroupConfig{
+			Waypoint: mobility.WaypointConfig{
+				Area:     cfg.Area,
+				MinSpeed: cfg.MinSpeed,
+				MaxSpeed: cfg.MaxSpeed,
+				Pause:    cfg.Pause,
+			},
+			Spread: cfg.GroupSpread,
+		}
+		half := (len(groupMembers) + 1) / 2
+		for gi, members := range [][]radio.NodeID{groupMembers[:half], groupMembers[half:]} {
+			if len(members) == 0 {
+				continue
+			}
+			if _, err := mobility.StartGroup(eng, disk, members, gcfg, src.Stream("group", fmt.Sprint(gi)), cfg.Duration); err != nil {
+				return DynamicsOutcome{}, err
+			}
 		}
 	}
 
@@ -580,6 +704,13 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 					sumOpt += float64(h)
 					sumGap += math.Abs(float64(w - h))
 					steady++
+					if orc != nil {
+						// Score estimator and controller against the
+						// oracle's transaction-level ground truth (the
+						// probe's own t above is the neighbor-count
+						// approximation of the same quantity).
+						orc.Probe(id, ests[id].Estimate(), w, dataBits, cfg.MinBits, cfg.MaxBits)
+					}
 				}
 			}
 			p := DynPoint{At: at}
@@ -624,12 +755,21 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 	if churner != nil {
 		out.Churn = churner.Counters()
 	}
+	if orc != nil {
+		rep := orc.Report()
+		out.Oracle = &rep
+	}
 
 	if trialObs != nil && trialObs.Metrics != nil {
 		label := dynamicsLabel(scenario, policy)
 		collectEngine(trialObs.Metrics, eng.Stats())
 		collectDynamics(trialObs.Metrics, label, out)
-		rxEst.SnapshotInto(trialObs.Metrics, label)
+		if snap, ok := rxEst.(density.Snapshotter); ok {
+			snap.SnapshotInto(trialObs.Metrics, label)
+		}
+		if out.Oracle != nil {
+			out.Oracle.SnapshotInto(trialObs.Metrics, label)
+		}
 		for _, r := range radios {
 			collectEnergy(trialObs.Metrics, r.ID(), r.Meter())
 		}
@@ -672,6 +812,30 @@ func (res DynamicsResult) Render() string {
 			r.AchievedH.Mean, r.OptimalH.Mean,
 			r.Gap.Mean, r.Gap.StdDev,
 			fmt.Sprintf("%d/%d/%d/%d", r.Churn.Joins, r.Churn.Leaves, r.Churn.Sleeps, r.Churn.Wakes))
+	}
+	hasOracle := false
+	for _, r := range res.Rows {
+		if r.Oracle != nil {
+			hasOracle = true
+			break
+		}
+	}
+	if hasOracle {
+		fmt.Fprintf(&b, "\nOracle conformance (omniscient ground truth; gaps in bits vs Eq. 4 optimum)\n")
+		fmt.Fprintf(&b, "%-11s %-17s %8s %8s %8s %8s %9s %8s %12s\n",
+			"scenario", "policy", "estP50", "estP95", "|gap|", "gapP95", "audited", "collide", "violations")
+		for _, r := range res.Rows {
+			o := r.Oracle
+			if o == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%-11s %-17s %8.2f %8.2f %8.2f %8.2f %9d %8d %12s\n",
+				r.Scenario, r.Policy,
+				o.EstErrorPercentile(50), o.EstErrorPercentile(95),
+				o.MeanAbsWidthGap(), o.WidthGapPercentile(95),
+				o.PacketsAudited, o.CollisionEvents,
+				fmt.Sprintf("%d/%d/%d", o.ConservationViolations, o.Misdeliveries, o.FreshnessViolations))
+		}
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -81,9 +82,29 @@ func TestParseDynScenarios(t *testing.T) {
 	}
 }
 
+func TestParseWidthPolicies(t *testing.T) {
+	got, err := ParseWidthPolicies("fixed, adaptive-turnover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []WidthPolicyKind{WidthFixed, WidthAdaptiveTurnover}) {
+		t.Errorf("parsed %v", got)
+	}
+	if all, _ := ParseWidthPolicies("all"); !reflect.DeepEqual(all, AllWidthPolicies()) {
+		t.Errorf("all parsed as %v", all)
+	}
+	for _, bad := range []string{"", "telepathic", "fixed,,bogus"} {
+		if _, err := ParseWidthPolicies(bad); err == nil {
+			t.Errorf("policy list %q accepted", bad)
+		}
+	}
+}
+
 // TestDynamicsParallelByteIdentical: the dynamics sweep honors the repo's
 // parallel-runner contract — table, CSV and folded metrics of a parallel
-// run match the sequential run exactly.
+// run match the sequential run exactly. The oracle rides along (its report
+// merge and metrics folding must be just as deterministic), and the
+// default policy set covers the turnover-aware arm.
 func TestDynamicsParallelByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
@@ -91,6 +112,7 @@ func TestDynamicsParallelByteIdentical(t *testing.T) {
 	run := func(parallelism int) (DynamicsResult, *metrics.Registry) {
 		cfg := smallDynamics()
 		cfg.Parallelism = parallelism
+		cfg.Oracle = true
 		reg := metrics.NewRegistry()
 		cfg.Obs = &Obs{Metrics: reg}
 		res, err := Dynamics(cfg)
@@ -109,6 +131,151 @@ func TestDynamicsParallelByteIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(parReg.Snapshot(), seqReg.Snapshot()) {
 		t.Error("parallel metrics snapshot differs from sequential")
+	}
+}
+
+// TestDynamicsOracleTransparent: the oracle is an observer, not a
+// participant — a run with it attached is byte-identical to a run without
+// it, and the extra output is strictly additive.
+func TestDynamicsOracleTransparent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	run := func(oracleOn bool) DynamicsResult {
+		cfg := smallDynamics()
+		cfg.Oracle = oracleOn
+		res, err := Dynamics(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	if got, want := on.CSV(), off.CSV(); got != want {
+		t.Errorf("oracle perturbed the run:\n--- oracle off ---\n%s--- oracle on ---\n%s", want, got)
+	}
+	if !strings.HasPrefix(on.Render(), off.Render()) {
+		t.Errorf("oracle-on table is not an extension of oracle-off:\n--- off ---\n%s--- on ---\n%s", off.Render(), on.Render())
+	}
+	for _, r := range off.Rows {
+		if r.Oracle != nil {
+			t.Errorf("%s/%s carries an oracle report with the oracle off", r.Scenario, r.Policy)
+		}
+	}
+	for _, r := range on.Rows {
+		if r.Oracle == nil {
+			t.Errorf("%s/%s missing oracle report", r.Scenario, r.Policy)
+			continue
+		}
+		if err := r.Oracle.Check(); err != nil {
+			t.Errorf("%s/%s violates conformance: %v", r.Scenario, r.Policy, err)
+		}
+		if r.Oracle.PacketsAudited == 0 || r.Oracle.TransactionsOpened == 0 {
+			t.Errorf("%s/%s oracle audited nothing: %+v", r.Scenario, r.Policy, r.Oracle)
+		}
+	}
+}
+
+// TestDynamicsGroupScenario is the deterministic regression test for the
+// group-mobility scenario: two RPGM clusters roam the area, so the density
+// each sender sees changes in a correlated way as the clusters partition
+// from and merge with each other. The run must be reproducible bit for bit
+// and must actually exhibit density variation (a flat optimal-width series
+// would mean the clusters never changed relative position).
+func TestDynamicsGroupScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	run := func() DynamicsResult {
+		cfg := smallDynamics()
+		cfg.Senders = 4 // two clusters of two
+		cfg.Trials = 1
+		cfg.Duration = 30 * time.Second
+		cfg.Area = mobility.Area{W: 40, H: 40}
+		cfg.Range = 12
+		cfg.GroupSpread = 3
+		cfg.MinSpeed, cfg.MaxSpeed = 2, 4
+		cfg.Scenarios = []DynScenario{DynGroup}
+		cfg.Policies = []WidthPolicyKind{WidthAdaptiveTurnover}
+		cfg.Oracle = true
+		res, err := Dynamics(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.CSV() != b.CSV() || a.Render() != b.Render() {
+		t.Error("group scenario is not deterministic across runs")
+	}
+	if len(a.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(a.Rows))
+	}
+	r := a.Rows[0]
+	if r.TruthDelivered == 0 {
+		t.Error("group scenario delivered nothing")
+	}
+	if err := r.Oracle.Check(); err != nil {
+		t.Errorf("group scenario violates conformance: %v", err)
+	}
+	minOpt, maxOpt := math.Inf(1), math.Inf(-1)
+	for _, p := range r.Series {
+		if p.Awake == 0 {
+			continue
+		}
+		minOpt = math.Min(minOpt, p.OptimalH)
+		maxOpt = math.Max(maxOpt, p.OptimalH)
+	}
+	if !(maxOpt > minOpt) {
+		t.Errorf("optimal-width series flat at %.2f: clusters never partitioned or merged", minOpt)
+	}
+}
+
+// TestDynamicsTurnoverConformance pins the tentpole's acceptance
+// criterion with the omniscient oracle as referee: on sparse dynamics
+// scenarios — where the flat idle-gap estimator over-counts under fast
+// transaction turnover and drives the width 1.7-3.5 bits above optimum —
+// the turnover-aware adaptive arm achieves a steady-state width within
+// one bit of the Equation 4 optimum at the oracle's true density, and
+// strictly improves on the flat arm. Both arms must stay violation-free.
+func TestDynamicsTurnoverConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultDynamicsConfig()
+	cfg.Trials = 1
+	cfg.Duration = time.Minute
+	cfg.Scenarios = []DynScenario{DynWaypoint, DynChurn}
+	cfg.Policies = []WidthPolicyKind{WidthAdaptive, WidthAdaptiveTurnover}
+	cfg.Oracle = true
+	res, err := Dynamics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := make(map[DynScenario]map[WidthPolicyKind]float64)
+	for _, r := range res.Rows {
+		if r.Oracle == nil {
+			t.Fatalf("%s/%s missing oracle report", r.Scenario, r.Policy)
+		}
+		if err := r.Oracle.Check(); err != nil {
+			t.Errorf("%s/%s violates conformance: %v", r.Scenario, r.Policy, err)
+		}
+		if len(r.Oracle.WidthGaps) == 0 || len(r.Oracle.EstErrors) == 0 {
+			t.Fatalf("%s/%s oracle sampled nothing", r.Scenario, r.Policy)
+		}
+		if gaps[r.Scenario] == nil {
+			gaps[r.Scenario] = make(map[WidthPolicyKind]float64)
+		}
+		gaps[r.Scenario][r.Policy] = r.Oracle.MeanAbsWidthGap()
+	}
+	for scenario, byPolicy := range gaps {
+		flat, aware := byPolicy[WidthAdaptive], byPolicy[WidthAdaptiveTurnover]
+		if aware > 1 {
+			t.Errorf("%s: turnover-aware arm is %.2f bits from the omniscient optimum, want <= 1", scenario, aware)
+		}
+		if aware >= flat {
+			t.Errorf("%s: turnover-aware gap %.2f does not improve on flat estimator's %.2f", scenario, aware, flat)
+		}
 	}
 }
 

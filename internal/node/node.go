@@ -82,6 +82,11 @@ type AFFOptions struct {
 	// (requires cfg.AdaptiveWidth — the in-band-width wire format). Nil
 	// keeps the fixed-width format, bit-for-bit today's behaviour.
 	Width WidthPolicy
+	// OnDeliver, when set, is invoked with every packet the reassembler
+	// under test delivers, before the packet handler. Measurement-harness
+	// tap (the oracle's never-misdeliver audit reads the Truth trailer);
+	// protocol code must not use it.
+	OnDeliver func(p aff.Packet)
 }
 
 // AFFDriver is the address-free fragmentation stack on one radio.
@@ -94,6 +99,13 @@ type AFFDriver struct {
 
 	handler PacketHandler
 	sent    int64
+
+	// lastOwnKey is the most recent own-transaction key observed into the
+	// estimator (ObserveOwn). A node never hears its own frames, so a
+	// turnover-aware estimator can't see its own final fragments; instead
+	// the previous own transaction is completed when the next one is sent.
+	lastOwnKey uint64
+	hasOwnKey  bool
 
 	notifBits int // size of a collision-notification frame, bits
 
@@ -137,6 +149,9 @@ func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) 
 	}
 	d.notifBits = 1 + cfg.Space.Bits()
 	d.reasm = aff.NewReassembler(cfg, r.Now, func(p aff.Packet) {
+		if opts.OnDeliver != nil {
+			opts.OnDeliver(p)
+		}
 		if d.handler != nil {
 			d.handler(p.Data)
 		}
@@ -153,6 +168,11 @@ func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) 
 			opts.Estimator.Observe(id)
 		}
 	})
+	if co, ok := opts.Estimator.(density.CompletionObserver); ok {
+		// Turnover-aware estimators discount an identifier the moment its
+		// transaction is known over instead of holding it a full idle gap.
+		d.reasm.SetCompleteHandler(co.ObserveComplete)
+	}
 	if opts.NotifyCollisions {
 		d.reasm.SetConflictHandler(func(id uint64) { d.sendNotification(id) })
 	}
@@ -218,6 +238,17 @@ func (d *AFFDriver) sendTx(tx aff.Transaction) error {
 		}
 		d.sel.Observe(key)
 		if d.opts.Estimator != nil {
+			if co, ok := d.opts.Estimator.(density.CompletionObserver); ok {
+				// Half-duplex: this node never hears its own final fragments,
+				// so approximate — enqueueing a new transaction means the
+				// previous one has drained from the FIFO transmit queue (or
+				// died with the radio). Off by at most the one in-flight
+				// transaction, on the conservative (over-estimating) side.
+				if d.hasOwnKey {
+					co.ObserveComplete(d.lastOwnKey)
+				}
+				d.lastOwnKey, d.hasOwnKey = key, true
+			}
 			d.opts.Estimator.Observe(key)
 		}
 	}
@@ -249,6 +280,7 @@ func (d *AFFDriver) Crash() {
 	if rs, ok := d.opts.Width.(interface{ Reset() }); ok {
 		rs.Reset()
 	}
+	d.hasOwnKey = false
 	if d.sweep != nil {
 		d.sweep.Cancel()
 		d.sweep = nil

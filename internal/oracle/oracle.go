@@ -1,0 +1,473 @@
+// Package oracle is an omniscient conformance harness for the AFF stack.
+//
+// It watches the medium from the simulator's privileged viewpoint
+// (radio.FrameObserver): every frame put on air, with payload bytes and
+// the ground-truth sender — information no protocol entity may read. From
+// that vantage it maintains the true state of the world:
+//
+//   - which transactions are open at each instant, keyed by the
+//     instrumentation Truth trailer (the Section 5.1 methodology);
+//   - the true per-node visible transaction density T — what a perfect
+//     estimator at node v would report;
+//   - true identifier collisions: two concurrently open transactions
+//     sharing one on-air reassembly key.
+//
+// Against that ground truth it audits the stack's safety properties:
+// fragment conservation (every delivered fragment was sent, byte for
+// byte), never-misdeliver (every packet the reassembler under test hands
+// up matches the true payload of its transaction), and identifier
+// freshness (a transaction keeps one identifier for its whole lifetime; a
+// mid-flight change is a violation). Transactions from one sender never
+// interleave — the transmit queue is FIFO — so a new transaction retires
+// any previous one from the same sender rather than being read as a
+// concurrent key reuse. It also scores the estimators and width
+// controllers under test:
+// estimator-minus-truth error samples and achieved-minus-optimal width
+// samples, where "optimal" is the omniscient Equation 4 width at the true
+// density.
+//
+// The oracle is strictly passive. It draws no randomness, schedules no
+// events and never mutates a payload, so attaching it cannot perturb the
+// simulation: runs with and without the oracle are byte-identical.
+//
+// It understands the plain AFF wire format only (fixed- or in-band-width)
+// and requires aff.Config.Instrument; frames it cannot attribute are
+// counted in Report.Unaudited rather than guessed at.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"retri/internal/aff"
+	"retri/internal/frame"
+	"retri/internal/radio"
+)
+
+// Config parameterizes an Oracle.
+type Config struct {
+	// AFF is the wire-format configuration of the stack under observation
+	// (both ends of a deployment share it). Instrument must be set: the
+	// Truth trailer is how the oracle attributes fragments to
+	// transactions.
+	AFF aff.Config
+	// Topo is the topology VisibleT consults for connectivity. May be nil,
+	// in which case every node sees every transaction (full mesh).
+	Topo radio.Topology
+	// Now supplies virtual time (pass the engine's clock).
+	Now func() time.Duration
+	// StallTimeout prunes open transactions with no send activity — a
+	// churned node's transmit queue dies with its radio, so its final
+	// fragment never airs. Zero selects the AFF reassembly timeout.
+	StallTimeout time.Duration
+	// Retain keeps closed transactions around for the delivery audit
+	// (receivers complete reassembly when the final fragment lands, but a
+	// fragment lost earlier may leave them waiting on a retransmission
+	// that never comes). Zero selects StallTimeout.
+	Retain time.Duration
+}
+
+// txKey identifies one true transaction: the instrumentation trailer's
+// (node, sequence) pair, unique by construction.
+type txKey struct{ node, seq uint32 }
+
+// tx is the oracle's ground-truth record of one transaction.
+type tx struct {
+	truth    txKey
+	sender   radio.NodeID
+	key      uint64 // on-air reassembly key (WidthKey in adaptive mode)
+	haveLen  bool
+	totalLen int
+	checksum uint16
+	buf      []byte
+	covered  []bool
+	got      int
+	lastSent time.Duration
+	closedAt time.Duration
+	// stalled marks a transaction dormant: no fragment for a stall
+	// timeout, so it no longer counts toward anyone's density, but its
+	// ground truth is kept — CSMA contention can stretch inter-fragment
+	// gaps arbitrarily, and a late fragment revives the transaction
+	// rather than being mistaken for a conservation violation.
+	stalled bool
+}
+
+// Oracle implements radio.FrameObserver and the conformance audits.
+type Oracle struct {
+	codec  frame.AFFCodec
+	topo   radio.Topology
+	now    func() time.Duration
+	stall  time.Duration
+	retain time.Duration
+
+	open   map[txKey]*tx
+	closed map[txKey]*tx
+	// openByKey counts live (non-stalled) open transactions per on-air
+	// key, for collision detection without scanning.
+	openByKey map[uint64]int
+	// current tracks each sender's latest transaction. Senders transmit
+	// from a FIFO queue, so transactions never interleave: a new one from
+	// S is proof that S's previous one is finished or dead (a crash
+	// dropped its queue), never that two run concurrently.
+	current map[radio.NodeID]txKey
+	// smoothT is the per-node probe-averaged true density. Equation 4's T
+	// is an *average* concurrency, not the instantaneous open-transaction
+	// count (which flickers between consecutive transactions), so the
+	// scoring probes fold their instantaneous reads into an EMA.
+	smoothT map[radio.NodeID]float64
+
+	rep Report
+}
+
+// smoothAlpha is the probe-EMA weight: with ~1s probe spacing, the
+// smoothed truth tracks genuine density shifts within a few seconds while
+// averaging out sub-transaction flicker.
+const smoothAlpha = 0.5
+
+var _ radio.FrameObserver = (*Oracle)(nil)
+
+// New builds an oracle for the given wire format and topology.
+func New(cfg Config) (*Oracle, error) {
+	if !cfg.AFF.Instrument {
+		return nil, errors.New("oracle: requires aff.Config.Instrument (Truth trailers attribute fragments)")
+	}
+	if cfg.AFF.Space.Bits() < 1 {
+		return nil, fmt.Errorf("oracle: invalid identifier space width %d", cfg.AFF.Space.Bits())
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() time.Duration { return 0 }
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = cfg.AFF.ReassemblyTimeout
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 250 * time.Millisecond
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = cfg.StallTimeout
+	}
+	return &Oracle{
+		codec: frame.AFFCodec{
+			IDBits:      cfg.AFF.Space.Bits(),
+			Instrument:  true,
+			InBandWidth: cfg.AFF.AdaptiveWidth,
+		},
+		topo:      cfg.Topo,
+		now:       cfg.Now,
+		stall:     cfg.StallTimeout,
+		retain:    cfg.Retain,
+		open:      make(map[txKey]*tx),
+		closed:    make(map[txKey]*tx),
+		openByKey: make(map[uint64]int),
+		current:   make(map[radio.NodeID]txKey),
+		smoothT:   make(map[radio.NodeID]float64),
+	}, nil
+}
+
+// reassemblyKey maps a decoded width and identifier to the key the
+// reassembler under test files the fragment under.
+func (o *Oracle) reassemblyKey(decodedWidth int, id uint64) uint64 {
+	if decodedWidth == 0 {
+		return id
+	}
+	return aff.WidthKey(decodedWidth, id)
+}
+
+// FrameSent ingests a transmission: ground truth advances.
+func (o *Oracle) FrameSent(f radio.Frame) {
+	now := o.now()
+	o.prune(now)
+	decoded, err := o.codec.Decode(f.Payload)
+	if err != nil {
+		o.rep.Unaudited++
+		return
+	}
+	o.rep.FragmentsSent++
+	switch fr := decoded.(type) {
+	case *frame.Intro:
+		if fr.Truth == nil {
+			o.rep.Unaudited++
+			return
+		}
+		t := o.lookup(txKey{fr.Truth.Node, fr.Truth.Seq}, f.From, o.reassemblyKey(fr.IDBits, fr.ID), now)
+		if !t.haveLen {
+			t.haveLen = true
+			t.totalLen = fr.TotalLen
+			t.checksum = fr.Checksum
+			t.buf = make([]byte, fr.TotalLen)
+			t.covered = make([]bool, fr.TotalLen)
+		}
+	case *frame.Data:
+		if fr.Truth == nil {
+			o.rep.Unaudited++
+			return
+		}
+		t := o.lookup(txKey{fr.Truth.Node, fr.Truth.Seq}, f.From, o.reassemblyKey(fr.IDBits, fr.ID), now)
+		if !t.haveLen {
+			// The fragmenter always airs the introduction first, so a data
+			// fragment for an unknown transaction means a protocol bug.
+			o.rep.ConservationViolations++
+			return
+		}
+		end := fr.Offset + len(fr.Payload)
+		if end > t.totalLen {
+			o.rep.ConservationViolations++
+			return
+		}
+		for i, b := range fr.Payload {
+			at := fr.Offset + i
+			if !t.covered[at] {
+				t.covered[at] = true
+				t.got++
+			}
+			t.buf[at] = b
+		}
+		if end == t.totalLen {
+			o.close(t, now)
+		}
+	}
+}
+
+// lookup finds or opens the ground-truth record for a truth key, checking
+// the invariants a fragment's arrival can violate.
+func (o *Oracle) lookup(k txKey, sender radio.NodeID, key uint64, now time.Duration) *tx {
+	if t, ok := o.open[k]; ok {
+		if t.key != key {
+			// A transaction changed identifier (or width) mid-flight.
+			o.rep.FreshnessViolations++
+		}
+		if t.stalled {
+			// A fragment after a long CSMA-contention gap: the
+			// transaction was dormant, not dead.
+			t.stalled = false
+			o.openByKey[t.key]++
+			o.rep.TransactionsRevived++
+		}
+		t.lastSent = now
+		return t
+	}
+	// A new transaction from this sender finishes off its previous one:
+	// the transmit queue is FIFO, so fragments of an older transaction
+	// can never air once a newer one has begun — if the old one is still
+	// open, a crash dropped the rest of its queue. Retiring it here,
+	// rather than flagging a freshness violation when a restarted
+	// selector legitimately redraws the same key, keeps the audit aligned
+	// with ground truth.
+	if prev, ok := o.current[sender]; ok && prev != k {
+		if pt, live := o.open[prev]; live {
+			o.abandon(pt, now)
+		}
+	}
+	o.current[sender] = k
+	t := &tx{truth: k, sender: sender, key: key, lastSent: now}
+	// True collisions: this key already carries another live transaction,
+	// so receivers will merge fragments of distinct transactions.
+	if o.openByKey[key] > 0 {
+		o.rep.CollisionEvents++
+	}
+	o.open[k] = t
+	o.openByKey[key]++
+	o.rep.TransactionsOpened++
+	return t
+}
+
+// retire removes a transaction from the open set and parks it in the
+// closed set for the delivery-audit retention window.
+func (o *Oracle) retire(t *tx, now time.Duration) {
+	delete(o.open, t.truth)
+	if !t.stalled {
+		o.openByKey[t.key]--
+		if o.openByKey[t.key] <= 0 {
+			delete(o.openByKey, t.key)
+		}
+	}
+	t.closedAt = now
+	o.closed[t.truth] = t
+}
+
+// close retires a transaction whose final fragment went on air.
+func (o *Oracle) close(t *tx, now time.Duration) {
+	o.retire(t, now)
+	o.rep.TransactionsClosed++
+}
+
+// abandon retires a transaction its sender walked away from (the FIFO
+// queue moved on, so it can never complete). It stays in the closed set
+// briefly: a frame of it may still be in flight when the verdict lands.
+func (o *Oracle) abandon(t *tx, now time.Duration) {
+	o.retire(t, now)
+	o.rep.TransactionsAbandoned++
+}
+
+// prune marks open transactions with no send activity dormant — they stop
+// counting toward density, but their ground truth is kept in case a
+// fragment airs after a long contention gap — and drops closed
+// transactions past the delivery-audit retention window.
+func (o *Oracle) prune(now time.Duration) {
+	for _, t := range o.open {
+		if !t.stalled && now-t.lastSent > o.stall {
+			t.stalled = true
+			o.openByKey[t.key]--
+			if o.openByKey[t.key] <= 0 {
+				delete(o.openByKey, t.key)
+			}
+			o.rep.TransactionsStalled++
+		}
+	}
+	for k, t := range o.closed {
+		if now-t.closedAt > o.retain {
+			delete(o.closed, k)
+		}
+	}
+}
+
+// find returns the ground-truth record for a truth key, open or recently
+// closed.
+func (o *Oracle) find(k txKey) *tx {
+	if t, ok := o.open[k]; ok {
+		return t
+	}
+	return o.closed[k]
+}
+
+// FrameDelivered audits one successful reception: fragment conservation.
+// A corrupted delivery (fault injection damaged this receiver's copy) is
+// counted but not byte-checked — catching it is the checksum layer's job.
+func (o *Oracle) FrameDelivered(to radio.NodeID, f radio.Frame, corrupted bool) {
+	o.rep.FragmentsDelivered++
+	if corrupted {
+		o.rep.CorruptedDeliveries++
+		return
+	}
+	decoded, err := o.codec.Decode(f.Payload)
+	if err != nil {
+		o.rep.Unaudited++
+		return
+	}
+	switch fr := decoded.(type) {
+	case *frame.Intro:
+		if fr.Truth == nil {
+			o.rep.Unaudited++
+			return
+		}
+		t := o.find(txKey{fr.Truth.Node, fr.Truth.Seq})
+		if t == nil || !t.haveLen || t.totalLen != fr.TotalLen || t.checksum != fr.Checksum {
+			o.rep.ConservationViolations++
+		}
+	case *frame.Data:
+		if fr.Truth == nil {
+			o.rep.Unaudited++
+			return
+		}
+		t := o.find(txKey{fr.Truth.Node, fr.Truth.Seq})
+		if t == nil || !t.haveLen {
+			o.rep.ConservationViolations++
+			return
+		}
+		end := fr.Offset + len(fr.Payload)
+		if end > t.totalLen {
+			o.rep.ConservationViolations++
+			return
+		}
+		for i, b := range fr.Payload {
+			at := fr.Offset + i
+			if !t.covered[at] || t.buf[at] != b {
+				// Delivered bytes the sender never transmitted.
+				o.rep.ConservationViolations++
+				return
+			}
+		}
+	}
+}
+
+// VerifyDelivered audits one packet the reassembler under test delivered
+// (wire it to node.AFFOptions.OnDeliver): the never-misdeliver property.
+// The packet must correspond to a known transaction, carry that
+// transaction's reassembly key, and match its payload byte for byte.
+func (o *Oracle) VerifyDelivered(at radio.NodeID, p aff.Packet) {
+	o.rep.PacketsAudited++
+	if p.Truth == nil {
+		o.rep.Unaudited++
+		return
+	}
+	t := o.find(txKey{p.Truth.Node, p.Truth.Seq})
+	if t == nil || !t.haveLen {
+		// Delivered later than the retention window, or never sent. The
+		// retention window is sized to the reassembly timeout, so a
+		// legitimate delivery cannot outlive it.
+		o.rep.Misdeliveries++
+		return
+	}
+	if p.ID != t.key || len(p.Data) != t.totalLen {
+		o.rep.Misdeliveries++
+		return
+	}
+	for i, b := range p.Data {
+		if t.buf[i] != b {
+			o.rep.Misdeliveries++
+			return
+		}
+	}
+}
+
+// VisibleT returns the true transaction density at node v right now: open
+// transactions whose sender is v itself or connected to v. A node with no
+// transaction of its own currently open still counts one for itself — a
+// sender's next transaction always contends with what it hears, and the
+// Equation 4 set-point is undefined below T=1 — matching the experiment
+// probe's "itself plus awake neighbors" convention.
+func (o *Oracle) VisibleT(v radio.NodeID) int {
+	o.prune(o.now())
+	n := 0
+	own := false
+	for _, t := range o.open {
+		if t.stalled {
+			continue
+		}
+		switch {
+		case t.sender == v:
+			n++
+			own = true
+		case o.topo == nil || o.topo.Connected(t.sender, v):
+			n++
+		}
+	}
+	if !own {
+		n++
+	}
+	return n
+}
+
+// OpenCount reports open transactions medium-wide (tests, debugging).
+func (o *Oracle) OpenCount() int {
+	o.prune(o.now())
+	return len(o.open)
+}
+
+// Probe records one scoring sample for node v: the estimator's error
+// (estimate minus smoothed true density) and the width controller's gap
+// (achieved width minus the omniscient Equation 4 width at that density,
+// clamped to [minBits, maxBits] exactly as the controller's target is).
+// The instantaneous visible count is folded into a per-node EMA first:
+// Equation 4's T is an average concurrency, and scoring against the raw
+// count — which flickers between consecutive transactions on fragment
+// timescales — would charge the controller for noise no causal estimator
+// is meant to follow.
+func (o *Oracle) Probe(v radio.NodeID, estimate float64, achieved, dataBits, minBits, maxBits int) {
+	inst := float64(o.VisibleT(v))
+	trueT, ok := o.smoothT[v]
+	if ok {
+		trueT = smoothAlpha*inst + (1-smoothAlpha)*trueT
+	} else {
+		trueT = inst
+	}
+	o.smoothT[v] = trueT
+	o.rep.EstErrors = append(o.rep.EstErrors, estimate-trueT)
+	h := OptimalWidth(dataBits, trueT, minBits, maxBits)
+	o.rep.WidthGaps = append(o.rep.WidthGaps, float64(achieved-h))
+}
+
+// Report returns a copy of the conformance report accumulated so far. The
+// sample slices are shared with the oracle; callers must not mutate them.
+func (o *Oracle) Report() Report { return o.rep }

@@ -1,0 +1,195 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"retri/internal/metrics"
+	"retri/internal/model"
+)
+
+// Report is the oracle's conformance verdict for one run (or, after
+// Merge, several).
+type Report struct {
+	// Ground-truth transaction lifecycle.
+	TransactionsOpened int64
+	TransactionsClosed int64
+	// TransactionsStalled counts transactions marked dormant because their
+	// sender went quiet mid-flight (churn dropped the transmit queue, or a
+	// long CSMA contention gap); TransactionsRevived counts dormant
+	// transactions whose sender resumed; TransactionsAbandoned counts
+	// transactions confirmed dead because their sender's FIFO queue moved
+	// on to a newer transaction.
+	TransactionsStalled   int64
+	TransactionsRevived   int64
+	TransactionsAbandoned int64
+
+	// Medium-level fragment accounting.
+	FragmentsSent       int64
+	FragmentsDelivered  int64
+	CorruptedDeliveries int64
+	// Unaudited counts frames and packets the oracle could not attribute
+	// (undecodable under the AFF codec, or missing the Truth trailer).
+	Unaudited int64
+
+	// CollisionEvents counts true identifier collisions: a transaction
+	// opening on a reassembly key already carrying another open
+	// transaction. This is expected protocol behaviour at small widths,
+	// not a violation — Equation 4 prices it.
+	CollisionEvents int64
+
+	// Safety violations. All must be zero for a conformant run.
+	ConservationViolations int64 // delivered bytes nobody sent
+	Misdeliveries          int64 // delivered packet != its transaction's payload
+	FreshnessViolations    int64 // identifier changed within a live transaction
+
+	// PacketsAudited counts reassembler deliveries checked by
+	// VerifyDelivered.
+	PacketsAudited int64
+
+	// EstErrors holds estimator-minus-truth density samples; WidthGaps
+	// holds achieved-minus-optimal width samples (signed: positive means
+	// over-width).
+	EstErrors []float64
+	WidthGaps []float64
+}
+
+// Merge folds another report into r (counter sums, sample concatenation).
+// Fold per-trial reports in trial-index order for deterministic samples.
+func (r *Report) Merge(o Report) {
+	r.TransactionsOpened += o.TransactionsOpened
+	r.TransactionsClosed += o.TransactionsClosed
+	r.TransactionsStalled += o.TransactionsStalled
+	r.TransactionsRevived += o.TransactionsRevived
+	r.TransactionsAbandoned += o.TransactionsAbandoned
+	r.FragmentsSent += o.FragmentsSent
+	r.FragmentsDelivered += o.FragmentsDelivered
+	r.CorruptedDeliveries += o.CorruptedDeliveries
+	r.Unaudited += o.Unaudited
+	r.CollisionEvents += o.CollisionEvents
+	r.ConservationViolations += o.ConservationViolations
+	r.Misdeliveries += o.Misdeliveries
+	r.FreshnessViolations += o.FreshnessViolations
+	r.PacketsAudited += o.PacketsAudited
+	r.EstErrors = append(r.EstErrors, o.EstErrors...)
+	r.WidthGaps = append(r.WidthGaps, o.WidthGaps...)
+}
+
+// Check returns an error describing every violated safety property, or
+// nil for a conformant run.
+func (r Report) Check() error {
+	var faults []string
+	if r.ConservationViolations > 0 {
+		faults = append(faults, fmt.Sprintf("%d fragment-conservation violations", r.ConservationViolations))
+	}
+	if r.Misdeliveries > 0 {
+		faults = append(faults, fmt.Sprintf("%d misdeliveries", r.Misdeliveries))
+	}
+	if r.FreshnessViolations > 0 {
+		faults = append(faults, fmt.Sprintf("%d identifier-freshness violations", r.FreshnessViolations))
+	}
+	if len(faults) == 0 {
+		return nil
+	}
+	return fmt.Errorf("oracle: %s", strings.Join(faults, ", "))
+}
+
+// percentile returns the p-th percentile (0..100) of xs by the
+// nearest-rank method, or NaN for an empty sample.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// mean returns the arithmetic mean of xs, or NaN for an empty sample.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// EstErrorPercentile returns the p-th percentile of the signed
+// estimator-minus-truth samples.
+func (r Report) EstErrorPercentile(p float64) float64 { return percentile(r.EstErrors, p) }
+
+// WidthGapPercentile returns the p-th percentile of the signed
+// achieved-minus-optimal width samples.
+func (r Report) WidthGapPercentile(p float64) float64 { return percentile(r.WidthGaps, p) }
+
+// MeanEstError returns the mean signed estimator error.
+func (r Report) MeanEstError() float64 { return mean(r.EstErrors) }
+
+// MeanWidthGap returns the mean signed width gap.
+func (r Report) MeanWidthGap() float64 { return mean(r.WidthGaps) }
+
+// MeanAbsWidthGap returns the mean absolute width gap — the headline
+// "bits above the omniscient optimum" number.
+func (r Report) MeanAbsWidthGap() float64 {
+	if len(r.WidthGaps) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range r.WidthGaps {
+		s += math.Abs(x)
+	}
+	return s / float64(len(r.WidthGaps))
+}
+
+// SnapshotInto publishes the report on a metrics registry under the given
+// label. Violations and lifecycle tallies are counters (merge by sum);
+// the sample digests are gauges published with SetMax so a multi-trial
+// snapshot carries the worst trial per cell, matching the registry's
+// merge convention.
+func (r Report) SnapshotInto(reg *metrics.Registry, label string) {
+	reg.Counter("oracle_tx_opened_total", label).Add(r.TransactionsOpened)
+	reg.Counter("oracle_tx_closed_total", label).Add(r.TransactionsClosed)
+	reg.Counter("oracle_tx_stalled_total", label).Add(r.TransactionsStalled)
+	reg.Counter("oracle_tx_revived_total", label).Add(r.TransactionsRevived)
+	reg.Counter("oracle_tx_abandoned_total", label).Add(r.TransactionsAbandoned)
+	reg.Counter("oracle_fragments_sent_total", label).Add(r.FragmentsSent)
+	reg.Counter("oracle_fragments_delivered_total", label).Add(r.FragmentsDelivered)
+	reg.Counter("oracle_corrupted_deliveries_total", label).Add(r.CorruptedDeliveries)
+	reg.Counter("oracle_unaudited_total", label).Add(r.Unaudited)
+	reg.Counter("oracle_collision_events_total", label).Add(r.CollisionEvents)
+	reg.Counter("oracle_conservation_violations_total", label).Add(r.ConservationViolations)
+	reg.Counter("oracle_misdeliveries_total", label).Add(r.Misdeliveries)
+	reg.Counter("oracle_freshness_violations_total", label).Add(r.FreshnessViolations)
+	reg.Counter("oracle_packets_audited_total", label).Add(r.PacketsAudited)
+	if len(r.EstErrors) > 0 {
+		reg.Gauge("oracle_est_error_p50", label).SetMax(r.EstErrorPercentile(50))
+		reg.Gauge("oracle_est_error_p95", label).SetMax(r.EstErrorPercentile(95))
+	}
+	if len(r.WidthGaps) > 0 {
+		reg.Gauge("oracle_width_gap_mean_abs", label).SetMax(r.MeanAbsWidthGap())
+		reg.Gauge("oracle_width_gap_p95", label).SetMax(r.WidthGapPercentile(95))
+	}
+}
+
+// OptimalWidth is the omniscient Equation 4 width for the given payload
+// size and true density, clamped to [minBits, maxBits] — the yardstick
+// the width controllers are scored against.
+func OptimalWidth(dataBits int, trueT float64, minBits, maxBits int) int {
+	h, _ := model.OptimalBits(dataBits, trueT, maxBits)
+	if h < minBits {
+		h = minBits
+	}
+	return h
+}

@@ -132,6 +132,21 @@ type Frame struct {
 	Bits int
 }
 
+// FrameObserver watches raw frames from the simulator's privileged
+// viewpoint: unlike trace.Tracer it sees payload bytes and the ground-truth
+// sender, so a conformance oracle can decode instrumented fragments and
+// audit the protocol under test. Implementations must be passive — no
+// randomness draws, no event scheduling, no mutation of the payload — so
+// that attaching one cannot perturb the simulation.
+type FrameObserver interface {
+	// FrameSent fires once per transmission, when the frame is put on air.
+	FrameSent(f Frame)
+	// FrameDelivered fires once per successful reception, just before the
+	// receiver's handler. corrupted reports whether a fault model damaged
+	// this receiver's copy of the payload.
+	FrameDelivered(to NodeID, f Frame, corrupted bool)
+}
+
 // Medium is the shared broadcast channel.
 type Medium struct {
 	eng   *sim.Engine
@@ -141,11 +156,12 @@ type Medium struct {
 	nodes map[NodeID]*Radio
 	// order lists attached IDs in attachment order so delivery iteration
 	// (and therefore random-loss draw order) is deterministic.
-	order   []NodeID
-	onAir   []*transmission
-	waiters []*Radio
-	ctr     Counters
-	tracer  trace.Tracer
+	order    []NodeID
+	onAir    []*transmission
+	waiters  []*Radio
+	ctr      Counters
+	tracer   trace.Tracer
+	observer FrameObserver
 }
 
 type transmission struct {
@@ -189,6 +205,9 @@ func (m *Medium) Counters() Counters { return m.ctr }
 
 // SetTracer installs an event tracer; nil disables tracing.
 func (m *Medium) SetTracer(t trace.Tracer) { m.tracer = t }
+
+// SetFrameObserver installs a privileged frame observer; nil disables it.
+func (m *Medium) SetFrameObserver(o FrameObserver) { m.observer = o }
 
 // emit records a trace event when tracing is enabled.
 func (m *Medium) emit(kind trace.Kind, node, peer NodeID, bits int) {
@@ -308,6 +327,9 @@ func (m *Medium) begin(r *Radio, f Frame) {
 	r.meter.AddTx(onAirBits)
 	r.noteTx(t.start, t.end)
 	m.emit(trace.FrameSent, r.id, r.id, onAirBits)
+	if m.observer != nil {
+		m.observer.FrameSent(f)
+	}
 	m.eng.ScheduleAt(t.end, func() { m.complete(t) })
 }
 
@@ -358,15 +380,20 @@ func (m *Medium) deliver(t *transmission, v *Radio) {
 		return
 	}
 	f := t.frame
+	corrupted := false
 	if m.p.Corrupt != nil {
 		if damaged, ok := m.p.Corrupt.Corrupt(f.Payload); ok {
 			f.Payload = damaged
+			corrupted = true
 			m.ctr.Corrupted++
 			m.emit(trace.FrameCorrupted, v.id, t.from, bits)
 		}
 	}
 	m.ctr.Delivered++
 	m.emit(trace.FrameDelivered, v.id, t.from, bits)
+	if m.observer != nil {
+		m.observer.FrameDelivered(v.id, f, corrupted)
+	}
 	v.meter.AddRx(bits)
 	if v.handler != nil {
 		v.handler(f)
