@@ -47,9 +47,13 @@ fuzz:
 
 # benchsmoke compiles and runs every benchmark for exactly one iteration —
 # cheap enough for every check, and it catches benchmarks broken by API
-# drift long before anyone needs a real measurement.
+# drift long before anyone needs a real measurement. The output pipes
+# through benchjson, which echoes it unchanged and leaves BENCH_$(PR).json
+# behind so the perf trajectory (codec ns/op, medium and engine rates,
+# allocs on the nil-tracer path) is a diffable artifact across PRs.
+PR ?= 6
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,135 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// perf snapshot, so the benchmark smoke stage leaves a BENCH_<pr>.json
+// artifact behind and the perf trajectory across PRs is diffable instead
+// of buried in CI logs.
+//
+// It reads benchmark output on stdin, echoes every line to stdout
+// unchanged (so it tees transparently into an existing pipeline), and
+// writes one JSON document to -out:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson -pr 6 -out BENCH_6.json
+//
+// Each benchmark line contributes one record carrying the package, the
+// benchmark name (GOMAXPROCS suffix stripped), the iteration count, every
+// value/unit metric pair go test printed (ns/op, B/op, allocs/op, plus
+// any custom b.ReportMetric units), and a derived ops_per_sec rate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Package    string `json:"package"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps each reported unit to its value: "ns/op", "B/op",
+	// "allocs/op", and any custom units the benchmark reported.
+	Metrics map[string]float64 `json:"metrics"`
+	// OpsPerSec is 1e9 / ns_per_op — the deliveries-, events- or
+	// encodes-per-second view of the same measurement, so rate claims can
+	// be read straight off the artifact.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+}
+
+// Snapshot is the whole document.
+type Snapshot struct {
+	PR         int         `json:"pr"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pr := flag.Int("pr", 0, "PR number stamped into the snapshot")
+	out := flag.String("out", "", "output JSON path (required)")
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	snap := Snapshot{PR: *pr, Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line, pkg); ok {
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, append(data, '\n'), 0o644)
+}
+
+// parseBenchLine parses one `BenchmarkName-8  N  V unit  V unit ...` line.
+// Lines that do not fit the shape (e.g. a benchmark's own log output) are
+// skipped rather than treated as errors.
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Package: pkg, Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	if ns := b.Metrics["ns/op"]; ns > 0 {
+		b.OpsPerSec = 1e9 / ns
+	}
+	return b, true
+}

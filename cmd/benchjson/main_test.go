@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFragment80Byte-8   \t 1000000\t      1531.5 ns/op\t     464 B/op\t      14 allocs/op", "retri/internal/aff")
+	if !ok {
+		t.Fatal("well-formed line rejected")
+	}
+	if b.Name != "Fragment80Byte" || b.Package != "retri/internal/aff" || b.Iterations != 1000000 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.Metrics["ns/op"] != 1531.5 || b.Metrics["B/op"] != 464 || b.Metrics["allocs/op"] != 14 {
+		t.Errorf("metrics %v", b.Metrics)
+	}
+	if want := 1e9 / 1531.5; b.OpsPerSec != want {
+		t.Errorf("ops/sec = %v, want %v", b.OpsPerSec, want)
+	}
+
+	// Custom metric units flow through untouched.
+	b, ok = parseBenchLine("BenchmarkMedium \t 2 \t 80153 ns/op \t 12475 deliveries/sec", "p")
+	if !ok || b.Metrics["deliveries/sec"] != 12475 {
+		t.Errorf("custom unit lost: %+v, ok=%v", b, ok)
+	}
+
+	// Benchmarks without a -N suffix keep their name whole, including
+	// interior dashes.
+	b, ok = parseBenchLine("BenchmarkA-B \t 1 \t 5 ns/op", "p")
+	if !ok || b.Name != "A-B" {
+		t.Errorf("interior dash mangled: %+v", b)
+	}
+
+	for _, bad := range []string{
+		"BenchmarkX", "BenchmarkX 1", "BenchmarkX one 5 ns/op",
+		"BenchmarkX 1 fast ns/op", "PASS", "BenchmarkX 1 logline",
+	} {
+		if _, ok := parseBenchLine(bad, "p"); ok {
+			t.Errorf("malformed line %q accepted", bad)
+		}
+	}
+}

@@ -56,6 +56,8 @@ type options struct {
 	policies       string
 	oracle         bool
 	mobilityScript string
+	// Strategy list for -figure strategies.
+	strategies string
 	// Observability outputs. All of them write to side files or stderr;
 	// stdout is byte-identical with or without them.
 	traceOut   string
@@ -71,7 +73,7 @@ type options struct {
 func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("retri-experiments", flag.ContinueOnError)
 	var o options
-	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling, recovery, dynamics or all")
+	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling, strategies, recovery, dynamics or all")
 	fs.StringVar(&o.ablation, "ablation", "", "ablation to run: window, hidden, mac, lengths, flood, estimator, lifetime, churn or all")
 	fs.IntVar(&o.trials, "trials", 10, "trials per configuration (figure 4 and ablations)")
 	fs.DurationVar(&o.duration, "duration", 2*time.Minute, "simulated time per trial")
@@ -91,8 +93,9 @@ func parseArgs(args []string) (options, error) {
 	fs.DurationVar(&o.arqMaxRTO, "arq-max-rto", 8*time.Second, "ARQ backoff cap (-figure recovery)")
 	fs.StringVar(&o.scenarios, "scenarios", "all", "dynamics scenarios for -figure dynamics: comma list of stationary, waypoint, churn, group; or all")
 	fs.StringVar(&o.policies, "policies", "all", "width policies for -figure dynamics: comma list of fixed, adaptive, adaptive-turnover; or all")
-	fs.BoolVar(&o.oracle, "oracle", false, "attach the omniscient conformance oracle to -figure dynamics trials")
+	fs.BoolVar(&o.oracle, "oracle", false, "attach the omniscient conformance oracle to -figure dynamics and recovery trials (strategies always audits)")
 	fs.StringVar(&o.mobilityScript, "mobility-script", "", "mobility schedule file for -figure dynamics (adds the script scenario)")
+	fs.StringVar(&o.strategies, "strategies", "all", "identifier strategies for -figure strategies: comma list of uniform, listening, sequential, permutation, perdest, timeprefix; or all")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -105,6 +108,9 @@ func parseArgs(args []string) (options, error) {
 		return options{}, err
 	}
 	if _, err := experiment.ParseWidthPolicies(o.policies); err != nil {
+		return options{}, err
+	}
+	if _, err := experiment.ParseStrategies(o.strategies); err != nil {
 		return options{}, err
 	}
 	if o.arqRetries < 0 {
@@ -200,6 +206,7 @@ func run(args []string) error {
 			cfg.ARQ.RetryBudget = o.arqRetries
 			cfg.ARQ.RTO = o.arqRTO
 			cfg.ARQ.MaxRTO = o.arqMaxRTO
+			cfg.Oracle = o.oracle
 			kinds, err := experiment.ParseFaultKinds(o.faults)
 			if err != nil {
 				return err
@@ -252,6 +259,26 @@ func run(args []string) error {
 				return err
 			}
 			emit("Dynamics: identifier sizing under mobility and churn", useCSV, res)
+			return nil
+		},
+		"strategies": func() error {
+			cfg := experiment.DefaultStrategiesConfig()
+			cfg.Seed = o.seed
+			cfg.Trials = o.trials
+			cfg.Duration = o.duration
+			cfg.Parallelism = o.parallel
+			cfg.Obs = col.obs()
+			cfg.Hooks = col.hooks()
+			names, err := experiment.ParseStrategies(o.strategies)
+			if err != nil {
+				return err
+			}
+			cfg.Strategies = names
+			res, err := experiment.Strategies(cfg)
+			if err != nil {
+				return err
+			}
+			emit("Identifier strategies", useCSV, res)
 			return nil
 		},
 		"scaling": func() error {

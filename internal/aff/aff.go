@@ -80,16 +80,13 @@ func (c Config) codec() frame.AFFCodec {
 // the given width. Identifiers drawn at different widths are distinct
 // transactions even when their numeric values coincide — a 4-bit id 3 and
 // a 9-bit id 3 must never merge — so adaptive-mode reassembly state is
-// keyed by (width, id). Widths are at most 32 bits, so the pair packs
-// losslessly into one uint64.
-func WidthKey(bits int, id uint64) uint64 {
-	return uint64(bits)<<32 | id
-}
+// keyed by (width, id). It is core.WidthKey: the reassembler, the
+// selectors' learned state and the retransmission avoid-set all share one
+// keyspace contract.
+func WidthKey(bits int, id uint64) uint64 { return core.WidthKey(bits, id) }
 
 // SplitWidthKey undoes WidthKey, returning the width and raw identifier.
-func SplitWidthKey(key uint64) (bits int, id uint64) {
-	return int(key >> 32), key & (1<<32 - 1)
-}
+func SplitWidthKey(key uint64) (bits int, id uint64) { return core.SplitWidthKey(key) }
 
 // Fragment is one encoded radio frame of a transaction.
 type Fragment struct {
@@ -179,9 +176,11 @@ func (f *Fragmenter) Fragment(packet []byte) (Transaction, error) {
 // FragmentWidth is Fragment with a per-transaction identifier width, the
 // adaptive-sizing hook (paper Section 4: width should track observed
 // density, not network size). It requires AdaptiveWidth and accepts any
-// width from 1 to Space.Bits(). The identifier is the selector's draw
-// masked to the requested width: a uniform draw stays uniform, which is
-// the only selector the adaptive controller is specified against.
+// width from 1 to Space.Bits(). The identifier is the selector's own
+// width-aware draw (core.Selector.NextWidth), so every strategy keeps its
+// selection discipline — listening avoidance, epoch collision-freedom,
+// counter spacing — at the narrow width rather than degrading to a masked
+// full-width draw.
 func (f *Fragmenter) FragmentWidth(packet []byte, bits int) (Transaction, error) {
 	if !f.cfg.AdaptiveWidth {
 		return Transaction{}, errors.New("aff: FragmentWidth requires Config.AdaptiveWidth")
@@ -197,8 +196,7 @@ func (f *Fragmenter) FragmentWidth(packet []byte, bits int) (Transaction, error)
 	}
 	codec := f.codec
 	codec.IDBits = bits
-	var mask uint64 = 1<<uint(bits) - 1
-	return f.fragmentWithID(codec, f.sel.Next()&mask, packet)
+	return f.fragmentWithID(codec, f.sel.NextWidth(bits), packet)
 }
 
 // FragmentAvoiding is Fragment with the paper's retransmission invariant
@@ -208,20 +206,57 @@ func (f *Fragmenter) FragmentWidth(packet []byte, bits int) (Transaction, error)
 // terminates because redraws are independent (uniform/listening) or
 // cycling (sequential); a one-identifier space cannot avoid anything and
 // is used as-is.
+//
+// In fixed-width mode avoid is the previous attempt's raw identifier; in
+// adaptive-width mode it is the previous attempt's WidthKey composite —
+// identifiers only share the air with same-width identifiers, so that is
+// the comparison that actually detects a reuse.
 func (f *Fragmenter) FragmentAvoiding(packet []byte, avoid uint64) (Transaction, error) {
+	return f.fragmentAvoidingAt(packet, f.cfg.Space.Bits(), avoid)
+}
+
+// FragmentWidthAvoiding is FragmentAvoiding at a per-transaction width:
+// the retransmission path of an adaptive-width node. It requires
+// AdaptiveWidth; avoid is the previous attempt's WidthKey composite (any
+// out-of-keyspace sentinel avoids nothing). The avoidance comparison runs
+// under (width, id): a retry at a different width never burns redraws on
+// an identifier it does not share the air with, and always redraws one it
+// does.
+func (f *Fragmenter) FragmentWidthAvoiding(packet []byte, bits int, avoid uint64) (Transaction, error) {
+	if !f.cfg.AdaptiveWidth {
+		return Transaction{}, errors.New("aff: FragmentWidthAvoiding requires Config.AdaptiveWidth")
+	}
+	if bits < 1 || bits > f.cfg.Space.Bits() {
+		return Transaction{}, fmt.Errorf("aff: width %d outside [1, %d]", bits, f.cfg.Space.Bits())
+	}
+	return f.fragmentAvoidingAt(packet, bits, avoid)
+}
+
+// fragmentAvoidingAt draws at the given width until the draw differs from
+// avoid, comparing under the mode's reassembly keyspace: raw identifiers
+// in fixed-width mode, WidthKey composites in adaptive mode.
+func (f *Fragmenter) fragmentAvoidingAt(packet []byte, bits int, avoid uint64) (Transaction, error) {
 	if len(packet) == 0 {
 		return Transaction{}, ErrEmptyPacket
 	}
 	if len(packet) > frame.MaxPacketLen {
 		return Transaction{}, fmt.Errorf("%w: %d bytes", ErrPacketTooLarge, len(packet))
 	}
-	id := f.sel.Next()
-	if f.cfg.Space.Size() > 1 {
-		for id == avoid {
-			id = f.sel.Next()
+	key := func(id uint64) uint64 {
+		if f.cfg.AdaptiveWidth {
+			return WidthKey(bits, id)
+		}
+		return id
+	}
+	id := f.sel.NextWidth(bits)
+	if uint64(1)<<uint(bits) > 1 {
+		for key(id) == avoid {
+			id = f.sel.NextWidth(bits)
 		}
 	}
-	return f.fragmentWithID(f.codec, id, packet)
+	codec := f.codec
+	codec.IDBits = bits
+	return f.fragmentWithID(codec, id, packet)
 }
 
 // fragmentWithID splits a validated packet under the given identifier,

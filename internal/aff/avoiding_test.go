@@ -1,0 +1,94 @@
+package aff
+
+import (
+	"testing"
+
+	"retri/internal/core"
+	"retri/internal/xrand"
+)
+
+func TestFragmentWidthAvoidingValidation(t *testing.T) {
+	fixed := newFragmenter(t, testConfig(9), 1)
+	if _, err := fixed.FragmentWidthAvoiding([]byte("x"), 4, 0); err == nil {
+		t.Error("FragmentWidthAvoiding accepted on a fixed-width fragmenter")
+	}
+	f := newFragmenter(t, adaptiveConfig(9), 1)
+	if _, err := f.FragmentWidthAvoiding([]byte("x"), 0, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := f.FragmentWidthAvoiding([]byte("x"), 10, 0); err == nil {
+		t.Error("width beyond the space accepted")
+	}
+	if _, err := f.FragmentWidthAvoiding(nil, 4, 0); err == nil {
+		t.Error("empty packet accepted")
+	}
+}
+
+// TestFragmentWidthAvoidingRedraws pins the retransmission freshness
+// property at a per-transaction width: with a two-identifier pool and the
+// previous attempt's composite to avoid, every retry must take the one
+// other identifier.
+func TestFragmentWidthAvoidingRedraws(t *testing.T) {
+	f := newFragmenter(t, adaptiveConfig(9), 3)
+	for _, avoidID := range []uint64{0, 1} {
+		for i := 0; i < 16; i++ {
+			tx, err := f.FragmentWidthAvoiding([]byte("payload"), 1, WidthKey(1, avoidID))
+			if err != nil {
+				t.Fatalf("FragmentWidthAvoiding: %v", err)
+			}
+			if tx.IDBits != 1 {
+				t.Fatalf("retry drew width %d, want 1", tx.IDBits)
+			}
+			if tx.ID == avoidID {
+				t.Fatalf("retry reused avoided identifier %d", avoidID)
+			}
+		}
+	}
+}
+
+// TestFragmentAvoidingComparesComposites is the cross-width regression:
+// the avoided key names a (width, id) pair, so the same numeric
+// identifier at a different width shares nothing on the air and must NOT
+// be redrawn away. A raw-id comparison would starve the width-1 pool
+// whenever the previous attempt's raw id covered it.
+func TestFragmentAvoidingComparesComposites(t *testing.T) {
+	f := newFragmenter(t, adaptiveConfig(9), 5)
+	// Previous attempt: width 9, id 0. A width-1 retry may legally draw
+	// raw id 0 — only WidthKey(1, 0) would be a true reuse.
+	avoid := WidthKey(9, 0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		tx, err := f.FragmentWidthAvoiding([]byte("payload"), 1, avoid)
+		if err != nil {
+			t.Fatalf("FragmentWidthAvoiding: %v", err)
+		}
+		seen[tx.ID] = true
+	}
+	if !seen[0] {
+		t.Error("width-1 retries never drew id 0: avoid compared raw ids across widths")
+	}
+	if !seen[1] {
+		t.Error("width-1 retries never drew id 1")
+	}
+}
+
+// TestFragmentAvoidingFixedWidth pins the legacy fixed-width semantics:
+// avoid is a raw identifier and the one other identifier of a 1-bit pool
+// is always taken.
+func TestFragmentAvoidingFixedWidth(t *testing.T) {
+	cfg := testConfig(1)
+	sel := core.NewUniformSelector(cfg.Space, xrand.NewSource(7).Stream("sel"))
+	f, err := NewFragmenter(cfg, sel, 1)
+	if err != nil {
+		t.Fatalf("NewFragmenter: %v", err)
+	}
+	for i := 0; i < 16; i++ {
+		tx, err := f.FragmentAvoiding([]byte("p"), 0)
+		if err != nil {
+			t.Fatalf("FragmentAvoiding: %v", err)
+		}
+		if tx.ID != 1 {
+			t.Fatalf("fixed-width retry drew %d, want 1", tx.ID)
+		}
+	}
+}

@@ -41,7 +41,8 @@ const (
 const headerLen = 9
 
 // noID is the "nothing to avoid" sentinel for a first transmission; it
-// lies outside every identifier space (core.MaxBits is 32).
+// lies outside every identifier keyspace (raw identifiers are under 2^32
+// because core.MaxBits is 32, and WidthKey composites under 2^38).
 const noID = ^uint64(0)
 
 // Config tunes one endpoint. The zero value plus Reliable/Ack gives the
@@ -158,7 +159,9 @@ func (c *Counters) Add(o Counters) {
 // freshSender is the optional transport capability ARQ exploits: resend
 // under an identifier guaranteed to differ from the previous attempt's.
 // node.AFFDriver implements it; the static stack has no identifier to
-// redraw.
+// redraw. The returned/avoided values are opaque keys in the transport's
+// reassembly keyspace (raw identifiers fixed-width, (width, id) composites
+// adaptive-width) — ARQ only ever stores one and hands it back.
 type freshSender interface {
 	SendPacketAvoiding(p []byte, avoid uint64) (uint64, error)
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// StrategyConfig carries everything any registered strategy might need;
+// each strategy uses the fields it cares about and ignores the rest.
+type StrategyConfig struct {
+	// Space is the identifier pool. Required.
+	Space Space
+	// RNG supplies the strategy's randomness. Required for every built-in
+	// strategy (even sequential seeds its start from it, so two nodes
+	// given independent streams start out of phase).
+	RNG *rand.Rand
+	// Window is the listening-window rule for listening strategies; nil
+	// selects the fixed 2*DefaultAssumedT default.
+	Window WindowFunc
+	// Now supplies virtual time for time-prefixed strategies; nil pins
+	// time to zero.
+	Now func() time.Duration
+}
+
+// StrategyFactory builds a selector from a config.
+type StrategyFactory func(cfg StrategyConfig) (Selector, error)
+
+// strategies is the registry of named identifier-selection strategies. It
+// is populated at init time and never mutated afterwards except through
+// RegisterStrategy, so concurrent trial workers may read it freely.
+var strategies = map[string]StrategyFactory{
+	"uniform": func(cfg StrategyConfig) (Selector, error) {
+		return NewUniformSelector(cfg.Space, cfg.RNG), nil
+	},
+	"listening": func(cfg StrategyConfig) (Selector, error) {
+		return NewListeningSelector(cfg.Space, cfg.RNG, cfg.Window), nil
+	},
+	"sequential": func(cfg StrategyConfig) (Selector, error) {
+		return NewSequentialSelector(cfg.Space, cfg.RNG.Uint64N(cfg.Space.Size())), nil
+	},
+	"permutation": func(cfg StrategyConfig) (Selector, error) {
+		return NewPermutationSelector(cfg.Space, cfg.RNG), nil
+	},
+	"perdest": func(cfg StrategyConfig) (Selector, error) {
+		return NewPerDestSelector(cfg.Space, cfg.RNG), nil
+	},
+	"timeprefix": func(cfg StrategyConfig) (Selector, error) {
+		return NewTimePrefixSelector(cfg.Space, cfg.RNG, cfg.Now, 0), nil
+	},
+}
+
+// RegisterStrategy adds a named strategy; it panics on a duplicate name so
+// a wiring mistake fails loudly at init time. Call before any trial runs —
+// the registry is read without locks.
+func RegisterStrategy(name string, f StrategyFactory) {
+	if _, dup := strategies[name]; dup {
+		panic(fmt.Sprintf("core: strategy %q registered twice", name))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("core: strategy %q registered with nil factory", name))
+	}
+	strategies[name] = f
+}
+
+// NewStrategy builds the named strategy.
+func NewStrategy(name string, cfg StrategyConfig) (Selector, error) {
+	f, ok := strategies[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown identifier strategy %q (have %v)", name, Strategies())
+	}
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("core: strategy %q needs a random stream", name)
+	}
+	return f(cfg)
+}
+
+// Strategies lists every registered strategy name, sorted.
+func Strategies() []string {
+	names := make([]string, 0, len(strategies))
+	for name := range strategies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

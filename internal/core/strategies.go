@@ -1,0 +1,236 @@
+// Identifier-selection strategies beyond the paper's own three. The paper
+// draws its pool uniformly at random, but the design question — how wide an
+// ephemeral identifier must be for a given concurrent-transaction density —
+// is strategy-dependent, and the literature names real alternatives:
+//
+//   - PERIDOT-style permutation codes are collision-free by construction
+//     within an epoch (Euchner & Senger): PermutationSelector.
+//   - The IPv4-ID selection taxonomy (Daymude et al.) catalogs global
+//     sequential, per-destination-counter and PRNG schemes with measurably
+//     different collision behavior: PerDestSelector is the counter scheme.
+//   - UUIDv7/ULID-style identifiers spend a prefix on coarse time so that
+//     only transactions in the same time granule can ever collide:
+//     TimePrefixSelector.
+//
+// Every strategy honors the Selector keyspace contract: width-aware draws
+// are first-class (per-width state, never a masked full-width draw), and
+// observations arrive as (width, id) pairs.
+package core
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// permEpoch is one width class's epoch of a permutation selector: an
+// affine permutation x -> (mult*x + add) mod 2^bits, walked by index.
+// mult is odd, hence invertible mod a power of two, so the walk visits
+// every identifier exactly once before the epoch ends.
+type permEpoch struct {
+	mult, add uint64
+	i         uint64
+}
+
+// PermutationSelector draws each width class's identifiers by walking a
+// random affine permutation of that class's pool — the PERIDOT idea:
+// within one epoch (one full walk) no two draws can collide, because a
+// permutation never repeats. When a walk exhausts its pool the selector
+// opens a fresh epoch with new random permutation parameters, so
+// successive epochs stay unpredictable across nodes while each node's own
+// draws remain collision-free per epoch.
+//
+// Two nodes can still collide with each other — their permutations are
+// independent — but a single sender can never self-collide inside an
+// epoch, which removes the "fresh draw happens to equal my own recent
+// draw" term entirely.
+type PermutationSelector struct {
+	space  Space
+	rng    *rand.Rand
+	epochs map[int]*permEpoch
+}
+
+var _ Selector = (*PermutationSelector)(nil)
+
+// NewPermutationSelector returns a permutation selector over space using
+// rng for the per-epoch permutation parameters.
+func NewPermutationSelector(space Space, rng *rand.Rand) *PermutationSelector {
+	return &PermutationSelector{space: space, rng: rng, epochs: make(map[int]*permEpoch)}
+}
+
+// Next draws at the full space width.
+func (p *PermutationSelector) Next() uint64 { return p.NextWidth(p.space.Bits()) }
+
+// NextWidth returns the next element of the current epoch's permutation of
+// the width-bits pool, opening a fresh epoch when the pool is exhausted.
+func (p *PermutationSelector) NextWidth(bits int) uint64 {
+	size := widthSize(bits)
+	e := p.epochs[bits]
+	if e == nil {
+		// A fresh permutation: random odd multiplier, random offset.
+		e = &permEpoch{
+			mult: p.rng.Uint64N(size/2)*2 + 1,
+			add:  p.rng.Uint64N(size),
+		}
+		p.epochs[bits] = e
+	}
+	id := (e.mult*e.i + e.add) & (size - 1)
+	e.i++
+	if e.i >= size {
+		delete(p.epochs, bits) // epoch over; re-permute on the next draw
+	}
+	return id
+}
+
+// Observe is a no-op: the permutation is fixed for the epoch.
+func (p *PermutationSelector) Observe(uint64) {}
+
+// ObserveWidth is a no-op.
+func (p *PermutationSelector) ObserveWidth(int, uint64) {}
+
+// Reset drops every epoch, modelling a crash: a restarted node re-draws
+// its permutation parameters rather than resuming a walk it lost.
+func (p *PermutationSelector) Reset() { p.epochs = make(map[int]*permEpoch) }
+
+// Space returns the identifier space.
+func (p *PermutationSelector) Space() Space { return p.space }
+
+// Name returns "permutation".
+func (p *PermutationSelector) Name() string { return "permutation" }
+
+// perDestKey identifies one counter bank: the destination a transaction is
+// aimed at and the width class it draws in.
+type perDestKey struct {
+	dest uint64
+	bits int
+}
+
+// PerDestSelector is the IPv4-ID taxonomy's per-destination-counter scheme
+// transplanted to RETRI: one monotonically incrementing counter per
+// (destination, width) bank, each seeded at a random offset so that two
+// nodes booting together do not start in phase. Successive draws toward
+// one destination are maximally spaced in the pool — a sender never
+// self-collides until the counter wraps — while unrelated destinations
+// consume independent counter ranges.
+//
+// RETRI's fragmentation service is address-free, so "destination" is
+// whatever stream discriminator the caller supplies via SetDest; the
+// broadcast experiments leave it at the zero bank, degenerating to the
+// taxonomy's global-counter scheme, which is exactly the point of
+// measuring it: counters that are safe per destination collide across an
+// open broadcast medium.
+type PerDestSelector struct {
+	space Space
+	rng   *rand.Rand
+	dest  uint64
+	ctrs  map[perDestKey]uint64
+}
+
+var _ Selector = (*PerDestSelector)(nil)
+
+// NewPerDestSelector returns a per-destination-counter selector over space
+// using rng to seed each bank's starting offset.
+func NewPerDestSelector(space Space, rng *rand.Rand) *PerDestSelector {
+	return &PerDestSelector{space: space, rng: rng, ctrs: make(map[perDestKey]uint64)}
+}
+
+// SetDest selects the counter bank for subsequent draws.
+func (c *PerDestSelector) SetDest(dest uint64) { c.dest = dest }
+
+// Next draws at the full space width.
+func (c *PerDestSelector) Next() uint64 { return c.NextWidth(c.space.Bits()) }
+
+// NextWidth returns the current bank's counter masked to the width, then
+// increments it; the mask makes wraparound implicit at each width's own
+// pool size.
+func (c *PerDestSelector) NextWidth(bits int) uint64 {
+	k := perDestKey{dest: c.dest, bits: bits}
+	ctr, ok := c.ctrs[k]
+	if !ok {
+		ctr = c.rng.Uint64N(widthSize(bits))
+	}
+	c.ctrs[k] = ctr + 1
+	return ctr & (widthSize(bits) - 1)
+}
+
+// Observe is a no-op: counters ignore the channel.
+func (c *PerDestSelector) Observe(uint64) {}
+
+// ObserveWidth is a no-op.
+func (c *PerDestSelector) ObserveWidth(int, uint64) {}
+
+// Reset drops every bank, modelling a crash; restarted banks reseed at
+// fresh random offsets.
+func (c *PerDestSelector) Reset() { c.ctrs = make(map[perDestKey]uint64) }
+
+// Space returns the identifier space.
+func (c *PerDestSelector) Space() Space { return c.space }
+
+// Name returns "perdest".
+func (c *PerDestSelector) Name() string { return "perdest" }
+
+// DefaultTimeGranule is the coarse-time step of TimePrefixSelector's
+// prefix when the constructor is given none: 1ms, a little under one
+// fragment's airtime on the default radio, so consecutive transactions
+// land in distinct granules.
+const DefaultTimeGranule = time.Millisecond
+
+// TimePrefixSelector spends the identifier's high bits on coarse time and
+// the rest on randomness — the UUIDv7/ULID recipe scaled down to sensor
+// widths. Two transactions can only collide when they start within the
+// same time granule and draw the same random suffix, so the effective
+// birthday pool shrinks from all concurrent transactions to the granule's
+// cohort. The cost is that the prefix bits carry no entropy against
+// same-granule contenders, which is the trade the strategy sweep measures.
+//
+// The prefix occupies half the drawn width (rounded down); a 1-bit draw is
+// purely random.
+type TimePrefixSelector struct {
+	space   Space
+	rng     *rand.Rand
+	now     func() time.Duration
+	granule time.Duration
+}
+
+var _ Selector = (*TimePrefixSelector)(nil)
+
+// NewTimePrefixSelector returns a time-prefixed selector over space; now
+// supplies the clock (nil pins time to zero, making the selector purely
+// random within the suffix bits) and granule the prefix's time step (0
+// selects DefaultTimeGranule).
+func NewTimePrefixSelector(space Space, rng *rand.Rand, now func() time.Duration, granule time.Duration) *TimePrefixSelector {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	if granule <= 0 {
+		granule = DefaultTimeGranule
+	}
+	return &TimePrefixSelector{space: space, rng: rng, now: now, granule: granule}
+}
+
+// Next draws at the full space width.
+func (t *TimePrefixSelector) Next() uint64 { return t.NextWidth(t.space.Bits()) }
+
+// NextWidth returns granule-count prefix bits followed by random suffix
+// bits.
+func (t *TimePrefixSelector) NextWidth(bits int) uint64 {
+	prefixBits := bits / 2
+	suffixBits := bits - prefixBits
+	suffix := t.rng.Uint64N(widthSize(suffixBits))
+	if prefixBits == 0 {
+		return suffix
+	}
+	prefix := uint64(t.now()/t.granule) & (widthSize(prefixBits) - 1)
+	return prefix<<uint(suffixBits) | suffix
+}
+
+// Observe is a no-op: the clock, not the channel, drives the prefix.
+func (t *TimePrefixSelector) Observe(uint64) {}
+
+// ObserveWidth is a no-op.
+func (t *TimePrefixSelector) ObserveWidth(int, uint64) {}
+
+// Space returns the identifier space.
+func (t *TimePrefixSelector) Space() Space { return t.space }
+
+// Name returns "timeprefix".
+func (t *TimePrefixSelector) Name() string { return "timeprefix" }

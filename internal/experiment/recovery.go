@@ -16,6 +16,7 @@ import (
 	"retri/internal/faults"
 	"retri/internal/metrics"
 	"retri/internal/node"
+	"retri/internal/oracle"
 	"retri/internal/radio"
 	"retri/internal/runner"
 	"retri/internal/sim"
@@ -128,6 +129,15 @@ type RecoveryConfig struct {
 	Params *radio.Params
 	// ReassemblyTimeout bounds partial-packet state, as in Figure 4.
 	ReassemblyTimeout time.Duration
+	// Oracle attaches the omniscient conformance harness to AFF-scheme
+	// rows: every frame is observed and every reassembled packet audited
+	// for conservation, misdelivery and identifier freshness — including
+	// through crashes, link flaps and ARQ retransmissions. The oracle
+	// needs the Truth trailer, so enabling it turns on
+	// aff.Config.Instrument for AFF rows and widens their wire format;
+	// delivery and energy numbers shift accordingly. Output without the
+	// flag is unchanged.
+	Oracle bool
 	// Parallelism, Obs and Hooks behave exactly as in Figure4Config.
 	Parallelism int
 	Obs         *Obs
@@ -229,6 +239,9 @@ type RecoveryOutcome struct {
 	GEDrops      int64
 	CorruptFlips int64
 	Radio        radio.Counters
+	// Oracle is the trial's conformance report, nil unless
+	// RecoveryConfig.Oracle was set and the scheme is AFF.
+	Oracle *oracle.Report
 	// Obs is the trial's private observability capture, nil unless
 	// requested.
 	Obs *TrialObs
@@ -269,6 +282,10 @@ type RecoveryRow struct {
 	Abandoned   int64
 	FreshIDs    int64
 	RepeatedIDs int64
+	// Oracle is the conformance report merged over trials in trial order,
+	// nil unless the sweep ran with the oracle attached and the row's
+	// scheme is AFF.
+	Oracle *oracle.Report
 }
 
 // Label renders the row's configuration.
@@ -357,6 +374,12 @@ func Recovery(cfg RecoveryConfig) (RecoveryResult, error) {
 		a.row.Abandoned += out.ARQ.Abandoned
 		a.row.FreshIDs += out.ARQ.FreshIDs
 		a.row.RepeatedIDs += out.ARQ.RepeatedIDs
+		if out.Oracle != nil {
+			if a.row.Oracle == nil {
+				a.row.Oracle = &oracle.Report{}
+			}
+			a.row.Oracle.Merge(*out.Oracle)
+		}
 	}
 	for _, k := range order {
 		a := byRow[k]
@@ -401,6 +424,30 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 		med.SetTracer(tracer)
 	}
 
+	// The oracle audits AFF rows only: the static baseline has no
+	// ephemeral identifiers to check. It needs the Truth trailer, so
+	// oracle rows run with an instrumented wire format (see
+	// RecoveryConfig.Oracle).
+	instrument := cfg.Oracle && scheme.Kind == "aff"
+	var orc *oracle.Oracle
+	if instrument {
+		affCfg, err := recoveryAFFConfig(cfg, scheme, params, true)
+		if err != nil {
+			return RecoveryOutcome{}, err
+		}
+		orc, err = oracle.New(oracle.Config{AFF: affCfg, Topo: flaky, Now: eng.Now})
+		if err != nil {
+			return RecoveryOutcome{}, err
+		}
+		med.SetFrameObserver(orc)
+	}
+	audit := func(id radio.NodeID) func(aff.Packet) {
+		if orc == nil {
+			return nil
+		}
+		return func(p aff.Packet) { orc.VerifyDelivered(id, p) }
+	}
+
 	inj := faults.NewInjector(eng, cfg.Duration)
 	inj.SetFlaky(flaky)
 	inj.SetTracer(tracer)
@@ -410,7 +457,7 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 	build := func(id radio.NodeID, label string) (node.Driver, error) {
 		r := med.MustAttach(id)
 		radios = append(radios, r)
-		d, err := buildRecoveryDriver(cfg, scheme, r, params, src, label, eng)
+		d, err := buildRecoveryDriver(cfg, scheme, r, params, src, label, eng, instrument, audit(id))
 		if err != nil {
 			return nil, err
 		}
@@ -515,6 +562,10 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 	if flipper != nil {
 		out.CorruptFlips = flipper.Flips()
 	}
+	if orc != nil {
+		rep := orc.Report()
+		out.Oracle = &rep
+	}
 	var total energy.Meter
 	for _, r := range radios {
 		total.Add(r.Meter())
@@ -535,6 +586,9 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 		collectEngine(trialObs.Metrics, eng.Stats())
 		collectARQ(trialObs.Metrics, label, out.ARQ)
 		collectFaults(trialObs.Metrics, label, out.Faults, out.GEDrops, out.CorruptFlips, out.Radio)
+		if out.Oracle != nil {
+			out.Oracle.SnapshotInto(trialObs.Metrics, label)
+		}
 		for _, r := range radios {
 			collectEnergy(trialObs.Metrics, r.ID(), r.Meter())
 		}
@@ -543,10 +597,27 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 	return out, nil
 }
 
+// recoveryAFFConfig is the AFF wire format one recovery trial runs; the
+// oracle (when attached) must share it exactly or it cannot decode what
+// it overhears.
+func recoveryAFFConfig(cfg RecoveryConfig, s Scheme, params radio.Params, instrument bool) (aff.Config, error) {
+	space, err := core.NewSpace(s.Bits)
+	if err != nil {
+		return aff.Config{}, err
+	}
+	return aff.Config{
+		Space:             space,
+		MTU:               params.MTU,
+		Instrument:        instrument,
+		ReassemblyTimeout: cfg.ReassemblyTimeout,
+	}, nil
+}
+
 // buildRecoveryDriver is buildDriver with the recovery extras: the
 // config's reassembly timeout and, for AFF, engine-timer-driven expiry so
-// crashed-and-restarted or idle nodes shed stale partial state.
-func buildRecoveryDriver(cfg RecoveryConfig, s Scheme, r *radio.Radio, params radio.Params, src *xrand.Source, label string, eng *sim.Engine) (node.Driver, error) {
+// crashed-and-restarted or idle nodes shed stale partial state, plus the
+// oracle's instrumented wire format and delivery audit when attached.
+func buildRecoveryDriver(cfg RecoveryConfig, s Scheme, r *radio.Radio, params radio.Params, src *xrand.Source, label string, eng *sim.Engine, instrument bool, audit func(aff.Packet)) (node.Driver, error) {
 	switch s.Kind {
 	case "static":
 		return node.NewStatic(r, staticaddr.Config{
@@ -555,23 +626,20 @@ func buildRecoveryDriver(cfg RecoveryConfig, s Scheme, r *radio.Radio, params ra
 			ReassemblyTimeout: cfg.ReassemblyTimeout,
 		}, uint64(r.ID()))
 	case "aff":
-		space, err := core.NewSpace(s.Bits)
+		affCfg, err := recoveryAFFConfig(cfg, s, params, instrument)
 		if err != nil {
 			return nil, err
 		}
 		est := density.New(0, 0, r.Now)
-		sel, err := makeSelector(selectorOrDefault(s.Selector), space, src.Stream("sel", label), est.Window)
+		sel, err := makeSelector(selectorOrDefault(s.Selector), affCfg.Space, src.Stream("sel", label), est.Window)
 		if err != nil {
 			return nil, err
 		}
-		return node.NewAFF(r, aff.Config{
-			Space:             space,
-			MTU:               params.MTU,
-			ReassemblyTimeout: cfg.ReassemblyTimeout,
-		}, sel, node.AFFOptions{
+		return node.NewAFF(r, affCfg, sel, node.AFFOptions{
 			Estimator:  est,
 			ObserveOwn: s.Selector == SelListening || s.Selector == SelListeningNotify,
 			Engine:     eng,
+			OnDeliver:  audit,
 		})
 	default:
 		return nil, fmt.Errorf("experiment: unknown scheme kind %q", s.Kind)
@@ -623,6 +691,32 @@ func (res RecoveryResult) Render() string {
 			r.Ratio.Mean, r.Ratio.StdDev,
 			r.LatencyMS.Mean, r.P95MS.Mean, r.EnergyMJ.Mean,
 			r.Retransmits, r.Abandoned, r.FreshIDs, r.RepeatedIDs)
+	}
+	hasOracle := false
+	for _, r := range res.Rows {
+		if r.Oracle != nil {
+			hasOracle = true
+			break
+		}
+	}
+	if hasOracle {
+		fmt.Fprintf(&b, "\nOracle conformance (omniscient ground truth; AFF rows only)\n")
+		fmt.Fprintf(&b, "%-18s %-9s %-5s %9s %8s %9s %12s\n",
+			"scheme", "fault", "mode", "audited", "collide", "abandoned", "violations")
+		for _, r := range res.Rows {
+			o := r.Oracle
+			if o == nil {
+				continue
+			}
+			mode := "arq"
+			if !r.Reliable {
+				mode = "bare"
+			}
+			fmt.Fprintf(&b, "%-18s %-9s %-5s %9d %8d %9d %12s\n",
+				r.Scheme.Label(), r.Fault, mode,
+				o.PacketsAudited, o.CollisionEvents, o.TransactionsAbandoned,
+				fmt.Sprintf("%d/%d/%d", o.ConservationViolations, o.Misdeliveries, o.FreshnessViolations))
+		}
 	}
 	return b.String()
 }

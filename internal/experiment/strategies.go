@@ -1,0 +1,507 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"retri/internal/aff"
+	"retri/internal/core"
+	"retri/internal/model"
+	"retri/internal/node"
+	"retri/internal/oracle"
+	"retri/internal/radio"
+	"retri/internal/runner"
+	"retri/internal/sim"
+	"retri/internal/stats"
+	"retri/internal/workload"
+	"retri/internal/xrand"
+)
+
+// ParseStrategies parses a comma-separated identifier-strategy list for
+// the CLI; "all" selects every registered strategy in sorted order.
+func ParseStrategies(s string) ([]string, error) {
+	if s == "all" {
+		return core.Strategies(), nil
+	}
+	known := make(map[string]bool)
+	for _, name := range core.Strategies() {
+		known[name] = true
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("experiment: unknown identifier strategy %q (have %s or all)",
+				name, strings.Join(core.Strategies(), ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: empty strategy list %q", s)
+	}
+	return out, nil
+}
+
+// StrategiesConfig parameterizes the identifier-strategy bazaar: every
+// selected strategy drives the same star workload at each transaction
+// density, and the strategies are compared on measured collision rate,
+// delivery, header overhead (goodput) and conformance to the Equation 4
+// uniform-selection prediction — with the omniscient oracle passively
+// auditing each strategy's never-misdeliver and identifier-freshness
+// invariants.
+type StrategiesConfig struct {
+	// Seed roots all randomness; trials use derived streams.
+	Seed uint64
+	// Strategies are the registered identifier-selection strategies
+	// compared (core.Strategies lists them).
+	Strategies []string
+	// Densities are the concurrent-transmitter counts swept; each is the
+	// T of one column of cells.
+	Densities []int
+	// IDBits is the identifier pool width shared by every strategy.
+	IDBits int
+	// PacketSize is the application payload in bytes.
+	PacketSize int
+	// Duration is simulated time per trial.
+	Duration time.Duration
+	// Trials per (strategy, density) cell.
+	Trials int
+	// Oracle attaches the omniscient conformance harness to every trial.
+	// The wire format is instrumented either way, so the oracle is
+	// strictly passive here: output is byte-identical with it on or off.
+	Oracle bool
+	// Params overrides the radio parameters when non-nil.
+	Params *radio.Params
+	// ReassemblyTimeout bounds partial-packet state, as in Figure 4.
+	ReassemblyTimeout time.Duration
+	// Parallelism, Obs and Hooks behave exactly as in Figure4Config.
+	Parallelism int
+	Obs         *Obs
+	Hooks       RunHooks
+}
+
+// DefaultStrategiesConfig compares every registered strategy at the
+// paper's five-transmitter density plus a sparser and a denser cell, over
+// the Figure 4 workload and an 8-bit pool (wide enough that strategy
+// differences, not pool exhaustion, dominate).
+func DefaultStrategiesConfig() StrategiesConfig {
+	return StrategiesConfig{
+		Seed:              1,
+		Strategies:        core.Strategies(),
+		Densities:         []int{2, 5, 10},
+		IDBits:            8,
+		PacketSize:        80,
+		Duration:          2 * time.Minute,
+		Trials:            5,
+		Oracle:            true,
+		ReassemblyTimeout: 250 * time.Millisecond,
+	}
+}
+
+// Validate rejects configurations the trial loop cannot honor.
+func (cfg StrategiesConfig) Validate() error {
+	if len(cfg.Strategies) == 0 || len(cfg.Densities) == 0 || cfg.Trials < 1 {
+		return fmt.Errorf("experiment: degenerate strategies config (strategies=%d densities=%d trials=%d)",
+			len(cfg.Strategies), len(cfg.Densities), cfg.Trials)
+	}
+	known := make(map[string]bool)
+	for _, name := range core.Strategies() {
+		known[name] = true
+	}
+	for _, name := range cfg.Strategies {
+		if !known[name] {
+			return fmt.Errorf("experiment: unknown identifier strategy %q", name)
+		}
+	}
+	for _, t := range cfg.Densities {
+		if t < 1 {
+			return fmt.Errorf("experiment: strategy density %d must be positive", t)
+		}
+	}
+	if cfg.IDBits < 1 || cfg.IDBits > core.MaxBits {
+		return fmt.Errorf("experiment: strategy pool width %d outside [1, %d]", cfg.IDBits, core.MaxBits)
+	}
+	if cfg.PacketSize < 1 {
+		return fmt.Errorf("experiment: strategies packet size %d must be positive", cfg.PacketSize)
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("experiment: strategies duration %v must be positive", cfg.Duration)
+	}
+	return nil
+}
+
+// StrategyOutcome reports one trial.
+type StrategyOutcome struct {
+	// Offered counts packets the workload generators handed down.
+	Offered int64
+	// TruthDelivered and AFFDelivered are the sink's ground-truth and
+	// identifier-keyed packet counts, as in Figure 4.
+	TruthDelivered int64
+	AFFDelivered   int64
+	// DeliveredBits is application payload delivered at the sink; TxBits
+	// is every bit any radio transmitted. Their ratio is the measured
+	// goodput — each strategy's header overhead shows up here.
+	DeliveredBits int64
+	TxBits        int64
+	// CollisionRate is 1 - AFF/Truth (identifier-only loss).
+	CollisionRate float64
+	// Goodput is DeliveredBits/TxBits (0 when nothing was sent).
+	Goodput float64
+	// Oracle is the trial's conformance report, nil unless attached.
+	Oracle *oracle.Report
+	// Obs is the trial's private observability capture, nil unless
+	// requested.
+	Obs *TrialObs
+}
+
+// DeliveryRatio is sink deliveries over offered packets.
+func (o StrategyOutcome) DeliveryRatio() float64 {
+	if o.Offered == 0 {
+		return 0
+	}
+	return float64(o.AFFDelivered) / float64(o.Offered)
+}
+
+// StrategyRow aggregates one (strategy, density) cell over trials.
+type StrategyRow struct {
+	Strategy string
+	T        int
+	// Delivery, Collision and Goodput summarize the per-trial outcome
+	// fields of the same names; BitsPerDelivered is on-air bits spent per
+	// packet the identifier layer delivered.
+	Delivery         stats.Summary
+	Collision        stats.Summary
+	Goodput          stats.Summary
+	BitsPerDelivered stats.Summary
+	// ModelRate is Equation 4's predicted collision rate for a uniform
+	// selector at this pool width and density; ConformanceGap is the
+	// absolute distance of the measured mean from it. Strategies that beat
+	// uniform selection (listening, permutation) sit below the prediction;
+	// ones that collide persistently (sequential in phase) sit above.
+	ModelRate      float64
+	ConformanceGap float64
+	// Totals across trials.
+	Offered        int64
+	TruthDelivered int64
+	AFFDelivered   int64
+	// Oracle is the conformance report merged over trials in trial order,
+	// nil unless the sweep ran with the oracle attached.
+	Oracle *oracle.Report
+}
+
+// StrategiesResult is the full sweep.
+type StrategiesResult struct {
+	Config StrategiesConfig
+	Rows   []StrategyRow
+}
+
+// Strategies runs the sweep: strategy x density x trials.
+func Strategies(cfg StrategiesConfig) (StrategiesResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return StrategiesResult{}, err
+	}
+	src := xrand.NewSource(cfg.Seed).Child("strategies")
+	type job struct {
+		strategy string
+		t        int
+		src      *xrand.Source
+	}
+	var jobs []job
+	for _, strategy := range cfg.Strategies {
+		for _, t := range cfg.Densities {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				jobs = append(jobs, job{strategy, t,
+					src.Child(strategy, fmt.Sprint(t), fmt.Sprint(trial))})
+			}
+		}
+	}
+	outs, err := runner.Map(len(jobs), cfg.Hooks.runnerOptions(cfg.Parallelism), func(i int) (StrategyOutcome, error) {
+		return RunStrategyTrial(cfg, jobs[i].strategy, jobs[i].t, jobs[i].src)
+	})
+	if err != nil {
+		return StrategiesResult{}, err
+	}
+	wrapped := make([]TrialOutcome, len(outs))
+	for i := range outs {
+		wrapped[i].Obs = outs[i].Obs
+	}
+	if err := foldTrialObs(cfg.Obs, wrapped, func(i int) string {
+		return fmt.Sprintf("strategies %s", strategyLabel(jobs[i].strategy, jobs[i].t))
+	}); err != nil {
+		return StrategiesResult{}, err
+	}
+
+	res := StrategiesResult{Config: cfg}
+	type accs struct {
+		row                  StrategyRow
+		del, coll, good, bpp stats.Accumulator
+	}
+	byRow := make(map[string]*accs)
+	var order []string
+	for i, out := range outs {
+		j := jobs[i]
+		k := strategyLabel(j.strategy, j.t)
+		a, ok := byRow[k]
+		if !ok {
+			a = &accs{row: StrategyRow{
+				Strategy:  j.strategy,
+				T:         j.t,
+				ModelRate: model.CollisionRate(cfg.IDBits, float64(j.t)),
+			}}
+			byRow[k] = a
+			order = append(order, k)
+		}
+		a.del.Add(out.DeliveryRatio())
+		a.coll.Add(out.CollisionRate)
+		a.good.Add(out.Goodput)
+		if out.AFFDelivered > 0 {
+			a.bpp.Add(float64(out.TxBits) / float64(out.AFFDelivered))
+		} else {
+			a.bpp.Add(0)
+		}
+		a.row.Offered += out.Offered
+		a.row.TruthDelivered += out.TruthDelivered
+		a.row.AFFDelivered += out.AFFDelivered
+		if out.Oracle != nil {
+			if a.row.Oracle == nil {
+				a.row.Oracle = &oracle.Report{}
+			}
+			a.row.Oracle.Merge(*out.Oracle)
+		}
+	}
+	for _, k := range order {
+		a := byRow[k]
+		a.row.Delivery = a.del.Summary()
+		a.row.Collision = a.coll.Summary()
+		a.row.Goodput = a.good.Summary()
+		a.row.BitsPerDelivered = a.bpp.Summary()
+		a.row.ConformanceGap = math.Abs(a.row.Collision.Mean - a.row.ModelRate)
+		res.Rows = append(res.Rows, a.row)
+	}
+	return res, nil
+}
+
+func strategyLabel(strategy string, t int) string {
+	return fmt.Sprintf("strategy=%s,t=%d", strategy, t)
+}
+
+// RunStrategyTrial executes one trial of one (strategy, density) cell: t
+// transmitters, each drawing identifiers with the named strategy, stream
+// packets at a single receiver for cfg.Duration; the receiver runs the
+// reassembler under test beside the ground-truth reassembler, exactly as
+// in Figure 4, and the oracle (when attached) audits every frame and
+// delivery against omniscient ground truth.
+func RunStrategyTrial(cfg StrategiesConfig, strategy string, t int, src *xrand.Source) (StrategyOutcome, error) {
+	eng := sim.NewEngine()
+	params := radio.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+
+	const receiverID radio.NodeID = 0
+	med := radio.NewMedium(eng, radio.FullMesh{}, params, src.Stream("medium"))
+	trialObs, tracer := newTrialObs(cfg.Obs)
+	if tracer != nil {
+		med.SetTracer(tracer)
+	}
+
+	affCfg := aff.Config{
+		Space:             core.MustSpace(cfg.IDBits),
+		MTU:               params.MTU,
+		Instrument:        true,
+		ReassemblyTimeout: cfg.ReassemblyTimeout,
+	}
+
+	var orc *oracle.Oracle
+	if cfg.Oracle {
+		var err error
+		orc, err = oracle.New(oracle.Config{AFF: affCfg, Now: eng.Now})
+		if err != nil {
+			return StrategyOutcome{}, err
+		}
+		med.SetFrameObserver(orc)
+	}
+	audit := func(id radio.NodeID) func(aff.Packet) {
+		if orc == nil {
+			return nil
+		}
+		return func(p aff.Packet) { orc.VerifyDelivered(id, p) }
+	}
+
+	makeSel := func(label string, est interface{ Window() int }) (core.Selector, error) {
+		return core.NewStrategy(strategy, core.StrategyConfig{
+			Space:  affCfg.Space,
+			RNG:    src.Stream("sel", label),
+			Window: est.Window,
+			Now:    eng.Now,
+		})
+	}
+
+	// Receiver: reassembler under test + ground truth side channel.
+	rxRadio := med.MustAttach(receiverID)
+	truth := aff.NewTruthReassembler(affCfg, eng.Now)
+	rxEst := makeEstimator(EstEMA, eng)
+	rxSel, err := makeSel("rx", rxEst)
+	if err != nil {
+		return StrategyOutcome{}, err
+	}
+	rx, err := node.NewAFF(rxRadio, affCfg, rxSel, node.AFFOptions{
+		Estimator: rxEst,
+		Truth:     truth,
+		OnDeliver: audit(receiverID),
+	})
+	if err != nil {
+		return StrategyOutcome{}, err
+	}
+
+	radios := []*radio.Radio{rxRadio}
+	var gens []*workload.Continuous
+	for i := 1; i <= t; i++ {
+		id := radio.NodeID(i)
+		label := fmt.Sprint(i)
+		txRadio := med.MustAttach(id)
+		radios = append(radios, txRadio)
+		est := makeEstimator(EstEMA, eng)
+		sel, err := makeSel(label, est)
+		if err != nil {
+			return StrategyOutcome{}, err
+		}
+		d, err := node.NewAFF(txRadio, affCfg, sel, node.AFFOptions{
+			Estimator: est,
+			// Listening is the only built-in strategy with learned state;
+			// observing one's own draws mirrors the Figure 4 setup.
+			ObserveOwn: strategy == "listening",
+			OnDeliver:  audit(id),
+		})
+		if err != nil {
+			return StrategyOutcome{}, err
+		}
+		gen := workload.NewContinuousMixed(eng, d, []int{cfg.PacketSize}, 0, src.Stream("wl", label))
+		gen.Start(cfg.Duration)
+		gens = append(gens, gen)
+	}
+
+	eng.Run()
+
+	out := StrategyOutcome{
+		TruthDelivered: truth.Stats().Delivered,
+		AFFDelivered:   rx.Reassembler().Stats().Delivered,
+		DeliveredBits:  rx.Reassembler().Stats().DeliveredBits,
+	}
+	for _, g := range gens {
+		out.Offered += g.Stats().PacketsOffered
+	}
+	for _, r := range radios {
+		out.TxBits += r.Meter().TxBits
+	}
+	if out.TruthDelivered > 0 {
+		lost := out.TruthDelivered - out.AFFDelivered
+		if lost < 0 {
+			lost = 0
+		}
+		out.CollisionRate = float64(lost) / float64(out.TruthDelivered)
+	}
+	if out.TxBits > 0 {
+		out.Goodput = float64(out.DeliveredBits) / float64(out.TxBits)
+	}
+	if orc != nil {
+		rep := orc.Report()
+		out.Oracle = &rep
+	}
+
+	if trialObs != nil && trialObs.Metrics != nil {
+		label := strategyLabel(strategy, t)
+		collectEngine(trialObs.Metrics, eng.Stats())
+		collectAFF(trialObs.Metrics, label, rx.Reassembler().Stats(), truth.Stats(),
+			model.CollisionRate(cfg.IDBits, float64(t)))
+		if out.Oracle != nil {
+			out.Oracle.SnapshotInto(trialObs.Metrics, label)
+		}
+		for _, r := range radios {
+			collectEnergy(trialObs.Metrics, r.ID(), r.Meter())
+		}
+	}
+	out.Obs = trialObs
+	return out, nil
+}
+
+// Render renders the sweep as a table, one row per cell, with the oracle
+// conformance section when the oracle ran.
+func (res StrategiesResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Identifier strategies (%d-bit pool, %v x %d trials, %d-byte packets)\n",
+		res.Config.IDBits, res.Config.Duration, res.Config.Trials, res.Config.PacketSize)
+	fmt.Fprintf(&b, "%-12s %3s %18s %18s %9s %8s %8s %9s\n",
+		"strategy", "T", "delivery", "collide", "eq4", "|gap|", "goodput", "bits/pkt")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%-12s %3d %9.4f ± %.4f %9.4f ± %.4f %9.4f %8.4f %8.4f %9.0f\n",
+			r.Strategy, r.T,
+			r.Delivery.Mean, r.Delivery.StdDev,
+			r.Collision.Mean, r.Collision.StdDev,
+			r.ModelRate, r.ConformanceGap,
+			r.Goodput.Mean, r.BitsPerDelivered.Mean)
+	}
+	hasOracle := false
+	for _, r := range res.Rows {
+		if r.Oracle != nil {
+			hasOracle = true
+			break
+		}
+	}
+	if hasOracle {
+		fmt.Fprintf(&b, "\nOracle conformance (omniscient ground truth)\n")
+		fmt.Fprintf(&b, "%-12s %3s %9s %8s %9s %12s\n",
+			"strategy", "T", "audited", "collide", "abandoned", "violations")
+		for _, r := range res.Rows {
+			o := r.Oracle
+			if o == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%-12s %3d %9d %8d %9d %12s\n",
+				r.Strategy, r.T,
+				o.PacketsAudited, o.CollisionEvents, o.TransactionsAbandoned,
+				fmt.Sprintf("%d/%d/%d", o.ConservationViolations, o.Misdeliveries, o.FreshnessViolations))
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the sweep for plotting: one record per cell.
+func (res StrategiesResult) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"strategy", "t", "id_bits",
+		"delivery", "delivery_stddev", "collision_rate", "collision_stddev",
+		"model_rate", "conformance_gap", "goodput", "bits_per_delivered",
+		"offered", "truth_delivered", "aff_delivered",
+		"oracle_collisions", "oracle_conservation", "oracle_misdeliveries", "oracle_freshness",
+		"trials"})
+	for _, r := range res.Rows {
+		oc, ocons, omis, ofresh := "", "", "", ""
+		if r.Oracle != nil {
+			oc = strconv.FormatInt(r.Oracle.CollisionEvents, 10)
+			ocons = strconv.FormatInt(r.Oracle.ConservationViolations, 10)
+			omis = strconv.FormatInt(r.Oracle.Misdeliveries, 10)
+			ofresh = strconv.FormatInt(r.Oracle.FreshnessViolations, 10)
+		}
+		_ = w.Write([]string{r.Strategy, strconv.Itoa(r.T), strconv.Itoa(res.Config.IDBits),
+			formatFloat(r.Delivery.Mean), formatFloat(r.Delivery.StdDev),
+			formatFloat(r.Collision.Mean), formatFloat(r.Collision.StdDev),
+			formatFloat(r.ModelRate), formatFloat(r.ConformanceGap),
+			formatFloat(r.Goodput.Mean), formatFloat(r.BitsPerDelivered.Mean),
+			strconv.FormatInt(r.Offered, 10), strconv.FormatInt(r.TruthDelivered, 10),
+			strconv.FormatInt(r.AFFDelivered, 10),
+			oc, ocons, omis, ofresh,
+			strconv.Itoa(r.Delivery.N),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}

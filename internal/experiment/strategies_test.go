@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/core"
+)
+
+func TestParseStrategies(t *testing.T) {
+	all, err := ParseStrategies("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(core.Strategies()) || len(all) < 5 {
+		t.Errorf("ParseStrategies(all) = %v, want every registered strategy", all)
+	}
+	got, err := ParseStrategies("uniform, permutation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "uniform" || got[1] != "permutation" {
+		t.Errorf("ParseStrategies = %v", got)
+	}
+	for _, bad := range []string{"nope", "uniform,nope", "", ","} {
+		if _, err := ParseStrategies(bad); err == nil {
+			t.Errorf("ParseStrategies(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStrategiesConfigValidate(t *testing.T) {
+	good := DefaultStrategiesConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, breakIt := range []func(*StrategiesConfig){
+		func(c *StrategiesConfig) { c.Strategies = nil },
+		func(c *StrategiesConfig) { c.Strategies = []string{"nope"} },
+		func(c *StrategiesConfig) { c.Densities = nil },
+		func(c *StrategiesConfig) { c.Densities = []int{0} },
+		func(c *StrategiesConfig) { c.Trials = 0 },
+		func(c *StrategiesConfig) { c.IDBits = 0 },
+		func(c *StrategiesConfig) { c.IDBits = 40 },
+		func(c *StrategiesConfig) { c.PacketSize = 0 },
+		func(c *StrategiesConfig) { c.Duration = 0 },
+	} {
+		cfg := DefaultStrategiesConfig()
+		breakIt(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// smallStrategies is a sweep small enough to run twice in a test yet
+// covering every registered strategy at two densities.
+func smallStrategies() StrategiesConfig {
+	cfg := DefaultStrategiesConfig()
+	cfg.Trials = 2
+	cfg.Duration = 2 * time.Second
+	cfg.Densities = []int{2, 5}
+	return cfg
+}
+
+// TestStrategiesSweep runs the full bazaar once and checks the claims the
+// figure rests on: every (strategy, density) cell is populated, traffic
+// flowed, the Eq. 4 prediction is attached, and the passively attached
+// oracle saw no conservation, misdelivery or freshness violations for any
+// strategy.
+func TestStrategiesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := smallStrategies()
+	res, err := Strategies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.Strategies) * len(cfg.Densities); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, r := range res.Rows {
+		if r.Offered == 0 || r.TruthDelivered == 0 {
+			t.Errorf("%s T=%d: no traffic (offered=%d truth=%d)", r.Strategy, r.T, r.Offered, r.TruthDelivered)
+		}
+		if r.Delivery.Mean <= 0 || r.Delivery.Mean > 1 {
+			t.Errorf("%s T=%d: delivery %v out of (0, 1]", r.Strategy, r.T, r.Delivery.Mean)
+		}
+		if r.ModelRate <= 0 {
+			t.Errorf("%s T=%d: no Eq. 4 prediction", r.Strategy, r.T)
+		}
+		if r.Oracle == nil {
+			t.Fatalf("%s T=%d: oracle not attached", r.Strategy, r.T)
+		}
+		if err := r.Oracle.Check(); err != nil {
+			t.Errorf("%s T=%d: oracle violations: %v", r.Strategy, r.T, err)
+		}
+		if r.Oracle.PacketsAudited == 0 {
+			t.Errorf("%s T=%d: oracle audited nothing", r.Strategy, r.T)
+		}
+	}
+	table := res.Render()
+	csv := res.CSV()
+	for _, name := range cfg.Strategies {
+		if !strings.Contains(table, name) || !strings.Contains(csv, name) {
+			t.Errorf("strategy %q missing from output", name)
+		}
+	}
+	if !strings.Contains(table, "Oracle conformance") {
+		t.Error("oracle section missing from table")
+	}
+}
+
+// TestStrategiesParallelByteIdentical extends the parallel-runner
+// guarantee to the strategies sweep: table and CSV of a parallel run must
+// match the sequential run byte for byte, oracle reports included.
+func TestStrategiesParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	seq, err := Strategies(smallStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := smallStrategies()
+	parCfg.Parallelism = 4
+	par, err := Strategies(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.CSV(), seq.CSV(); got != want {
+		t.Errorf("parallel CSV differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := par.Render(), seq.Render(); got != want {
+		t.Errorf("parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+// TestRecoveryOracleClean attaches the oracle to a clean-channel recovery
+// run: with no faults injected, the AFF rows must audit packets and
+// report zero violations, and static rows must carry no report at all.
+func TestRecoveryOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultRecoveryConfig()
+	cfg.Trials = 1
+	cfg.Duration = 10 * time.Second
+	cfg.Faults = []FaultKind{FaultNone}
+	cfg.Oracle = true
+	res, err := Recovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affRows, staticRows := 0, 0
+	for _, r := range res.Rows {
+		if r.Scheme.Kind == "aff" {
+			affRows++
+			if r.Oracle == nil {
+				t.Fatalf("%s: oracle not attached to AFF row", r.Label())
+			}
+			if err := r.Oracle.Check(); err != nil {
+				t.Errorf("%s: oracle violations on a clean channel: %v", r.Label(), err)
+			}
+			if r.Oracle.PacketsAudited == 0 {
+				t.Errorf("%s: oracle audited nothing", r.Label())
+			}
+		} else {
+			staticRows++
+			if r.Oracle != nil {
+				t.Errorf("%s: static baseline has no identifiers to audit", r.Label())
+			}
+		}
+	}
+	if affRows == 0 || staticRows == 0 {
+		t.Fatalf("sweep missing a scheme: aff=%d static=%d", affRows, staticRows)
+	}
+	if !strings.Contains(res.Render(), "Oracle conformance") {
+		t.Error("oracle section missing from recovery table")
+	}
+}

@@ -156,16 +156,28 @@ func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) 
 			d.handler(p.Data)
 		}
 	})
-	d.reasm.SetObserver(func(id uint64, intro bool) {
+	d.reasm.SetObserver(func(key uint64, intro bool) {
 		// The paper's listening window is the most recent 2T
 		// *transactions*, so the selector only counts transaction starts;
 		// the density estimator keeps identifiers alive on every
 		// fragment.
+		//
+		// The reassembler reports raw identifiers in fixed-width mode and
+		// WidthKey composites in adaptive mode; the selector contract
+		// (core.Selector) wants the (width, id) pair, so split before
+		// observing — feeding composites through Observe would fill the
+		// learned state with keys no future draw can ever match. The
+		// estimator counts distinct concurrent *transactions*, for which
+		// the composite is exactly the right key, so it takes key as is.
 		if intro {
-			sel.Observe(id)
+			if cfg.AdaptiveWidth {
+				sel.ObserveWidth(aff.SplitWidthKey(key))
+			} else {
+				sel.Observe(key)
+			}
 		}
 		if opts.Estimator != nil {
-			opts.Estimator.Observe(id)
+			opts.Estimator.Observe(key)
 		}
 	})
 	if co, ok := opts.Estimator.(density.CompletionObserver); ok {
@@ -219,24 +231,44 @@ func (d *AFFDriver) SendPacket(p []byte) error {
 // differ from avoid — the retransmission path: an ARQ layer passes the
 // previous attempt's identifier so a retry is, on air, a brand-new
 // transaction. It returns the identifier drawn so the caller can avoid it
-// on the next retry.
+// on the next retry. Both values live in the driver's reassembly keyspace:
+// raw identifiers in fixed-width mode, aff.WidthKey composites in
+// adaptive-width mode — callers treat them as opaque.
+//
+// With a Width policy installed, the retry is encoded at the width the
+// policy chooses right now, exactly like a first attempt: a retransmission
+// is a brand-new transaction, and an adaptive node must never silently
+// fall back to the full-width codec for it.
 func (d *AFFDriver) SendPacketAvoiding(p []byte, avoid uint64) (uint64, error) {
-	tx, err := d.frag.FragmentAvoiding(p, avoid)
+	var tx aff.Transaction
+	var err error
+	if d.opts.Width != nil {
+		tx, err = d.frag.FragmentWidthAvoiding(p, d.opts.Width.Bits(), avoid)
+	} else {
+		tx, err = d.frag.FragmentAvoiding(p, avoid)
+	}
 	if err != nil {
 		return 0, err
 	}
-	return tx.ID, d.sendTx(tx)
+	key := tx.ID
+	if d.frag.Config().AdaptiveWidth {
+		key = aff.WidthKey(tx.IDBits, tx.ID)
+	}
+	return key, d.sendTx(tx)
 }
 
 func (d *AFFDriver) sendTx(tx aff.Transaction) error {
 	if d.opts.ObserveOwn {
 		// Observe under the same key a receiver would use, so the node's
-		// own transactions and overheard ones share one namespace.
+		// own transactions and overheard ones share one namespace: the
+		// selector gets the (width, id) pair per its keyspace contract
+		// (in fixed-width mode IDBits is the space width, so this is the
+		// plain Observe path), the estimator the composite key.
 		key := tx.ID
 		if d.frag.Config().AdaptiveWidth {
 			key = aff.WidthKey(tx.IDBits, tx.ID)
 		}
-		d.sel.Observe(key)
+		d.sel.ObserveWidth(tx.IDBits, tx.ID)
 		if d.opts.Estimator != nil {
 			if co, ok := d.opts.Estimator.(density.CompletionObserver); ok {
 				// Half-duplex: this node never hears its own final fragments,

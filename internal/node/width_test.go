@@ -1,0 +1,75 @@
+package node
+
+import (
+	"testing"
+
+	"retri/internal/aff"
+	"retri/internal/core"
+	"retri/internal/radio"
+)
+
+// fixedWidth is a trivial WidthPolicy for tests; the node layer only sees
+// the interface.
+type fixedWidth int
+
+func (f fixedWidth) Bits() int { return int(f) }
+
+// TestSendPacketAvoidingHonorsWidthPolicy is the regression test for the
+// adaptive-width retransmission bug: SendPacketAvoiding used to ignore
+// the Width policy and fall back to the full-width codec, so ARQ retries
+// silently reverted to wide identifiers. A retry must be encoded at the
+// policy's width, and the opaque key it returns must carry that width.
+func TestSendPacketAvoidingHonorsWidthPolicy(t *testing.T) {
+	r := newRig(t, radio.DefaultParams())
+	cfg := affConfig(9)
+	cfg.AdaptiveWidth = true
+	d := newAFFNode(t, r, 1, cfg, AFFOptions{Width: fixedWidth(4)})
+
+	packet := make([]byte, 40)
+	noID := ^uint64(0) // ARQ's "no previous attempt" sentinel
+	prev := noID
+	for attempt := 0; attempt < 8; attempt++ {
+		key, err := d.SendPacketAvoiding(packet, prev)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		bits, id := aff.SplitWidthKey(key)
+		if bits != 4 {
+			t.Fatalf("attempt %d drew width %d, want the policy's 4", attempt, bits)
+		}
+		if id >= 16 {
+			t.Fatalf("attempt %d: id %d outside the width-4 pool", attempt, id)
+		}
+		if key == prev {
+			t.Fatalf("attempt %d reused the avoided key %#x", attempt, key)
+		}
+		prev = key
+	}
+}
+
+// TestSendPacketAvoidingWithoutPolicy pins the policy-free paths: a
+// fixed-width driver returns raw identifiers, and an adaptive driver
+// without a Width policy retries at the full space width.
+func TestSendPacketAvoidingWithoutPolicy(t *testing.T) {
+	r := newRig(t, radio.DefaultParams())
+
+	fixed := newAFFNode(t, r, 1, affConfig(9), AFFOptions{})
+	key, err := fixed.SendPacketAvoiding(make([]byte, 20), ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.MustSpace(9).Contains(key) {
+		t.Errorf("fixed-width key %#x is not a raw 9-bit identifier", key)
+	}
+
+	cfg := affConfig(9)
+	cfg.AdaptiveWidth = true
+	adaptive := newAFFNode(t, r, 2, cfg, AFFOptions{})
+	key, err = adaptive.SendPacketAvoiding(make([]byte, 20), ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits, _ := aff.SplitWidthKey(key); bits != 9 {
+		t.Errorf("policy-free adaptive retry drew width %d, want the full 9", bits)
+	}
+}
