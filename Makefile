@@ -22,9 +22,9 @@ FUZZ_TARGETS := \
 COVER_PKGS := internal/density internal/adapt internal/oracle
 COVER_FLOOR := 80
 
-.PHONY: check vet build test race fuzz benchsmoke bench profile cover
+.PHONY: check vet build test race fuzz benchsmoke benchcompare bench profile cover trace-demo
 
-check: vet build race fuzz benchsmoke cover
+check: vet build race fuzz benchcompare cover trace-demo
 
 vet:
 	$(GO) vet ./...
@@ -45,15 +45,28 @@ fuzz:
 		$(GO) test $$pkg -run "^$$target$$" -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
-# benchsmoke compiles and runs every benchmark for exactly one iteration —
-# cheap enough for every check, and it catches benchmarks broken by API
-# drift long before anyone needs a real measurement. The output pipes
-# through benchjson, which echoes it unchanged and leaves BENCH_$(PR).json
-# behind so the perf trajectory (codec ns/op, medium and engine rates,
-# allocs on the nil-tracer path) is a diffable artifact across PRs.
-PR ?= 6
+# benchsmoke runs every benchmark once (so API drift breaks the build, not
+# the next measurement), then re-runs the gated families — wire codec,
+# medium delivery, engine event loop — at a real iteration count. Both
+# passes stream through one benchjson invocation, which dedupes by highest
+# iteration count and leaves BENCH_$(PR).json behind: smoke coverage for
+# everything, trustworthy ns/op for the benchmarks the perf gate reads.
+PR ?= 7
+GATED_BENCH := ^Benchmark(AFFEncodeData|AFFDecodeData|Medium|ScheduleRun)
+GATED_PKGS := ./internal/frame/ ./internal/radio/ ./internal/sim/
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
+	( $(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... && \
+	  $(GO) test -run '^$$' -bench '$(GATED_BENCH)' -benchtime 100x -benchmem $(GATED_PKGS) ) \
+	| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
+
+# benchcompare gates the fresh snapshot against the newest committed one
+# from an earlier PR: >20% growth in ns/op or allocs/op on a gated
+# benchmark (or a gated benchmark vanishing) fails the build. ns/op is
+# only trusted when both sides ran >= 10 iterations; allocs/op always is.
+benchcompare: benchsmoke
+	@prev=$$(ls BENCH_*.json 2>/dev/null | grep -v "^BENCH_$(PR).json$$" | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$prev" ]; then echo "benchcompare: no earlier snapshot, skipping"; exit 0; fi; \
+	$(GO) run ./cmd/benchjson -compare $$prev BENCH_$(PR).json
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -81,3 +94,14 @@ profile:
 		-metrics-out profiles/metrics.json -trace-out profiles/trace.jsonl \
 		-progress > profiles/figure4.txt
 	@echo "wrote profiles/{cpu,mem}.pprof, metrics.json, trace.jsonl, figure4.txt"
+
+# trace-demo exercises the whole span-tracing path end to end: a short
+# dynamics run with the ledger on, then the query CLI's root-cause
+# summary over the ledger it wrote. Figure output goes to a side file so
+# the demo's stdout is the retri-trace report itself.
+trace-demo:
+	mkdir -p profiles
+	$(GO) run ./cmd/retri-experiments -figure dynamics -scenarios churn \
+		-policies fixed,adaptive -trials 2 -duration 10s \
+		-span-out profiles/spans.jsonl > profiles/dynamics.txt
+	$(GO) run ./cmd/retri-trace -in profiles/spans.jsonl -failed

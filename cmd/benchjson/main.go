@@ -7,12 +7,27 @@
 // unchanged (so it tees transparently into an existing pipeline), and
 // writes one JSON document to -out:
 //
-//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson -pr 6 -out BENCH_6.json
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson -pr 7 -out BENCH_7.json
 //
 // Each benchmark line contributes one record carrying the package, the
 // benchmark name (GOMAXPROCS suffix stripped), the iteration count, every
 // value/unit metric pair go test printed (ns/op, B/op, allocs/op, plus
-// any custom b.ReportMetric units), and a derived ops_per_sec rate.
+// any custom b.ReportMetric units), and a derived ops_per_sec rate. When
+// the stream reports the same benchmark more than once — the smoke stage
+// runs everything once at 1x, then re-runs the gated families at a real
+// iteration count — the record with the most iterations wins, so the
+// snapshot carries the best measurement available.
+//
+// With -compare, benchjson is a regression gate instead of a parser:
+//
+//	benchjson -compare BENCH_6.json BENCH_7.json
+//
+// compares the snapshots' gated benchmarks (-match selects them) and
+// fails when ns/op or allocs/op grew more than -threshold percent, or
+// when a gated benchmark disappeared. ns/op is only compared when both
+// sides ran at least -min-iters iterations — a 1x measurement is a smoke
+// signal, not a number — while allocs/op is deterministic and is always
+// compared.
 package main
 
 import (
@@ -20,7 +35,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -48,26 +65,53 @@ type Snapshot struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// defaultMatch selects the gated benchmark families: the wire codec, the
+// radio medium delivery path, and the event engine.
+const defaultMatch = `^(AFFEncodeData|AFFDecodeData|Medium|ScheduleRun)`
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	pr := flag.Int("pr", 0, "PR number stamped into the snapshot")
-	out := flag.String("out", "", "output JSON path (required)")
-	flag.Parse()
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	pr := fs.Int("pr", 0, "PR number stamped into the snapshot")
+	out := fs.String("out", "", "output JSON path (required unless -compare)")
+	compare := fs.Bool("compare", false, "compare two snapshots (old.json new.json) instead of parsing; non-zero exit on regression")
+	threshold := fs.Float64("threshold", 20, "percent growth in ns/op or allocs/op that fails -compare")
+	match := fs.String("match", defaultMatch, "regexp naming the benchmarks -compare gates")
+	minIters := fs.Int64("min-iters", 10, "minimum iterations on both sides before ns/op is trusted in -compare")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two snapshots: old.json new.json")
+		}
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			return fmt.Errorf("-match: %w", err)
+		}
+		return runCompare(stdout, fs.Arg(0), fs.Arg(1), re, *threshold, *minIters)
+	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
 	}
+	return runParse(stdin, stdout, *pr, *out)
+}
 
-	snap := Snapshot{PR: *pr, Benchmarks: []Benchmark{}}
+func runParse(stdin io.Reader, stdout io.Writer, pr int, out string) error {
+	snap := Snapshot{PR: pr, Benchmarks: []Benchmark{}}
+	// seen dedupes repeated benchmarks by (package, name), keeping the
+	// run with the most iterations.
+	seen := map[string]int{}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	for sc.Scan() {
 		line := sc.Text()
@@ -82,9 +126,19 @@ func run() error {
 		case strings.HasPrefix(line, "cpu: "):
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
 		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseBenchLine(line, pkg); ok {
-				snap.Benchmarks = append(snap.Benchmarks, b)
+			b, ok := parseBenchLine(line, pkg)
+			if !ok {
+				continue
 			}
+			key := b.Package + " " + b.Name
+			if i, dup := seen[key]; dup {
+				if b.Iterations > snap.Benchmarks[i].Iterations {
+					snap.Benchmarks[i] = b
+				}
+				continue
+			}
+			seen[key] = len(snap.Benchmarks)
+			snap.Benchmarks = append(snap.Benchmarks, b)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -95,7 +149,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(*out, append(data, '\n'), 0o644)
+	return os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
 // parseBenchLine parses one `BenchmarkName-8  N  V unit  V unit ...` line.
@@ -132,4 +186,87 @@ func parseBenchLine(line, pkg string) (Benchmark, bool) {
 		b.OpsPerSec = 1e9 / ns
 	}
 	return b, true
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// runCompare gates new against old: every matched benchmark in old must
+// still exist in new, and its gated metrics must not have grown past the
+// threshold. The comparison table goes to stdout either way; regressions
+// come back as the error.
+func runCompare(w io.Writer, oldPath, newPath string, match *regexp.Regexp, threshold float64, minIters int64) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	newBy := make(map[string]Benchmark)
+	for _, b := range newSnap.Benchmarks {
+		newBy[b.Package+" "+b.Name] = b
+	}
+	var regressions []string
+	matched := 0
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	fmt.Fprintf(bw, "benchjson compare: %s (pr %d) -> %s (pr %d), threshold %g%%\n",
+		oldPath, oldSnap.PR, newPath, newSnap.PR, threshold)
+	for _, ob := range oldSnap.Benchmarks {
+		if !match.MatchString(ob.Name) {
+			continue
+		}
+		matched++
+		key := ob.Package + " " + ob.Name
+		nb, ok := newBy[key]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: gated benchmark missing from %s", key, newPath))
+			continue
+		}
+		for _, metric := range []string{"ns/op", "allocs/op"} {
+			ov, oOK := ob.Metrics[metric]
+			nv, nOK := nb.Metrics[metric]
+			if !oOK || !nOK {
+				continue
+			}
+			if metric == "ns/op" && (ob.Iterations < minIters || nb.Iterations < minIters) {
+				fmt.Fprintf(bw, "  %-55s %-9s skipped (iterations %d -> %d below %d)\n",
+					key, metric, ob.Iterations, nb.Iterations, minIters)
+				continue
+			}
+			growth := 0.0
+			if ov > 0 {
+				growth = 100 * (nv - ov) / ov
+			} else if nv > 0 {
+				growth = threshold + 1 // zero -> nonzero is unbounded growth
+			}
+			verdict := "ok"
+			if growth > threshold {
+				verdict = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, threshold %g%%)",
+					key, metric, ov, nv, growth, threshold))
+			}
+			fmt.Fprintf(bw, "  %-55s %-9s %12.4g -> %-12.4g %+7.1f%%  %s\n",
+				key, metric, ov, nv, growth, verdict)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmarks in %s match %q — the gate is vacuous", oldPath, match)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d perf regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(bw, "  %d gated benchmarks within threshold\n", matched)
+	return nil
 }

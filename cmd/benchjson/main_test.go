@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkFragment80Byte-8   \t 1000000\t      1531.5 ns/op\t     464 B/op\t      14 allocs/op", "retri/internal/aff")
@@ -37,5 +44,164 @@ func TestParseBenchLine(t *testing.T) {
 		if _, ok := parseBenchLine(bad, "p"); ok {
 			t.Errorf("malformed line %q accepted", bad)
 		}
+	}
+}
+
+// snapFile writes a snapshot to disk for the compare tests.
+func snapFile(t *testing.T, name string, s Snapshot) string {
+	t.Helper()
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(pkg, name string, iters int64, ns, allocs float64) Benchmark {
+	return Benchmark{Package: pkg, Name: name, Iterations: iters,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestParseDedupesKeepingMostIterations(t *testing.T) {
+	// The smoke stage runs everything at 1x then re-runs gated families at
+	// a real count; the snapshot must keep the better measurement.
+	in := strings.Join([]string{
+		"pkg: retri/internal/frame",
+		"BenchmarkAFFEncodeData-8 \t 1 \t 10000 ns/op \t 40 B/op \t 2 allocs/op",
+		"BenchmarkOther-8 \t 1 \t 50 ns/op \t 0 B/op \t 0 allocs/op",
+		"pkg: retri/internal/frame",
+		"BenchmarkAFFEncodeData-8 \t 100 \t 750 ns/op \t 40 B/op \t 2 allocs/op",
+	}, "\n")
+	out := filepath.Join(t.TempDir(), "b.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-pr", "7", "-out", out}, strings.NewReader(in), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2 after dedupe: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "AFFEncodeData" || b.Iterations != 100 || b.Metrics["ns/op"] != 750 {
+		t.Errorf("dedupe kept the wrong run: %+v", b)
+	}
+	// Stdin still echoes through untouched.
+	if !strings.Contains(stdout.String(), "BenchmarkOther-8") {
+		t.Error("echo lost a line")
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := snapFile(t, "old.json", Snapshot{PR: 6, Benchmarks: []Benchmark{
+		bench("p/frame", "AFFEncodeData", 100, 1000, 2),
+		bench("p/radio", "MediumNoTracer", 100, 90000, 776),
+		bench("p/x", "Unrelated", 1, 5, 0),
+	}})
+	newer := snapFile(t, "new.json", Snapshot{PR: 7, Benchmarks: []Benchmark{
+		bench("p/frame", "AFFEncodeData", 100, 1100, 2), // +10%: inside the gate
+		bench("p/radio", "MediumNoTracer", 100, 80000, 776),
+	}})
+	var out bytes.Buffer
+	if err := run([]string{"-compare", old, newer}, nil, &out); err != nil {
+		t.Fatalf("in-threshold compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 gated benchmarks within threshold") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+	// The unmatched benchmark must not be part of the gate.
+	if strings.Contains(out.String(), "Unrelated") {
+		t.Errorf("ungated benchmark compared:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnSyntheticRegression is the negative test for the perf
+// gate: a fabricated >20% ns/op regression must fail the comparison.
+func TestCompareFailsOnSyntheticRegression(t *testing.T) {
+	old := snapFile(t, "old.json", Snapshot{PR: 6, Benchmarks: []Benchmark{
+		bench("p/frame", "AFFEncodeData", 100, 1000, 2),
+	}})
+	newer := snapFile(t, "new.json", Snapshot{PR: 7, Benchmarks: []Benchmark{
+		bench("p/frame", "AFFEncodeData", 100, 1500, 2), // +50% ns/op
+	}})
+	var out bytes.Buffer
+	err := run([]string{"-compare", old, newer}, nil, &out)
+	if err == nil {
+		t.Fatalf("synthetic +50%% ns/op regression passed the gate:\n%s", out.String())
+	}
+	for _, want := range []string{"AFFEncodeData", "ns/op", "+50.0%"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("regression error %q lacks %q", err, want)
+		}
+	}
+}
+
+func TestCompareFailsOnAllocRegressionEvenAtOneIteration(t *testing.T) {
+	// allocs/op is deterministic: gated even when ns/op is too noisy to trust.
+	old := snapFile(t, "old.json", Snapshot{PR: 6, Benchmarks: []Benchmark{
+		bench("p/sim", "ScheduleRun", 1, 27000, 209),
+	}})
+	newer := snapFile(t, "new.json", Snapshot{PR: 7, Benchmarks: []Benchmark{
+		bench("p/sim", "ScheduleRun", 1, 99000, 300), // allocs +43%, ns ignored
+	}})
+	var out bytes.Buffer
+	err := run([]string{"-compare", old, newer}, nil, &out)
+	if err == nil {
+		t.Fatalf("alloc regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "allocs/op") || strings.Contains(err.Error(), "ns/op") {
+		t.Errorf("gate should fail on allocs/op only at 1x: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped (iterations 1 -> 1 below 10)") {
+		t.Errorf("noisy ns/op not skipped:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnMissingGatedBenchmark(t *testing.T) {
+	old := snapFile(t, "old.json", Snapshot{PR: 6, Benchmarks: []Benchmark{
+		bench("p/frame", "AFFEncodeData", 100, 1000, 2),
+		bench("p/frame", "AFFDecodeData", 100, 800, 2),
+	}})
+	newer := snapFile(t, "new.json", Snapshot{PR: 7, Benchmarks: []Benchmark{
+		bench("p/frame", "AFFEncodeData", 100, 1000, 2),
+	}})
+	err := run([]string{"-compare", old, newer}, nil, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "AFFDecodeData") {
+		t.Errorf("missing gated benchmark not reported: %v", err)
+	}
+}
+
+func TestCompareRejectsVacuousGate(t *testing.T) {
+	old := snapFile(t, "old.json", Snapshot{PR: 6, Benchmarks: []Benchmark{
+		bench("p/x", "Unrelated", 100, 10, 0),
+	}})
+	newer := snapFile(t, "new.json", Snapshot{PR: 7, Benchmarks: []Benchmark{
+		bench("p/x", "Unrelated", 100, 10, 0),
+	}})
+	err := run([]string{"-compare", old, newer}, nil, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "vacuous") {
+		t.Errorf("empty gate accepted: %v", err)
+	}
+}
+
+func TestCompareFlagValidation(t *testing.T) {
+	if err := run([]string{"-compare", "one.json"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("one-argument -compare accepted")
+	}
+	if err := run([]string{"-compare", "-match", "([", "a.json", "b.json"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("bad -match regexp accepted")
+	}
+	if err := run([]string{"-compare", filepath.Join(t.TempDir(), "no.json"), "b.json"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing snapshot accepted")
 	}
 }

@@ -4,13 +4,16 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"retri/internal/experiment"
 	"retri/internal/metrics"
+	"retri/internal/span"
 	"retri/internal/trace"
 )
 
@@ -23,33 +26,72 @@ type trialTiming struct {
 	NS    int64 `json:"ns"`
 }
 
-// experimentRecord is one experiment's entry in the run manifest.
+// experimentRecord is one experiment's entry in the run manifest. Sim and
+// Oracle attribute the merged snapshot's engine accounting and conformance
+// audit back to the experiment that produced them: each is the delta of
+// the matching counter family (summed across labels) between the record's
+// begin and end, so every sweep — figures and ablations alike — reports
+// the same schema instead of only the sweeps that happened to publish.
 type experimentRecord struct {
-	Name        string        `json:"name"`
-	Trials      int           `json:"trials"`
-	WallClockNS int64         `json:"wall_clock_ns"`
-	Timings     []trialTiming `json:"trial_timings,omitempty"`
+	Name        string           `json:"name"`
+	Trials      int              `json:"trials"`
+	WallClockNS int64            `json:"wall_clock_ns"`
+	Sim         map[string]int64 `json:"sim,omitempty"`
+	Oracle      map[string]int64 `json:"oracle,omitempty"`
+	Timings     []trialTiming    `json:"trial_timings,omitempty"`
 
-	started time.Time
+	started   time.Time
+	startSnap metrics.Snapshot
+}
+
+// counterDiff sums cur's counters with the given name prefix across labels
+// and subtracts prev's, keeping the names that moved. Nil when nothing did.
+func counterDiff(prev, cur metrics.Snapshot, prefix string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, c := range cur.Counters {
+		if strings.HasPrefix(c.Name, prefix) {
+			out[c.Name] += c.Value
+		}
+	}
+	for _, c := range prev.Counters {
+		if strings.HasPrefix(c.Name, prefix) {
+			out[c.Name] -= c.Value
+		}
+	}
+	for name, v := range out {
+		if v == 0 {
+			delete(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // manifest reproduces the run: full command line, resolved config, and
 // where the wall-clock went.
 type manifest struct {
-	Command     string              `json:"command"`
-	Args        []string            `json:"args"`
-	Figure      string              `json:"figure,omitempty"`
-	Ablation    string              `json:"ablation,omitempty"`
-	Seed        uint64              `json:"seed"`
-	Trials      int                 `json:"trials"`
-	Duration    string              `json:"duration"`
-	Parallel    int                 `json:"parallel"`
-	Quick       bool                `json:"quick"`
-	Format      string              `json:"format"`
-	GoVersion   string              `json:"go_version"`
-	StartedAt   string              `json:"started_at"`
-	WallClockNS int64               `json:"wall_clock_ns"`
-	Experiments []*experimentRecord `json:"experiments"`
+	Command     string   `json:"command"`
+	Args        []string `json:"args"`
+	Figure      string   `json:"figure,omitempty"`
+	Ablation    string   `json:"ablation,omitempty"`
+	Seed        uint64   `json:"seed"`
+	Trials      int      `json:"trials"`
+	Duration    string   `json:"duration"`
+	Parallel    int      `json:"parallel"`
+	Quick       bool     `json:"quick"`
+	Format      string   `json:"format"`
+	GoVersion   string   `json:"go_version"`
+	StartedAt   string   `json:"started_at"`
+	WallClockNS int64    `json:"wall_clock_ns"`
+	// TraceEventsDropped counts events the per-trial trace buffers shed
+	// across the whole run; zero certifies the -trace-out stream and the
+	// merged metrics are complete. Always present so consumers need not
+	// distinguish "absent" from "none dropped".
+	TraceEventsDropped int64               `json:"trace_events_dropped"`
+	SpansTraced        int64               `json:"spans_traced,omitempty"`
+	Experiments        []*experimentRecord `json:"experiments"`
 }
 
 // metricsDocument is the -metrics-out file: the manifest beside the merged
@@ -67,6 +109,8 @@ type collector struct {
 	opts     options
 	registry *metrics.Registry
 	tracer   trace.Tracer
+	spans    *span.Ledger
+	shared   *experiment.Obs
 
 	traceFile *os.File
 	traceBuf  *bufio.Writer
@@ -102,6 +146,9 @@ func newCollector(o options, args []string) (*collector, error) {
 	if o.metricsOut != "" {
 		c.registry = metrics.NewRegistry()
 	}
+	if o.spanOut != "" || o.chromeTrace != "" {
+		c.spans = span.NewLedger()
+	}
 	if o.traceOut != "" {
 		f, err := os.Create(o.traceOut)
 		if err != nil {
@@ -124,17 +171,19 @@ func newCollector(o options, args []string) (*collector, error) {
 		}
 		c.cpuFile = f
 	}
+	if c.registry != nil || c.tracer != nil || c.spans != nil {
+		c.shared = &experiment.Obs{Metrics: c.registry, Trace: c.tracer, Spans: c.spans}
+	}
 	return c, nil
 }
 
 // obs returns the experiment observability config, nil when no
 // observability flag was given so the experiment layer stays on its
-// zero-cost path.
+// zero-cost path. Every experiment in the run shares the one Obs, so
+// run-wide accumulators (the span ledger, the dropped-event tally) see
+// the whole run rather than the last figure to ask.
 func (c *collector) obs() *experiment.Obs {
-	if c.registry == nil && c.tracer == nil {
-		return nil
-	}
-	return &experiment.Obs{Metrics: c.registry, Trace: c.tracer}
+	return c.shared
 }
 
 // hooks returns the runner callbacks: progress display when -progress,
@@ -162,10 +211,14 @@ func (c *collector) hooks() experiment.RunHooks {
 	return h
 }
 
-// begin opens a manifest record for the named experiment; end closes it.
+// begin opens a manifest record for the named experiment; end closes it,
+// attributing the engine and oracle counter movement in between.
 func (c *collector) begin(name string) {
 	c.cur = &experimentRecord{Name: name, started: time.Now()}
 	c.progressShown = false
+	if c.registry != nil {
+		c.cur.startSnap = c.registry.Snapshot()
+	}
 	c.man.Experiments = append(c.man.Experiments, c.cur)
 }
 
@@ -175,6 +228,12 @@ func (c *collector) end() {
 	}
 	c.cur.WallClockNS = time.Since(c.cur.started).Nanoseconds()
 	c.cur.Trials = len(c.cur.Timings)
+	if c.registry != nil {
+		endSnap := c.registry.Snapshot()
+		c.cur.Sim = counterDiff(c.cur.startSnap, endSnap, "sim_")
+		c.cur.Oracle = counterDiff(c.cur.startSnap, endSnap, "oracle_")
+		c.cur.startSnap = metrics.Snapshot{}
+	}
 	if c.progressShown {
 		fmt.Fprintln(os.Stderr)
 		c.progressShown = false
@@ -199,8 +258,22 @@ func (c *collector) close() error {
 		keep(c.traceBuf.Flush())
 		keep(c.traceFile.Close())
 	}
+	if c.spans != nil {
+		if c.opts.spanOut != "" {
+			keep(writeFileWith(c.opts.spanOut, "-span-out", c.spans.WriteJSONL))
+		}
+		if c.opts.chromeTrace != "" {
+			keep(writeFileWith(c.opts.chromeTrace, "-chrome-trace", func(w io.Writer) error {
+				return span.WriteChrome(w, c.spans.Records(), c.spans.WidthChanges())
+			}))
+		}
+	}
 	if c.registry != nil {
 		c.man.WallClockNS = time.Since(c.started).Nanoseconds()
+		c.man.TraceEventsDropped = c.shared.TraceDropped()
+		if c.spans != nil {
+			c.man.SpansTraced = c.spans.Report().Spans
+		}
 		doc := metricsDocument{Manifest: c.man, Metrics: c.registry.Snapshot()}
 		raw, err := json.MarshalIndent(doc, "", "  ")
 		keep(err)
@@ -218,6 +291,27 @@ func (c *collector) close() error {
 		}
 	}
 	return firstErr
+}
+
+// writeFileWith creates path and streams fn's output through a buffered
+// writer, labeling any error with the flag that asked for the file.
+func writeFileWith(path, flagName string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("%s: %w", flagName, err)
+	}
+	w := bufio.NewWriter(f)
+	err = fn(w)
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", flagName, err)
+	}
+	return nil
 }
 
 // abandonFiles closes files opened so far when construction fails midway.

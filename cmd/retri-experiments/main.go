@@ -60,11 +60,13 @@ type options struct {
 	strategies string
 	// Observability outputs. All of them write to side files or stderr;
 	// stdout is byte-identical with or without them.
-	traceOut   string
-	metricsOut string
-	progress   bool
-	cpuprofile string
-	memprofile string
+	traceOut    string
+	metricsOut  string
+	spanOut     string
+	chromeTrace string
+	progress    bool
+	cpuprofile  string
+	memprofile  string
 }
 
 // parseArgs parses and validates flags. Quick-mode defaults apply only to
@@ -83,6 +85,8 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.parallel, "parallel", 1, "concurrent trials per experiment; 0 uses all CPUs, 1 is sequential")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write the radio event stream as JSON Lines to this file")
 	fs.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON run manifest and metrics snapshot to this file")
+	fs.StringVar(&o.spanOut, "span-out", "", "write per-transaction lifecycle spans as JSON Lines to this file (query with retri-trace)")
+	fs.StringVar(&o.chromeTrace, "chrome-trace", "", "write transaction spans as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	fs.BoolVar(&o.progress, "progress", false, "report per-trial progress on stderr")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a pprof heap profile to this file")

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"retri/internal/span"
 )
 
 func TestParseQuickRespectsExplicitFlags(t *testing.T) {
@@ -275,6 +277,32 @@ func TestRunMetricsAndTraceOutputs(t *testing.T) {
 	}
 }
 
+// captureStdout runs the CLI with the given arguments and returns its
+// stdout bytes, failing the test on a run error.
+func captureStdout(t *testing.T, args ...string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return out
+}
+
 // TestRunStdoutIdenticalWithObservability is the CLI-level half of the
 // zero-perturbation guarantee: stdout bytes must not change when every
 // observability flag is on.
@@ -284,27 +312,7 @@ func TestRunStdoutIdenticalWithObservability(t *testing.T) {
 	}
 	capture := func(extra ...string) string {
 		t.Helper()
-		old := os.Stdout
-		r, w, err := os.Pipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		os.Stdout = w
-		done := make(chan string)
-		go func() {
-			var buf bytes.Buffer
-			_, _ = buf.ReadFrom(r)
-			done <- buf.String()
-		}()
-		args := append([]string{"-figure", "4", "-trials", "1", "-duration", "2s"}, extra...)
-		runErr := run(args)
-		w.Close()
-		os.Stdout = old
-		out := <-done
-		if runErr != nil {
-			t.Fatal(runErr)
-		}
-		return out
+		return captureStdout(t, append([]string{"-figure", "4", "-trials", "1", "-duration", "2s"}, extra...)...)
 	}
 	dir := t.TempDir()
 	plain := capture()
@@ -317,6 +325,137 @@ func TestRunStdoutIdenticalWithObservability(t *testing.T) {
 	}
 	if !strings.Contains(plain, "=== Figure 4 ===") {
 		t.Errorf("unexpected baseline output:\n%s", plain)
+	}
+}
+
+// TestRunSpanFlagsZeroPerturbation is the CLI-level guarantee for the
+// span-tracing flags: on every figure that wires spans, stdout must stay
+// byte-identical with `-span-out`/`-chrome-trace` on, sequentially and in
+// parallel — and the parallel ledger must be byte-identical to the
+// sequential one (capture-then-merge, end to end).
+func TestRunSpanFlagsZeroPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	bases := map[string][]string{
+		"dynamics":   {"-figure", "dynamics", "-trials", "2", "-duration", "3s", "-scenarios", "churn", "-policies", "fixed,adaptive"},
+		"strategies": {"-figure", "strategies", "-trials", "2", "-duration", "3s", "-strategies", "uniform,listening"},
+		"recovery":   {"-figure", "recovery", "-trials", "2", "-duration", "3s", "-faults", "none,iid"},
+	}
+	for name, base := range bases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			seqOut := filepath.Join(dir, "seq.jsonl")
+			parOut := filepath.Join(dir, "par.jsonl")
+			chromeOut := filepath.Join(dir, "trace.json")
+
+			plain := captureStdout(t, base...)
+			spanned := captureStdout(t, append(base, "-span-out", seqOut, "-chrome-trace", chromeOut)...)
+			if plain != spanned {
+				t.Errorf("stdout changed under -span-out:\n--- plain ---\n%s--- spanned ---\n%s", plain, spanned)
+			}
+			parallel := captureStdout(t, append(base, "-parallel", "4", "-span-out", parOut)...)
+			if plain != parallel {
+				t.Errorf("stdout changed under parallel -span-out:\n--- plain ---\n%s--- parallel ---\n%s", plain, parallel)
+			}
+
+			seqRaw, err := os.ReadFile(seqOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parRaw, err := os.ReadFile(parOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seqRaw, parRaw) {
+				t.Error("parallel span ledger differs from sequential")
+			}
+			recs, _, err := span.ReadJSONL(bytes.NewReader(seqRaw))
+			if err != nil {
+				t.Fatalf("span ledger does not round-trip: %v", err)
+			}
+			if len(recs) == 0 {
+				t.Fatal("span ledger is empty")
+			}
+			for i, r := range recs {
+				if r.Outcome == "" || r.Trial == "" {
+					t.Fatalf("span record %d lacks outcome/trial: %+v", i, r)
+				}
+			}
+
+			chromeRaw, err := os.ReadFile(chromeOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var chrome struct {
+				DisplayTimeUnit string            `json:"displayTimeUnit"`
+				TraceEvents     []json.RawMessage `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(chromeRaw, &chrome); err != nil {
+				t.Fatalf("chrome trace is not JSON: %v", err)
+			}
+			if chrome.DisplayTimeUnit != "ms" || len(chrome.TraceEvents) == 0 {
+				t.Errorf("chrome trace malformed: unit=%q events=%d", chrome.DisplayTimeUnit, len(chrome.TraceEvents))
+			}
+		})
+	}
+}
+
+// TestRunManifestSchemaParity: the run manifest must attribute engine
+// accounting (and, when audited, the oracle report) to every sweep with
+// one schema — strategies and recovery had been the odd ones out.
+func TestRunManifestSchemaParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	figures := map[string][]string{
+		"strategies": {"-figure", "strategies", "-strategies", "uniform", "-trials", "1", "-duration", "3s"},
+		"recovery":   {"-figure", "recovery", "-faults", "iid", "-trials", "1", "-duration", "3s", "-oracle"},
+		"dynamics":   {"-figure", "dynamics", "-scenarios", "churn", "-policies", "fixed", "-trials", "1", "-duration", "3s", "-oracle"},
+	}
+	for name, args := range figures {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			mOut := filepath.Join(dir, "m.json")
+			sOut := filepath.Join(dir, "s.jsonl")
+			captureStdout(t, append(args, "-metrics-out", mOut, "-span-out", sOut)...)
+			raw, err := os.ReadFile(mOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				Manifest struct {
+					TraceEventsDropped *int64 `json:"trace_events_dropped"`
+					SpansTraced        int64  `json:"spans_traced"`
+					Experiments        []struct {
+						Name   string           `json:"name"`
+						Sim    map[string]int64 `json:"sim"`
+						Oracle map[string]int64 `json:"oracle"`
+					} `json:"experiments"`
+				} `json:"manifest"`
+			}
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatalf("metrics file is not JSON: %v", err)
+			}
+			if doc.Manifest.TraceEventsDropped == nil {
+				t.Error("manifest lacks trace_events_dropped")
+			} else if *doc.Manifest.TraceEventsDropped != 0 {
+				t.Errorf("trace_events_dropped = %d on an untraced run", *doc.Manifest.TraceEventsDropped)
+			}
+			if doc.Manifest.SpansTraced == 0 {
+				t.Error("manifest spans_traced = 0 with -span-out set")
+			}
+			if len(doc.Manifest.Experiments) != 1 {
+				t.Fatalf("experiments = %d records, want 1", len(doc.Manifest.Experiments))
+			}
+			exp := doc.Manifest.Experiments[0]
+			if exp.Sim["sim_events_processed_total"] == 0 {
+				t.Errorf("%s record lacks engine accounting: sim=%v", exp.Name, exp.Sim)
+			}
+			if exp.Oracle["oracle_tx_opened_total"] == 0 {
+				t.Errorf("%s record lacks the oracle report: oracle=%v", exp.Name, exp.Oracle)
+			}
+		})
 	}
 }
 

@@ -36,6 +36,11 @@ type Config struct {
 	// Initial is the width before any density evidence arrives. Default
 	// Max: a cold node assumes contention rather than risking collisions.
 	Initial int
+	// OnChange, when set, observes every width move the controller makes
+	// (oldBits != newBits). It is a passive measurement tap — span tracing
+	// records width-change instants through it — and must not call back
+	// into the controller.
+	OnChange func(oldBits, newBits int)
 }
 
 func (c Config) withDefaults() Config {
@@ -106,12 +111,16 @@ func (c *Controller) Bits() int {
 	c.decisions++
 	target := c.Target()
 	gap := target - c.cur
+	old := c.cur
 	if gap >= c.cfg.Deadband {
 		c.cur++
 		c.moves++
 	} else if -gap >= c.cfg.Deadband {
 		c.cur--
 		c.moves++
+	}
+	if c.cur != old && c.cfg.OnChange != nil {
+		c.cfg.OnChange(old, c.cur)
 	}
 	return c.cur
 }

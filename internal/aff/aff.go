@@ -111,6 +111,14 @@ type Transaction struct {
 	// equals the space width except for adaptive-width transactions, which
 	// may choose narrower.
 	IDBits int
+	// Truth is the instrumentation trailer stamped into every fragment,
+	// nil when the config is uninstrumented. It exists for the measurement
+	// harness (span tracing, oracle audits); protocol code must not use it.
+	Truth *frame.Truth
+	// Redraws counts identifier draws discarded by the retransmission
+	// avoid-set before this identifier was accepted (always zero outside
+	// the FragmentAvoiding paths). Measurement bookkeeping only.
+	Redraws int
 }
 
 // TotalBits sums the meaningful bits across all fragments (the
@@ -249,14 +257,21 @@ func (f *Fragmenter) fragmentAvoidingAt(packet []byte, bits int, avoid uint64) (
 		return id
 	}
 	id := f.sel.NextWidth(bits)
+	redraws := 0
 	if uint64(1)<<uint(bits) > 1 {
 		for key(id) == avoid {
 			id = f.sel.NextWidth(bits)
+			redraws++
 		}
 	}
 	codec := f.codec
 	codec.IDBits = bits
-	return f.fragmentWithID(codec, id, packet)
+	tx, err := f.fragmentWithID(codec, id, packet)
+	if err != nil {
+		return Transaction{}, err
+	}
+	tx.Redraws = redraws
+	return tx, nil
 }
 
 // fragmentWithID splits a validated packet under the given identifier,
@@ -276,6 +291,7 @@ func (f *Fragmenter) fragmentWithID(codec frame.AFFCodec, id uint64, packet []by
 		Fragments: make([]Fragment, 0, nData+1),
 		DataBits:  8 * len(packet),
 		IDBits:    codec.IDBits,
+		Truth:     truth,
 	}
 
 	introBytes, introBits, err := codec.EncodeIntro(frame.Intro{

@@ -84,6 +84,16 @@ type Reassembler struct {
 	// packet ultimately verifies — a failed checksum still ends the
 	// transaction on air.
 	onComplete func(id uint64)
+
+	// onExpire, when set, is told each identifier whose partial state was
+	// evicted by the reassembly timeout — the receiver-side "this
+	// transaction died incomplete" signal the span tracer records.
+	onExpire func(id uint64)
+
+	// onBadSum, when set, is told each identifier rejected at completion
+	// because its checksum failed — the never-misdeliver rejection the
+	// span tracer records as a transaction outcome.
+	onBadSum func(id uint64)
 }
 
 // pending accumulates one identifier's fragments.
@@ -153,6 +163,16 @@ func (r *Reassembler) SetConflictHandler(fn func(id uint64)) { r.onConflict = fn
 // is the turnover signal for density estimation: an identifier the sender
 // has finished with need not be held active for the full idle gap.
 func (r *Reassembler) SetCompleteHandler(fn func(id uint64)) { r.onComplete = fn }
+
+// SetExpiryHandler installs a callback invoked with each identifier whose
+// partial state the reassembly timeout evicted — the span tracer's
+// receiver-side expiry signal.
+func (r *Reassembler) SetExpiryHandler(fn func(id uint64)) { r.onExpire = fn }
+
+// SetChecksumFailHandler installs a callback invoked with each identifier
+// rejected at completion because its checksum failed — how an identifier
+// collision most often surfaces at a receiver.
+func (r *Reassembler) SetChecksumFailHandler(fn func(id uint64)) { r.onBadSum = fn }
 
 // Ingest processes one received frame.
 func (r *Reassembler) Ingest(frameBytes []byte) {
@@ -285,6 +305,9 @@ func (r *Reassembler) maybeComplete(id uint64, p *pending) {
 	delete(r.pending, id)
 	if checksum.Sum(r.cfg.Checksum, p.buf) != p.sum {
 		r.stats.ChecksumFailures++
+		if r.onBadSum != nil {
+			r.onBadSum(id)
+		}
 		return
 	}
 	r.stats.Delivered++
@@ -334,6 +357,9 @@ func (r *Reassembler) expire() {
 		}
 		delete(r.pending, e.id)
 		r.stats.Timeouts++
+		if r.onExpire != nil {
+			r.onExpire(e.id)
+		}
 	}
 	r.compactExpq()
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"retri/internal/node"
+	"retri/internal/radio"
 	"retri/internal/sim"
 )
 
@@ -170,6 +171,17 @@ type freshSender interface {
 // sequence, so a harness can match deliveries to sends for latency.
 type DeliverFunc func(token, seq uint32, payload []byte)
 
+// AttemptObserver watches every transmission attempt of an ARQ data
+// packet over a fresh-identifier transport — the span tracer's retry-link
+// feed (span.Tracer satisfies it). attempt is the retransmission count so
+// far (0 for the first transmission); prevKey is the previous attempt's
+// identifier key when hasPrev is set, so an observer can join the fresh
+// identifier newKey back to its parent attempt. Implementations must be
+// passive measurement taps.
+type AttemptObserver interface {
+	ARQAttempt(sender radio.NodeID, seq uint32, attempt int, hasPrev bool, prevKey, newKey uint64)
+}
+
 // txState is one outstanding (unacknowledged) packet.
 type txState struct {
 	seq      uint32
@@ -201,6 +213,7 @@ type Endpoint struct {
 	out     map[uint32]*txState
 	rx      map[uint32]*rxState
 	deliver DeliverFunc
+	attObs  AttemptObserver
 	ctr     Counters
 }
 
@@ -238,6 +251,9 @@ func NewEndpoint(eng *sim.Engine, d node.Driver, token uint32, cfg Config, rng *
 
 // SetDeliver installs the unique-delivery callback.
 func (e *Endpoint) SetDeliver(fn DeliverFunc) { e.deliver = fn }
+
+// SetAttemptObserver installs a per-attempt observer; nil disables it.
+func (e *Endpoint) SetAttemptObserver(o AttemptObserver) { e.attObs = o }
 
 // Counters returns a snapshot of the endpoint's tallies.
 func (e *Endpoint) Counters() Counters { return e.ctr }
@@ -295,6 +311,9 @@ func (e *Endpoint) transmit(st *txState) {
 		} else {
 			e.ctr.FreshIDs++
 		}
+	}
+	if e.attObs != nil {
+		e.attObs.ARQAttempt(e.drv.Radio().ID(), st.seq, st.attempts, st.haveID, avoid, id)
 	}
 	st.lastID, st.haveID = id, true
 }

@@ -516,6 +516,10 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 		affCfg.Space = core.MustSpace(cfg.MaxBits)
 		affCfg.AdaptiveWidth = true
 	}
+	sp := newTrialSpan(cfg.Obs, trialObs, affCfg, eng.Now)
+	if sp != nil {
+		med.SetFateObserver(sp)
+	}
 
 	// The oracle watches the medium with the simulator's privileged eyes;
 	// it is strictly passive, so attaching it cannot change the run.
@@ -544,12 +548,16 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 	if err != nil {
 		return DynamicsOutcome{}, err
 	}
-	rx, err := node.NewAFF(rxRadio, affCfg, rxSel, node.AFFOptions{
+	rxOpts := node.AFFOptions{
 		Estimator: rxEst,
 		Truth:     truth,
 		Engine:    eng,
 		OnDeliver: audit(sinkID),
-	})
+	}
+	if sp != nil {
+		rxOpts.Span = sp
+	}
+	rx, err := node.NewAFF(rxRadio, affCfg, rxSel, rxOpts)
 	if err != nil {
 		return DynamicsOutcome{}, err
 	}
@@ -585,8 +593,16 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 			return DynamicsOutcome{}, err
 		}
 		opts := node.AFFOptions{Estimator: est, ObserveOwn: true, Engine: eng, OnDeliver: audit(id)}
+		if sp != nil {
+			opts.Span = sp
+		}
 		if policy.adaptive() {
-			ctl, err := adapt.New(adapt.Config{DataBits: dataBits, Min: cfg.MinBits, Max: cfg.MaxBits}, est)
+			actlCfg := adapt.Config{DataBits: dataBits, Min: cfg.MinBits, Max: cfg.MaxBits}
+			if sp != nil {
+				nid := id
+				actlCfg.OnChange = func(from, to int) { sp.NoteWidthChange(nid, from, to) }
+			}
+			ctl, err := adapt.New(actlCfg, est)
 			if err != nil {
 				return DynamicsOutcome{}, err
 			}

@@ -10,6 +10,7 @@ import (
 	"retri/internal/radio"
 	"retri/internal/runner"
 	"retri/internal/sim"
+	"retri/internal/span"
 	"retri/internal/trace"
 )
 
@@ -33,6 +34,22 @@ type Obs struct {
 	// TraceEventCap bounds the events buffered per trial before replay;
 	// 0 means DefaultTraceEventCap, negative means unbounded.
 	TraceEventCap int
+	// Spans, when non-nil, receives every trial's transaction-lifecycle
+	// span trace, folded in trial-index order like everything else.
+	Spans *span.Ledger
+
+	// traceDropped accumulates events dropped by per-trial trace buffers
+	// across the run (written only by the folding goroutine).
+	traceDropped int64
+}
+
+// TraceDropped reports how many trace events per-trial buffers dropped
+// across every fold so far — zero means the trace outputs are complete.
+func (o *Obs) TraceDropped() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.traceDropped
 }
 
 // DefaultTraceEventCap bounds per-trial trace capture (about 50 MB of
@@ -45,6 +62,9 @@ type TrialObs struct {
 	Metrics *metrics.Registry
 	// Trace holds the trial's buffered events (nil unless Obs.Trace is set).
 	Trace *trace.Buffer
+	// Spans holds the trial's span tracer (nil unless Obs.Spans is set;
+	// installed by the trial via newTrialSpan).
+	Spans *span.Tracer
 }
 
 // newTrialObs builds a trial's private capture and the tracer to install
@@ -69,12 +89,29 @@ func newTrialObs(o *Obs) (*TrialObs, trace.Tracer) {
 	}
 	switch len(tracers) {
 	case 0:
-		return nil, nil
+		if o.Spans == nil {
+			return nil, nil
+		}
+		return t, nil
 	case 1:
 		return t, tracers[0]
 	default:
 		return t, trace.Multi(tracers...)
 	}
+}
+
+// newTrialSpan builds a trial's span tracer once the trial knows its
+// wire format, parking it in the trial capture for the fold. Returns
+// nil (and installs nothing) unless Obs.Spans requested span tracing.
+// Callers must keep the nil fast path: never hand a nil *span.Tracer to
+// an interface field.
+func newTrialSpan(o *Obs, t *TrialObs, affCfg aff.Config, now func() time.Duration) *span.Tracer {
+	if o == nil || o.Spans == nil || t == nil {
+		return nil
+	}
+	sp := span.MustNew(span.Config{AFF: affCfg, Now: now})
+	t.Spans = sp
+	return sp
 }
 
 // heapBuckets histograms event-loop sizes across trials; trials range
@@ -148,9 +185,14 @@ func foldTrialObs(o *Obs, outs []TrialOutcome, note func(i int) string) error {
 			o.Trace.Record(trace.Event{Kind: trace.Custom, Note: "trial-start " + note(i)})
 			out.Obs.Trace.Replay(o.Trace)
 			if d := out.Obs.Trace.Dropped(); d > 0 {
+				o.traceDropped += d
 				o.Trace.Record(trace.Event{Kind: trace.Custom,
 					Note: fmt.Sprintf("trial-truncated dropped=%d", d)})
 			}
+		}
+		if o.Spans != nil && out.Obs.Spans != nil {
+			// The job index disambiguates trials sharing a cell label.
+			o.Spans.AddTrial(fmt.Sprintf("%s#%d", note(i), i), out.Obs.Spans)
 		}
 	}
 	return nil

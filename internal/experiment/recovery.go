@@ -20,6 +20,7 @@ import (
 	"retri/internal/radio"
 	"retri/internal/runner"
 	"retri/internal/sim"
+	"retri/internal/span"
 	"retri/internal/staticaddr"
 	"retri/internal/stats"
 	"retri/internal/xrand"
@@ -441,6 +442,22 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 		}
 		med.SetFrameObserver(orc)
 	}
+	// Span tracing likewise covers AFF rows only: the span codec cannot
+	// read the static baseline's wire format. Unlike the oracle it does
+	// not force instrumentation — flagless recovery rows must stay byte-
+	// identical — so without the oracle it attributes by per-sender FIFO
+	// order instead of Truth trailers.
+	var sp *span.Tracer
+	if scheme.Kind == "aff" {
+		affCfg, err := recoveryAFFConfig(cfg, scheme, params, instrument)
+		if err != nil {
+			return RecoveryOutcome{}, err
+		}
+		sp = newTrialSpan(cfg.Obs, trialObs, affCfg, eng.Now)
+		if sp != nil {
+			med.SetFateObserver(sp)
+		}
+	}
 	audit := func(id radio.NodeID) func(aff.Packet) {
 		if orc == nil {
 			return nil
@@ -457,7 +474,7 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 	build := func(id radio.NodeID, label string) (node.Driver, error) {
 		r := med.MustAttach(id)
 		radios = append(radios, r)
-		d, err := buildRecoveryDriver(cfg, scheme, r, params, src, label, eng, instrument, audit(id))
+		d, err := buildRecoveryDriver(cfg, scheme, r, params, src, label, eng, instrument, audit(id), sp)
 		if err != nil {
 			return nil, err
 		}
@@ -479,6 +496,9 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 	sinkEp, err := arq.NewEndpoint(eng, sinkDrv, uint32(sinkID), sinkCfg, src.Stream("arq", "sink"))
 	if err != nil {
 		return RecoveryOutcome{}, err
+	}
+	if sp != nil {
+		sinkEp.SetAttemptObserver(sp)
 	}
 
 	type sendKey struct{ token, seq uint32 }
@@ -504,6 +524,9 @@ func RunRecoveryTrial(cfg RecoveryConfig, scheme Scheme, fault FaultKind, reliab
 		ep, err := arq.NewEndpoint(eng, d, uint32(i), epCfg, src.Stream("arq", label))
 		if err != nil {
 			return RecoveryOutcome{}, err
+		}
+		if sp != nil {
+			ep.SetAttemptObserver(sp)
 		}
 		senderEps = append(senderEps, ep)
 
@@ -617,7 +640,7 @@ func recoveryAFFConfig(cfg RecoveryConfig, s Scheme, params radio.Params, instru
 // config's reassembly timeout and, for AFF, engine-timer-driven expiry so
 // crashed-and-restarted or idle nodes shed stale partial state, plus the
 // oracle's instrumented wire format and delivery audit when attached.
-func buildRecoveryDriver(cfg RecoveryConfig, s Scheme, r *radio.Radio, params radio.Params, src *xrand.Source, label string, eng *sim.Engine, instrument bool, audit func(aff.Packet)) (node.Driver, error) {
+func buildRecoveryDriver(cfg RecoveryConfig, s Scheme, r *radio.Radio, params radio.Params, src *xrand.Source, label string, eng *sim.Engine, instrument bool, audit func(aff.Packet), sp *span.Tracer) (node.Driver, error) {
 	switch s.Kind {
 	case "static":
 		return node.NewStatic(r, staticaddr.Config{
@@ -635,12 +658,16 @@ func buildRecoveryDriver(cfg RecoveryConfig, s Scheme, r *radio.Radio, params ra
 		if err != nil {
 			return nil, err
 		}
-		return node.NewAFF(r, affCfg, sel, node.AFFOptions{
+		opts := node.AFFOptions{
 			Estimator:  est,
 			ObserveOwn: s.Selector == SelListening || s.Selector == SelListeningNotify,
 			Engine:     eng,
 			OnDeliver:  audit,
-		})
+		}
+		if sp != nil {
+			opts.Span = sp
+		}
+		return node.NewAFF(r, affCfg, sel, opts)
 	default:
 		return nil, fmt.Errorf("experiment: unknown scheme kind %q", s.Kind)
 	}

@@ -318,6 +318,10 @@ func RunStrategyTrial(cfg StrategiesConfig, strategy string, t int, src *xrand.S
 		Instrument:        true,
 		ReassemblyTimeout: cfg.ReassemblyTimeout,
 	}
+	sp := newTrialSpan(cfg.Obs, trialObs, affCfg, eng.Now)
+	if sp != nil {
+		med.SetFateObserver(sp)
+	}
 
 	var orc *oracle.Oracle
 	if cfg.Oracle {
@@ -352,11 +356,15 @@ func RunStrategyTrial(cfg StrategiesConfig, strategy string, t int, src *xrand.S
 	if err != nil {
 		return StrategyOutcome{}, err
 	}
-	rx, err := node.NewAFF(rxRadio, affCfg, rxSel, node.AFFOptions{
+	rxOpts := node.AFFOptions{
 		Estimator: rxEst,
 		Truth:     truth,
 		OnDeliver: audit(receiverID),
-	})
+	}
+	if sp != nil {
+		rxOpts.Span = sp
+	}
+	rx, err := node.NewAFF(rxRadio, affCfg, rxSel, rxOpts)
 	if err != nil {
 		return StrategyOutcome{}, err
 	}
@@ -373,13 +381,17 @@ func RunStrategyTrial(cfg StrategiesConfig, strategy string, t int, src *xrand.S
 		if err != nil {
 			return StrategyOutcome{}, err
 		}
-		d, err := node.NewAFF(txRadio, affCfg, sel, node.AFFOptions{
+		txOpts := node.AFFOptions{
 			Estimator: est,
 			// Listening is the only built-in strategy with learned state;
 			// observing one's own draws mirrors the Figure 4 setup.
 			ObserveOwn: strategy == "listening",
 			OnDeliver:  audit(id),
-		})
+		}
+		if sp != nil {
+			txOpts.Span = sp
+		}
+		d, err := node.NewAFF(txRadio, affCfg, sel, txOpts)
 		if err != nil {
 			return StrategyOutcome{}, err
 		}

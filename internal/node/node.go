@@ -54,6 +54,29 @@ type Driver interface {
 
 var errNilRadio = errors.New("node: nil radio")
 
+// SpanSink receives the sender- and receiver-side lifecycle signals the
+// span tracer assembles into causal chains (span.Tracer satisfies it).
+// Implementations must be passive measurement taps — no randomness, no
+// scheduling, no payload mutation — so wiring one cannot perturb a run.
+type SpanSink interface {
+	// TxOpen fires when a transaction's fragments are queued on the radio,
+	// before any of them airs: the identifier draw (tx.ID at tx.IDBits,
+	// after tx.Redraws avoid-redraws, by the named strategy) is decided
+	// here. key is the transaction's reassembly key — tx.ID in fixed-width
+	// mode, the aff.WidthKey composite in adaptive mode.
+	TxOpen(sender radio.NodeID, tx aff.Transaction, key uint64, strategy string)
+	// RxExpired fires when a receiver's reassembly timeout evicts the
+	// partial state held under key.
+	RxExpired(receiver radio.NodeID, key uint64)
+	// RxRejected fires when a receiver discards a transaction: checksum
+	// reports a failed verification at completion, otherwise an internal
+	// inconsistency (conflict) drop.
+	RxRejected(receiver radio.NodeID, key uint64, checksum bool)
+	// RxDelivered fires when a receiver's reassembler hands up a verified
+	// packet, before OnDeliver and the packet handler.
+	RxDelivered(receiver radio.NodeID, p aff.Packet)
+}
+
 // AFFOptions tunes the address-free driver beyond its aff.Config.
 type AFFOptions struct {
 	// Estimator, when set, is fed every heard identifier and can drive an
@@ -87,6 +110,11 @@ type AFFOptions struct {
 	// tap (the oracle's never-misdeliver audit reads the Truth trailer);
 	// protocol code must not use it.
 	OnDeliver func(p aff.Packet)
+	// Span, when set, receives transaction-lifecycle signals for span
+	// tracing: every outgoing transaction's identifier draw and this
+	// receiver's reassembly expiries, rejections and deliveries. Like
+	// OnDeliver it is a passive measurement tap.
+	Span SpanSink
 }
 
 // AFFDriver is the address-free fragmentation stack on one radio.
@@ -149,6 +177,9 @@ func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) 
 	}
 	d.notifBits = 1 + cfg.Space.Bits()
 	d.reasm = aff.NewReassembler(cfg, r.Now, func(p aff.Packet) {
+		if opts.Span != nil {
+			opts.Span.RxDelivered(r.ID(), p)
+		}
 		if opts.OnDeliver != nil {
 			opts.OnDeliver(p)
 		}
@@ -185,8 +216,19 @@ func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) 
 		// transaction is known over instead of holding it a full idle gap.
 		d.reasm.SetCompleteHandler(co.ObserveComplete)
 	}
-	if opts.NotifyCollisions {
-		d.reasm.SetConflictHandler(func(id uint64) { d.sendNotification(id) })
+	if opts.NotifyCollisions || opts.Span != nil {
+		d.reasm.SetConflictHandler(func(id uint64) {
+			if opts.Span != nil {
+				opts.Span.RxRejected(r.ID(), id, false)
+			}
+			if opts.NotifyCollisions {
+				d.sendNotification(id)
+			}
+		})
+	}
+	if opts.Span != nil {
+		d.reasm.SetExpiryHandler(func(id uint64) { opts.Span.RxExpired(r.ID(), id) })
+		d.reasm.SetChecksumFailHandler(func(id uint64) { opts.Span.RxRejected(r.ID(), id, true) })
 	}
 	r.SetHandler(d.onFrame)
 	return d, nil
@@ -258,6 +300,16 @@ func (d *AFFDriver) SendPacketAvoiding(p []byte, avoid uint64) (uint64, error) {
 }
 
 func (d *AFFDriver) sendTx(tx aff.Transaction) error {
+	if d.opts.Span != nil {
+		// Announce the transaction before any fragment is queued: the
+		// fragments air later (CSMA contention), and the span tracer must
+		// already know the draw when the first FrameSent arrives.
+		key := tx.ID
+		if d.frag.Config().AdaptiveWidth {
+			key = aff.WidthKey(tx.IDBits, tx.ID)
+		}
+		d.opts.Span.TxOpen(d.r.ID(), tx, key, d.sel.Name())
+	}
 	if d.opts.ObserveOwn {
 		// Observe under the same key a receiver would use, so the node's
 		// own transactions and overheard ones share one namespace: the

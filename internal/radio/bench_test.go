@@ -15,6 +15,12 @@ import (
 // across variants so the benchmark isolates the tracer's cost in the radio
 // hot path (Medium.emit on every send and reception outcome).
 func benchWorkload(b *testing.B, tracer trace.Tracer) {
+	benchWorkloadFate(b, tracer, nil)
+}
+
+// benchWorkloadFate is benchWorkload with a fate observer installed, so
+// the span-tracing feed's cost is measurable against the same workload.
+func benchWorkloadFate(b *testing.B, tracer trace.Tracer, fates FateObserver) {
 	b.Helper()
 	b.ReportAllocs()
 	payload := []byte{0xAB, 0xCD, 0xEF}
@@ -23,6 +29,9 @@ func benchWorkload(b *testing.B, tracer trace.Tracer) {
 		rng := xrand.NewSource(99).Stream("bench")
 		m := NewMedium(eng, FullMesh{}, DefaultParams(), rng)
 		m.SetTracer(tracer)
+		if fates != nil {
+			m.SetFateObserver(fates)
+		}
 		radios := make([]*Radio, 6)
 		for j := range radios {
 			radios[j] = m.MustAttach(NodeID(j))
@@ -57,6 +66,29 @@ func BenchmarkMediumMetricsBridge(b *testing.B) {
 // measured, not disk).
 func BenchmarkMediumJSONWriter(b *testing.B) {
 	benchWorkload(b, trace.NewJSONWriter(io.Discard))
+}
+
+// nopFateObserver is interface dispatch with an empty body on every send
+// and reception verdict — the span tracer's hook machinery minus the
+// span tracer. It upper-bounds what the hook sites can cost a run that
+// never asked for spans (the disabled path is one nil check per site,
+// strictly cheaper than this dispatch).
+type nopFateObserver struct{}
+
+func (nopFateObserver) FrameSent(Frame)               {}
+func (nopFateObserver) FrameFate(NodeID, Frame, Fate) {}
+
+// BenchmarkMediumNilSpanPath is the disabled span path: no fate observer,
+// so every fate site is a nil check. This is the configuration every
+// flagless figure runs in; its trajectory is gated by benchcompare.
+func BenchmarkMediumNilSpanPath(b *testing.B) {
+	benchWorkloadFate(b, nil, nil)
+}
+
+// BenchmarkMediumFateObserver is the same workload with the fate feed
+// dispatching (to a no-op), isolating the hook overhead itself.
+func BenchmarkMediumFateObserver(b *testing.B) {
+	benchWorkloadFate(b, nil, nopFateObserver{})
 }
 
 // benchDisk builds a populated unit disk for the mobility benchmarks:

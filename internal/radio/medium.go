@@ -147,6 +147,56 @@ type FrameObserver interface {
 	FrameDelivered(to NodeID, f Frame, corrupted bool)
 }
 
+// Fate classifies the outcome of one (frame, receiver) pair — the
+// per-receiver verdict the reception model reaches in Medium.deliver.
+type Fate int
+
+// Fates, in the order the reception model rules them out.
+const (
+	FateNotHeard Fate = iota + 1
+	FateHalfDuplex
+	FateCollided
+	FateRandomLoss
+	FateCorrupted // delivered, but the fault model damaged this copy
+	FateDelivered
+)
+
+// String names a fate for ledgers and query output.
+func (f Fate) String() string {
+	switch f {
+	case FateNotHeard:
+		return "not-heard"
+	case FateHalfDuplex:
+		return "half-duplex"
+	case FateCollided:
+		return "collided"
+	case FateRandomLoss:
+		return "random-loss"
+	case FateCorrupted:
+		return "corrupted"
+	case FateDelivered:
+		return "delivered"
+	default:
+		return "unknown"
+	}
+}
+
+// FateObserver watches every per-receiver reception outcome from the
+// simulator's privileged viewpoint — the span tracer's channel-fate feed.
+// Where FrameObserver reports only transmissions and successful
+// deliveries, a FateObserver additionally hears about every loss and why.
+// FrameFate always receives the sender's original payload, even when a
+// corrupter damaged the delivered copy, so observers can attribute the
+// outcome to the transaction that was actually sent. Implementations must
+// be passive: no randomness, no scheduling, no payload mutation.
+type FateObserver interface {
+	// FrameSent fires once per transmission, when the frame is put on air.
+	FrameSent(f Frame)
+	// FrameFate fires once per (frame, receiver) pair when the reception
+	// model reaches its verdict.
+	FrameFate(to NodeID, f Frame, fate Fate)
+}
+
 // Medium is the shared broadcast channel.
 type Medium struct {
 	eng   *sim.Engine
@@ -162,6 +212,7 @@ type Medium struct {
 	ctr      Counters
 	tracer   trace.Tracer
 	observer FrameObserver
+	fates    FateObserver
 }
 
 type transmission struct {
@@ -208,6 +259,20 @@ func (m *Medium) SetTracer(t trace.Tracer) { m.tracer = t }
 
 // SetFrameObserver installs a privileged frame observer; nil disables it.
 func (m *Medium) SetFrameObserver(o FrameObserver) { m.observer = o }
+
+// SetFateObserver installs a privileged per-receiver fate observer; nil
+// disables it. It is a separate slot from the frame observer so the
+// conformance oracle and the span tracer can watch one medium together.
+func (m *Medium) SetFateObserver(o FateObserver) { m.fates = o }
+
+// fate reports one reception verdict when a fate observer is installed;
+// like emit, the disabled path is a single nil check.
+func (m *Medium) fate(to NodeID, f Frame, k Fate) {
+	if m.fates == nil {
+		return
+	}
+	m.fates.FrameFate(to, f, k)
+}
 
 // emit records a trace event when tracing is enabled.
 func (m *Medium) emit(kind trace.Kind, node, peer NodeID, bits int) {
@@ -330,6 +395,9 @@ func (m *Medium) begin(r *Radio, f Frame) {
 	if m.observer != nil {
 		m.observer.FrameSent(f)
 	}
+	if m.fates != nil {
+		m.fates.FrameSent(f)
+	}
 	m.eng.ScheduleAt(t.end, func() { m.complete(t) })
 }
 
@@ -356,27 +424,32 @@ func (m *Medium) deliver(t *transmission, v *Radio) {
 	if !v.up || !v.listening {
 		m.ctr.NotHeard++
 		m.emit(trace.FrameNotHeard, v.id, t.from, bits)
+		m.fate(v.id, t.frame, FateNotHeard)
 		return
 	}
 	if v.txOverlaps(t.start, t.end) {
 		m.ctr.HalfDuplex++
 		m.emit(trace.FrameHalfDuplex, v.id, t.from, bits)
+		m.fate(v.id, t.frame, FateHalfDuplex)
 		return
 	}
 	if m.collidedAt(t, v.id) {
 		m.ctr.Collided++
 		m.emit(trace.FrameCollided, v.id, t.from, bits)
+		m.fate(v.id, t.frame, FateCollided)
 		return
 	}
 	if m.p.Loss != nil {
 		if m.p.Loss.Drop(t.from, v.id, m.eng.Now()) {
 			m.ctr.RandomLoss++
 			m.emit(trace.FrameRandomLoss, v.id, t.from, bits)
+			m.fate(v.id, t.frame, FateRandomLoss)
 			return
 		}
 	} else if m.p.FrameLoss > 0 && m.rng.Float64() < m.p.FrameLoss {
 		m.ctr.RandomLoss++
 		m.emit(trace.FrameRandomLoss, v.id, t.from, bits)
+		m.fate(v.id, t.frame, FateRandomLoss)
 		return
 	}
 	f := t.frame
@@ -391,6 +464,11 @@ func (m *Medium) deliver(t *transmission, v *Radio) {
 	}
 	m.ctr.Delivered++
 	m.emit(trace.FrameDelivered, v.id, t.from, bits)
+	if corrupted {
+		m.fate(v.id, t.frame, FateCorrupted)
+	} else {
+		m.fate(v.id, t.frame, FateDelivered)
+	}
 	if m.observer != nil {
 		m.observer.FrameDelivered(v.id, f, corrupted)
 	}

@@ -1,0 +1,144 @@
+// Chrome trace_event export: load the file at chrome://tracing (or
+// https://ui.perfetto.dev) and read a run as a timeline — one process
+// row per trial, one thread row per sender, a complete ("X") slice per
+// transaction, flow arrows joining ARQ retry chains, and instant
+// markers for adaptive-width moves.
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one trace_event object. Only the fields this exporter
+// emits; the format tolerates extras but needs none.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	ID    int            `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the records as a trace_event JSON document.
+// Trials map to process IDs in first-seen order; senders map to thread
+// IDs directly. Never-aired spans have no on-air interval and are
+// skipped. Retry chains are flow events bound to the enclosing slices.
+func WriteChrome(w io.Writer, recs []Record, widths []WidthRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	pids := map[string]int{}
+	pidOf := func(trial string) int {
+		if p, ok := pids[trial]; ok {
+			return p
+		}
+		p := len(pids)
+		pids[trial] = p
+		return p
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	// byIdx resolves Parent indices to records for flow binding.
+	type trialSpan struct {
+		trial string
+		span  int
+	}
+	byIdx := make(map[trialSpan]Record, len(recs))
+	for _, r := range recs {
+		byIdx[trialSpan{r.Trial, r.Span}] = r
+	}
+	flowID := 0
+	for _, r := range recs {
+		if r.OpenedNS < 0 {
+			continue
+		}
+		pid := pidOf(r.Trial)
+		ts := float64(r.OpenedNS) / 1e3
+		end := r.ClosedNS
+		if end < 0 {
+			end = r.OpenedNS // still open at run end: zero-length slice
+		}
+		dur := float64(end-r.OpenedNS) / 1e3
+		ev := chromeEvent{
+			Name:  r.Outcome,
+			Phase: "X",
+			TS:    ts,
+			Dur:   dur,
+			PID:   pid,
+			TID:   int64(r.Sender),
+			Args: map[string]any{
+				"key":      r.Key,
+				"id":       r.ID,
+				"width":    r.Width,
+				"strategy": r.Strategy,
+				"outcome":  r.Outcome,
+				"frags":    r.FragsSent,
+				"redraws":  r.Redraws,
+			},
+		}
+		if r.Retry >= 0 {
+			ev.Args["retry"] = r.Retry
+			ev.Args["arq_seq"] = r.ARQSeq
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+		if r.Parent >= 0 {
+			parent, ok := byIdx[trialSpan{r.Trial, r.Parent}]
+			if ok && parent.OpenedNS >= 0 {
+				flowID++
+				pend := parent.ClosedNS
+				if pend < 0 {
+					pend = parent.OpenedNS
+				}
+				if err := emit(chromeEvent{
+					Name: "retry", Phase: "s", ID: flowID, PID: pid,
+					TID: int64(parent.Sender), TS: float64(pend) / 1e3,
+				}); err != nil {
+					return err
+				}
+				if err := emit(chromeEvent{
+					Name: "retry", Phase: "f", BP: "e", ID: flowID, PID: pid,
+					TID: int64(r.Sender), TS: ts,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, wc := range widths {
+		if err := emit(chromeEvent{
+			Name: "width-change", Phase: "i", Scope: "t",
+			PID: pidOf(wc.Trial), TID: int64(wc.Node),
+			TS:   float64(wc.AtNS) / 1e3,
+			Args: map[string]any{"from": wc.From, "to": wc.To},
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,131 @@
+// Time-series reduction: the span ledger folded into per-interval
+// buckets — active transaction density, collision rate, achieved
+// identifier width — the live view of the quantities the paper's
+// Equation 4 trades off. The reduction is a pure function of the
+// records, so any two ledgers with the same rows produce the same
+// series regardless of trial scheduling.
+package span
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Point is one time bucket of the reduced series. Counts are events in
+// the bucket; ActiveMean is the average number of concurrently open
+// transactions over the bucket; WidthMean averages the identifier width
+// of transactions opened in the bucket; CollisionRate is the fraction
+// of those openings that collided.
+type Point struct {
+	Start         time.Duration `json:"start_ns"`
+	Opened        int           `json:"opened"`
+	Closed        int           `json:"closed"`
+	Collisions    int           `json:"collisions"`
+	Delivered     int           `json:"delivered"`
+	ActiveMean    float64       `json:"active_mean"`
+	WidthMean     float64       `json:"width_mean"`
+	CollisionRate float64       `json:"collision_rate"`
+}
+
+// Series reduces span records into fixed-interval buckets (default one
+// second when interval <= 0). Trials are folded together: the series
+// answers "what did the medium look like t seconds into a trial",
+// averaged over trials, matching how the figures aggregate.
+func Series(recs []Record, interval time.Duration) []Point {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	end := time.Duration(0)
+	for _, r := range recs {
+		if t := time.Duration(r.OpenedNS); t > end {
+			end = t
+		}
+		if t := time.Duration(r.ClosedNS); t > end {
+			end = t
+		}
+	}
+	n := int(end/interval) + 1
+	if n < 1 || len(recs) == 0 {
+		return nil
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i].Start = time.Duration(i) * interval
+	}
+	// activeNS accumulates open-interval coverage per bucket, so
+	// ActiveMean is exact — not a sampled open count.
+	activeNS := make([]float64, n)
+	widthSum := make([]float64, n)
+	for _, r := range recs {
+		if r.OpenedNS < 0 {
+			continue // never aired: no on-air presence
+		}
+		open := time.Duration(r.OpenedNS)
+		ob := int(open / interval)
+		pts[ob].Opened++
+		widthSum[ob] += float64(r.Width)
+		if r.Collided {
+			pts[ob].Collisions++
+		}
+		if r.Deliveries > 0 {
+			pts[ob].Delivered++
+		}
+		closed := time.Duration(r.ClosedNS)
+		if r.ClosedNS < 0 {
+			closed = end
+		} else {
+			pts[int(closed/interval)].Closed++
+		}
+		for b := ob; b < n && time.Duration(b)*interval < closed; b++ {
+			lo := time.Duration(b) * interval
+			hi := lo + interval
+			if open > lo {
+				lo = open
+			}
+			if closed < hi {
+				hi = closed
+			}
+			if hi > lo {
+				activeNS[b] += float64(hi - lo)
+			}
+		}
+	}
+	for i := range pts {
+		pts[i].ActiveMean = activeNS[i] / float64(interval)
+		if pts[i].Opened > 0 {
+			pts[i].WidthMean = widthSum[i] / float64(pts[i].Opened)
+			pts[i].CollisionRate = float64(pts[i].Collisions) / float64(pts[i].Opened)
+		}
+	}
+	return pts
+}
+
+// WriteSeriesCSV writes the series as CSV with a header row — the
+// -timeline output of the query CLI, ready for a plotting script.
+func WriteSeriesCSV(w io.Writer, pts []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"start_s", "opened", "closed", "collisions", "delivered",
+		"active_mean", "width_mean", "collision_rate",
+	}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%g", p.Start.Seconds()),
+			fmt.Sprintf("%d", p.Opened),
+			fmt.Sprintf("%d", p.Closed),
+			fmt.Sprintf("%d", p.Collisions),
+			fmt.Sprintf("%d", p.Delivered),
+			fmt.Sprintf("%.4f", p.ActiveMean),
+			fmt.Sprintf("%.4f", p.WidthMean),
+			fmt.Sprintf("%.4f", p.CollisionRate),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

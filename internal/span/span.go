@@ -1,0 +1,849 @@
+// Package span is a zero-perturbation transaction-lifecycle tracer for
+// the AFF stack. Where the oracle (internal/oracle) audits *aggregate*
+// safety properties from the medium's privileged viewpoint, span tracing
+// keeps the *individual* story of every transaction as a causal chain:
+//
+//   - the selector draw that produced its identifier (strategy, width,
+//     avoid-set redraws);
+//   - every fragment it put on air and that fragment's channel fate at
+//     each receiver (delivered, collided, Gilbert-Elliott loss,
+//     bit-corrupted, half-duplex miss, out of range);
+//   - reassembly progress at receivers: delivery, never-misdeliver
+//     rejection (checksum or conflict), or expiry;
+//   - ARQ retry links joining a retransmission's fresh identifier back
+//     to its parent attempt, so a retry chain reads as one thread.
+//
+// The tracer ingests the same event feeds the oracle does plus the
+// sender- and receiver-side hooks (node.SpanSink, arq.AttemptObserver,
+// radio.FateObserver, adapt.Config.OnChange), and mirrors the oracle's
+// ground-truth state machine exactly — same stall, revive, FIFO-abandon
+// and retention rules — so span-derived lifecycle counts are
+// conformance-checkable against the oracle's report.
+//
+// Like the oracle it is strictly passive: no randomness, no scheduled
+// events, no payload mutation. Attaching it cannot perturb a run.
+//
+// It works in two attribution modes. With aff.Config.Instrument the
+// Truth trailer keys every fragment to its transaction exactly (the
+// conformance-grade mode). Without instrumentation — a flagless figure
+// whose wire format must not change — fragments are attributed by
+// (sender, reassembly key) against each sender's FIFO transmit order,
+// which is exact for everything except a sender redrawing the same
+// identifier for consecutive transactions without an intervening intro.
+package span
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"retri/internal/aff"
+	"retri/internal/frame"
+	"retri/internal/radio"
+)
+
+// Config parameterizes a Tracer. The lifecycle timing knobs default
+// exactly as the oracle's do, so the two state machines stay in step.
+type Config struct {
+	// AFF is the wire-format configuration of the stack under trace.
+	// Instrument selects truth-keyed attribution; without it the tracer
+	// falls back to per-sender FIFO matching.
+	AFF aff.Config
+	// Now supplies virtual time (pass the engine's clock).
+	Now func() time.Duration
+	// StallTimeout marks open transactions with no send activity
+	// dormant. Zero selects the AFF reassembly timeout.
+	StallTimeout time.Duration
+	// Retain keeps closed transactions findable for late receiver-side
+	// events. Zero selects StallTimeout.
+	Retain time.Duration
+}
+
+// txKey is the instrumentation trailer's (node, sequence) pair.
+type txKey struct{ node, seq uint32 }
+
+// skey addresses a span by its sender and on-air reassembly key — the
+// only identity visible without instrumentation.
+type skey struct {
+	sender radio.NodeID
+	key    uint64
+}
+
+// arqKey addresses an ARQ stream: one endpoint's one sequence number.
+type arqKey struct {
+	sender radio.NodeID
+	seq    uint32
+}
+
+// State is a span's position in the transaction lifecycle.
+type State int
+
+const (
+	// StateQueued: the selector drew an identifier but no fragment has
+	// aired yet (still in the transmit queue, or the queue died).
+	StateQueued State = iota
+	// StateOpen: at least one fragment aired; the final one has not.
+	StateOpen
+	// StateClosed: the final data fragment went on air.
+	StateClosed
+	// StateAbandoned: the sender's FIFO queue moved on to a newer
+	// transaction before this one finished (a crash dropped its tail).
+	StateAbandoned
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateOpen:
+		return "open"
+	case StateClosed:
+		return "closed"
+	case StateAbandoned:
+		return "abandoned"
+	}
+	return "unknown"
+}
+
+// Frag is one fragment of a span: what went on air and how the channel
+// treated each copy (counters are per receiver, so one broadcast frame
+// contributes to several).
+type Frag struct {
+	Intro  bool          `json:"intro,omitempty"`
+	Offset int           `json:"offset"`
+	Len    int           `json:"len"`
+	At     time.Duration `json:"at_ns"`
+
+	Delivered  int `json:"delivered,omitempty"`
+	Collided   int `json:"collided,omitempty"`
+	RandomLoss int `json:"random_loss,omitempty"`
+	Corrupted  int `json:"corrupted,omitempty"`
+	NotHeard   int `json:"not_heard,omitempty"`
+	HalfDuplex int `json:"half_duplex,omitempty"`
+}
+
+// Event is one receiver-side lifecycle event attributed to a span.
+type Event struct {
+	At   time.Duration `json:"at_ns"`
+	Node radio.NodeID  `json:"node"`
+	// Kind is one of "delivered", "rejected-checksum",
+	// "rejected-conflict", "expired".
+	Kind string `json:"kind"`
+}
+
+// Span is the causal record of one transaction attempt.
+type Span struct {
+	Index  int
+	Truth  *frame.Truth // nil when attribution is FIFO-based
+	Sender radio.NodeID
+	Key    uint64 // on-air reassembly key (WidthKey in adaptive mode)
+	Width  int    // identifier width in bits
+	ID     uint64 // raw identifier (Key without the width prefix)
+
+	Strategy string // selector name that drew the identifier
+	Redraws  int    // avoid-set redraws before this identifier stuck
+
+	ARQSeq int // ARQ stream sequence, -1 when not an ARQ attempt
+	Retry  int // retransmission count so far (0 = first attempt), -1 when not ARQ
+	Parent int // Index of the previous attempt in the retry chain, -1 for none
+
+	QueuedAt time.Duration // TxOpen instant; -1 for synthesized spans
+	OpenedAt time.Duration // first fragment on air; -1 while queued
+	ClosedAt time.Duration // final fragment on air / abandonment; -1 while open
+
+	TotalLen int
+	Collided bool // shared a live reassembly key with another span
+	Revives  int  // times a stall was revived by a late fragment
+
+	Frags  []Frag
+	Events []Event
+
+	FragsSent        int
+	Deliveries       int // complete packets handed up by receivers
+	RejectedChecksum int
+	RejectedConflict int
+	Expired          int
+	Anomalies        int // frames that violated fragmenter invariants
+
+	state     State
+	stalled   bool
+	haveLen   bool
+	introSent bool
+	lastSent  time.Duration
+	closedAt  time.Duration // retention clock (abandon included)
+	fragAt    map[int]int   // offset (-1 intro) -> index into Frags
+}
+
+// State reports the span's lifecycle position.
+func (s *Span) State() State { return s.state }
+
+// Stalled reports whether an open span is currently dormant.
+func (s *Span) Stalled() bool { return s.stalled }
+
+// Outcome classifies what ultimately happened to the transaction, in
+// precedence order: delivery evidence wins, then the failure root
+// causes, then the residual states.
+func (s *Span) Outcome() string {
+	switch {
+	case s.Deliveries > 0:
+		return "delivered"
+	case s.Collided:
+		return "collided"
+	case s.RejectedChecksum+s.RejectedConflict > 0:
+		return "rejected"
+	case s.Expired > 0:
+		return "expired"
+	case s.state == StateAbandoned:
+		return "abandoned"
+	case s.state == StateQueued:
+		return "never-aired"
+	case s.state == StateOpen && s.stalled:
+		return "stalled"
+	case s.state == StateOpen:
+		return "in-flight"
+	}
+	// Closed with no receiver evidence: every copy died on the channel.
+	return "lost"
+}
+
+// WidthChange is one adaptive-width controller move.
+type WidthChange struct {
+	At   time.Duration `json:"at_ns"`
+	Node radio.NodeID  `json:"node"`
+	From int           `json:"from"`
+	To   int           `json:"to"`
+}
+
+// Report aggregates span lifecycle counts. The lifecycle fields mirror
+// the oracle report field for field so a conformance test can compare
+// the two machines directly.
+type Report struct {
+	Spans               int64 // spans recorded, including never-aired
+	Opened              int64
+	Closed              int64
+	Stalled             int64
+	Revived             int64
+	Abandoned           int64
+	FragmentsSent       int64
+	CollisionEvents     int64
+	FreshnessViolations int64
+	Unattributed        int64 // send-side frames the tracer could not read
+	PacketsDelivered    int64 // complete packets handed up by receivers
+	OrphanEvents        int64 // receiver/fate events with no matching span
+	Anomalies           int64 // fragmenter-invariant violations observed
+}
+
+// Merge folds another report into this one.
+func (r *Report) Merge(o Report) {
+	r.Spans += o.Spans
+	r.Opened += o.Opened
+	r.Closed += o.Closed
+	r.Stalled += o.Stalled
+	r.Revived += o.Revived
+	r.Abandoned += o.Abandoned
+	r.FragmentsSent += o.FragmentsSent
+	r.CollisionEvents += o.CollisionEvents
+	r.FreshnessViolations += o.FreshnessViolations
+	r.Unattributed += o.Unattributed
+	r.PacketsDelivered += o.PacketsDelivered
+	r.OrphanEvents += o.OrphanEvents
+	r.Anomalies += o.Anomalies
+}
+
+// Tracer assembles spans from the measurement hooks. It implements
+// radio.FateObserver, satisfies node.SpanSink and arq.AttemptObserver
+// structurally, and accepts adapt width-change notifications. Like
+// every protocol component it is single-threaded within one trial.
+type Tracer struct {
+	codec      frame.AFFCodec
+	instrument bool
+	bits       int
+	now        func() time.Duration
+	stall      time.Duration
+	retain     time.Duration
+
+	spans  []*Span
+	widths []WidthChange
+
+	// Truth-keyed lifecycle state (instrumented mode) — the exact shape
+	// of the oracle's open/closed/current maps.
+	queuedTruth map[txKey]*Span
+	openTruth   map[txKey]*Span
+	closedTruth map[txKey]*Span
+	current     map[radio.NodeID]txKey
+
+	// FIFO lifecycle state (uninstrumented mode).
+	queuedFIFO  map[radio.NodeID][]*Span
+	currentFIFO map[radio.NodeID]*Span
+
+	// liveByKey lists live (non-stalled) open spans per reassembly key:
+	// its length is the oracle's openByKey count, and the list lets the
+	// tracer mark every party to a collision.
+	liveByKey map[uint64][]*Span
+	// bySenderKey and lastByKey are best-effort attribution indexes for
+	// fate and receiver-side events (latest span wins).
+	bySenderKey map[skey]*Span
+	lastByKey   map[uint64]*Span
+	// lastQueued and arqLast thread ARQ retry chains: the span TxOpen
+	// just queued for a sender, and each stream's previous attempt.
+	lastQueued map[radio.NodeID]*Span
+	arqLast    map[arqKey]*Span
+
+	retained []*Span // closed/abandoned spans inside the retention window
+
+	rep Report
+}
+
+var _ radio.FateObserver = (*Tracer)(nil)
+
+// New builds a tracer for the given wire format.
+func New(cfg Config) (*Tracer, error) {
+	if cfg.AFF.Space.Bits() < 1 {
+		return nil, errors.New("span: config needs an identifier space")
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() time.Duration { return 0 }
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = cfg.AFF.ReassemblyTimeout
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 250 * time.Millisecond
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = cfg.StallTimeout
+	}
+	return &Tracer{
+		codec: frame.AFFCodec{
+			IDBits:      cfg.AFF.Space.Bits(),
+			Instrument:  cfg.AFF.Instrument,
+			InBandWidth: cfg.AFF.AdaptiveWidth,
+		},
+		instrument:  cfg.AFF.Instrument,
+		bits:        cfg.AFF.Space.Bits(),
+		now:         cfg.Now,
+		stall:       cfg.StallTimeout,
+		retain:      cfg.Retain,
+		queuedTruth: make(map[txKey]*Span),
+		openTruth:   make(map[txKey]*Span),
+		closedTruth: make(map[txKey]*Span),
+		current:     make(map[radio.NodeID]txKey),
+		queuedFIFO:  make(map[radio.NodeID][]*Span),
+		currentFIFO: make(map[radio.NodeID]*Span),
+		liveByKey:   make(map[uint64][]*Span),
+		bySenderKey: make(map[skey]*Span),
+		lastByKey:   make(map[uint64]*Span),
+		lastQueued:  make(map[radio.NodeID]*Span),
+		arqLast:     make(map[arqKey]*Span),
+	}, nil
+}
+
+// MustNew is New for configurations known valid (tests, harness glue).
+func MustNew(cfg Config) *Tracer {
+	t, err := New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("span.MustNew: %v", err))
+	}
+	return t
+}
+
+// reassemblyKey maps a decoded width and identifier to the key the
+// reassembler files the fragment under (the oracle's convention).
+func (t *Tracer) reassemblyKey(decodedWidth int, id uint64) uint64 {
+	if decodedWidth == 0 {
+		return id
+	}
+	return aff.WidthKey(decodedWidth, id)
+}
+
+// widthOf normalizes a decoded in-band width (0 = fixed format) to the
+// actual identifier width in bits.
+func (t *Tracer) widthOf(decodedWidth int) int {
+	if decodedWidth == 0 {
+		return t.bits
+	}
+	return decodedWidth
+}
+
+// ---- sender-side hooks (node.SpanSink) ----
+
+// TxOpen records a selector draw: a transaction entered its sender's
+// transmit queue. Called synchronously from the fragmenting send path,
+// before any fragment airs and before any ARQ attempt bookkeeping.
+func (t *Tracer) TxOpen(sender radio.NodeID, tx aff.Transaction, key uint64, strategy string) {
+	s := &Span{
+		Index:    len(t.spans),
+		Truth:    tx.Truth,
+		Sender:   sender,
+		Key:      key,
+		Width:    tx.IDBits,
+		ID:       tx.ID,
+		Strategy: strategy,
+		Redraws:  tx.Redraws,
+		ARQSeq:   -1,
+		Retry:    -1,
+		Parent:   -1,
+		QueuedAt: t.now(),
+		OpenedAt: -1,
+		ClosedAt: -1,
+		state:    StateQueued,
+		fragAt:   make(map[int]int),
+	}
+	t.spans = append(t.spans, s)
+	t.rep.Spans++
+	if t.instrument && tx.Truth != nil {
+		t.queuedTruth[txKey{tx.Truth.Node, tx.Truth.Seq}] = s
+	} else {
+		t.queuedFIFO[sender] = append(t.queuedFIFO[sender], s)
+	}
+	t.lastQueued[sender] = s
+}
+
+// RxDelivered records a receiver handing up a complete packet.
+func (t *Tracer) RxDelivered(receiver radio.NodeID, p aff.Packet) {
+	t.rep.PacketsDelivered++
+	s := t.findForRx(p.Truth, p.ID)
+	if s == nil {
+		t.rep.OrphanEvents++
+		return
+	}
+	s.Deliveries++
+	s.Events = append(s.Events, Event{At: t.now(), Node: receiver, Kind: "delivered"})
+}
+
+// RxRejected records a never-misdeliver rejection: a reassembled packet
+// failed its checksum, or conflicting introductions poisoned the key.
+func (t *Tracer) RxRejected(receiver radio.NodeID, key uint64, checksum bool) {
+	s := t.findForRx(nil, key)
+	if s == nil {
+		t.rep.OrphanEvents++
+		return
+	}
+	kind := "rejected-conflict"
+	if checksum {
+		kind = "rejected-checksum"
+		s.RejectedChecksum++
+	} else {
+		s.RejectedConflict++
+	}
+	s.Events = append(s.Events, Event{At: t.now(), Node: receiver, Kind: kind})
+}
+
+// RxExpired records a receiver abandoning partial reassembly state.
+func (t *Tracer) RxExpired(receiver radio.NodeID, key uint64) {
+	s := t.findForRx(nil, key)
+	if s == nil {
+		t.rep.OrphanEvents++
+		return
+	}
+	s.Expired++
+	s.Events = append(s.Events, Event{At: t.now(), Node: receiver, Kind: "expired"})
+}
+
+// ARQAttempt annotates the span TxOpen just queued with its place in a
+// retry chain (arq.AttemptObserver; fires synchronously after the
+// transport accepted the attempt).
+func (t *Tracer) ARQAttempt(sender radio.NodeID, seq uint32, attempt int, hasPrev bool, prevKey, newKey uint64) {
+	s := t.lastQueued[sender]
+	if s == nil || s.Key != newKey {
+		t.rep.OrphanEvents++
+		return
+	}
+	s.ARQSeq = int(seq)
+	s.Retry = attempt
+	ak := arqKey{sender, seq}
+	if hasPrev {
+		if prev := t.arqLast[ak]; prev != nil && prev.Key == prevKey {
+			s.Parent = prev.Index
+		}
+	}
+	t.arqLast[ak] = s
+}
+
+// NoteWidthChange records an adaptive-width controller move (wire it to
+// adapt.Config.OnChange).
+func (t *Tracer) NoteWidthChange(node radio.NodeID, oldBits, newBits int) {
+	t.widths = append(t.widths, WidthChange{At: t.now(), Node: node, From: oldBits, To: newBits})
+}
+
+// ---- medium hooks (radio.FateObserver) ----
+
+// FrameSent advances the lifecycle machine: prune, decode, attribute,
+// record — the oracle's FrameSent shape, step for step.
+func (t *Tracer) FrameSent(f radio.Frame) {
+	now := t.now()
+	t.prune(now)
+	decoded, err := t.codec.Decode(f.Payload)
+	if err != nil {
+		t.rep.Unattributed++
+		return
+	}
+	t.rep.FragmentsSent++
+	switch fr := decoded.(type) {
+	case *frame.Intro:
+		if t.instrument && fr.Truth == nil {
+			t.rep.Unattributed++
+			return
+		}
+		s := t.attributeSend(fr.Truth, f.From, t.reassemblyKey(fr.IDBits, fr.ID), fr.ID, t.widthOf(fr.IDBits), true, now)
+		if !s.haveLen {
+			s.haveLen = true
+			s.TotalLen = fr.TotalLen
+		}
+		s.introSent = true
+		t.recordFrag(s, true, -1, 0, now)
+	case *frame.Data:
+		if t.instrument && fr.Truth == nil {
+			t.rep.Unattributed++
+			return
+		}
+		s := t.attributeSend(fr.Truth, f.From, t.reassemblyKey(fr.IDBits, fr.ID), fr.ID, t.widthOf(fr.IDBits), false, now)
+		if !s.haveLen {
+			// The fragmenter airs the introduction first; a data frame
+			// for an unknown transaction is a protocol bug.
+			s.Anomalies++
+			t.rep.Anomalies++
+			return
+		}
+		end := fr.Offset + len(fr.Payload)
+		if end > s.TotalLen {
+			s.Anomalies++
+			t.rep.Anomalies++
+			return
+		}
+		t.recordFrag(s, false, fr.Offset, len(fr.Payload), now)
+		if end == s.TotalLen {
+			t.close(s, now)
+		}
+	}
+}
+
+// FrameFate attributes one receiver's copy of a frame to its span and
+// records the channel verdict. Strictly read-only on lifecycle state:
+// fates arrive at delivery instants, not send instants, and must not
+// perturb the open/stalled bookkeeping the oracle parity rests on.
+func (t *Tracer) FrameFate(to radio.NodeID, f radio.Frame, fate radio.Fate) {
+	decoded, err := t.codec.Decode(f.Payload)
+	if err != nil {
+		return
+	}
+	var (
+		truth  *frame.Truth
+		key    uint64
+		offset int
+	)
+	switch fr := decoded.(type) {
+	case *frame.Intro:
+		truth, key, offset = fr.Truth, t.reassemblyKey(fr.IDBits, fr.ID), -1
+	case *frame.Data:
+		truth, key, offset = fr.Truth, t.reassemblyKey(fr.IDBits, fr.ID), fr.Offset
+	default:
+		return
+	}
+	s := t.findForFate(truth, f.From, key)
+	if s == nil {
+		t.rep.OrphanEvents++
+		return
+	}
+	i, ok := s.fragAt[offset]
+	if !ok {
+		// A fate for a fragment the send path never recorded (an
+		// anomalous frame the lifecycle machine refused): drop it.
+		return
+	}
+	bumpFate(&s.Frags[i], fate)
+}
+
+// bumpFate applies one channel verdict to a fragment — span-level
+// delivery evidence comes from the receiver hooks, not from fates.
+func bumpFate(fr *Frag, fate radio.Fate) {
+	switch fate {
+	case radio.FateDelivered:
+		fr.Delivered++
+	case radio.FateCollided:
+		fr.Collided++
+	case radio.FateRandomLoss:
+		fr.RandomLoss++
+	case radio.FateCorrupted:
+		fr.Corrupted++
+	case radio.FateNotHeard:
+		fr.NotHeard++
+	case radio.FateHalfDuplex:
+		fr.HalfDuplex++
+	}
+}
+
+// ---- lifecycle machine ----
+
+// attributeSend finds or opens the span a transmitted fragment belongs
+// to, mirroring the oracle's lookup: freshness check, stall revival,
+// FIFO abandonment of the sender's previous transaction, and collision
+// detection at open.
+func (t *Tracer) attributeSend(truth *frame.Truth, sender radio.NodeID, key, id uint64, width int, isIntro bool, now time.Duration) *Span {
+	if t.instrument && truth != nil {
+		return t.lookupTruth(txKey{truth.Node, truth.Seq}, sender, key, id, width, now)
+	}
+	return t.lookupFIFO(sender, key, id, width, isIntro, now)
+}
+
+// lookupTruth is the oracle's lookup, verbatim, producing spans.
+func (t *Tracer) lookupTruth(k txKey, sender radio.NodeID, key, id uint64, width int, now time.Duration) *Span {
+	if s, ok := t.openTruth[k]; ok {
+		if s.Key != key {
+			t.rep.FreshnessViolations++
+		}
+		if s.stalled {
+			s.stalled = false
+			t.addLive(s)
+			s.Revives++
+			t.rep.Revived++
+		}
+		s.lastSent = now
+		return s
+	}
+	if prev, ok := t.current[sender]; ok && prev != k {
+		if ps, live := t.openTruth[prev]; live {
+			t.abandon(ps, now)
+		}
+	}
+	t.current[sender] = k
+	s := t.queuedTruth[k]
+	if s != nil {
+		delete(t.queuedTruth, k)
+	} else {
+		s = t.synthesize(k, sender, key, id, width)
+	}
+	t.openSpan(s, now)
+	t.openTruth[k] = s
+	return s
+}
+
+// lookupFIFO attributes a fragment without instrumentation: a sender's
+// transactions never interleave, so the current span continues while
+// the key matches (an intro after this span's intro means the selector
+// redrew the same key for a new transaction), and anything else begins
+// the sender's next queued transaction.
+func (t *Tracer) lookupFIFO(sender radio.NodeID, key, id uint64, width int, isIntro bool, now time.Duration) *Span {
+	if cur := t.currentFIFO[sender]; cur != nil && cur.state == StateOpen && cur.Key == key {
+		if !isIntro || !cur.introSent {
+			if cur.stalled {
+				cur.stalled = false
+				t.addLive(cur)
+				cur.Revives++
+				t.rep.Revived++
+			}
+			cur.lastSent = now
+			return cur
+		}
+	}
+	if cur := t.currentFIFO[sender]; cur != nil && cur.state == StateOpen {
+		t.abandon(cur, now)
+	}
+	// Pop the sender's queue up to the matching draw; skipped entries
+	// died with a crashed transmit queue and stay never-aired.
+	var s *Span
+	q := t.queuedFIFO[sender]
+	for len(q) > 0 {
+		head := q[0]
+		q = q[1:]
+		if head.Key == key {
+			s = head
+			break
+		}
+	}
+	t.queuedFIFO[sender] = q
+	if s == nil {
+		s = t.synthesize(txKey{}, sender, key, id, width)
+	}
+	t.openSpan(s, now)
+	t.currentFIFO[sender] = s
+	return s
+}
+
+// synthesize covers a fragment with no recorded selector draw (span
+// sink not wired on that node, or a crash raced the hook): the span
+// exists so lifecycle counts still mirror the oracle.
+func (t *Tracer) synthesize(k txKey, sender radio.NodeID, key, id uint64, width int) *Span {
+	s := &Span{
+		Index:    len(t.spans),
+		Sender:   sender,
+		Key:      key,
+		Width:    width,
+		ID:       id,
+		ARQSeq:   -1,
+		Retry:    -1,
+		Parent:   -1,
+		QueuedAt: -1,
+		OpenedAt: -1,
+		ClosedAt: -1,
+		state:    StateQueued,
+		fragAt:   make(map[int]int),
+	}
+	if t.instrument {
+		s.Truth = &frame.Truth{Node: k.node, Seq: k.seq}
+	}
+	t.spans = append(t.spans, s)
+	t.rep.Spans++
+	return s
+}
+
+// openSpan moves a queued span on air, counting a collision event when
+// its reassembly key already carries another live transaction — and
+// marking every party, which the oracle's bare counter cannot.
+func (t *Tracer) openSpan(s *Span, now time.Duration) {
+	if peers := t.liveByKey[s.Key]; len(peers) > 0 {
+		t.rep.CollisionEvents++
+		s.Collided = true
+		for _, p := range peers {
+			p.Collided = true
+		}
+	}
+	s.state = StateOpen
+	s.OpenedAt = now
+	s.lastSent = now
+	t.addLive(s)
+	t.bySenderKey[skey{s.Sender, s.Key}] = s
+	t.lastByKey[s.Key] = s
+	t.rep.Opened++
+}
+
+// close retires a span whose final data fragment went on air.
+func (t *Tracer) close(s *Span, now time.Duration) {
+	t.retire(s, now)
+	s.state = StateClosed
+	t.rep.Closed++
+}
+
+// abandon retires a span its sender walked away from.
+func (t *Tracer) abandon(s *Span, now time.Duration) {
+	t.retire(s, now)
+	s.state = StateAbandoned
+	t.rep.Abandoned++
+}
+
+// retire removes a span from the open set, keeping it findable for the
+// retention window so in-flight frames and receiver verdicts still
+// attribute.
+func (t *Tracer) retire(s *Span, now time.Duration) {
+	if s.Truth != nil {
+		delete(t.openTruth, txKey{s.Truth.Node, s.Truth.Seq})
+	}
+	if t.currentFIFO[s.Sender] == s {
+		delete(t.currentFIFO, s.Sender)
+	}
+	if !s.stalled {
+		t.removeLive(s)
+	}
+	s.ClosedAt = now
+	s.closedAt = now
+	if s.Truth != nil {
+		t.closedTruth[txKey{s.Truth.Node, s.Truth.Seq}] = s
+	}
+	t.retained = append(t.retained, s)
+}
+
+// prune stalls idle open spans and drops retained spans past the
+// retention window — the oracle's prune, applied at send instants.
+func (t *Tracer) prune(now time.Duration) {
+	for _, s := range t.openTruth {
+		t.stallIfIdle(s, now)
+	}
+	for _, s := range t.currentFIFO {
+		t.stallIfIdle(s, now)
+	}
+	if len(t.retained) == 0 {
+		return
+	}
+	kept := t.retained[:0]
+	for _, s := range t.retained {
+		if now-s.closedAt > t.retain {
+			if s.Truth != nil {
+				k := txKey{s.Truth.Node, s.Truth.Seq}
+				if t.closedTruth[k] == s {
+					delete(t.closedTruth, k)
+				}
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	t.retained = kept
+}
+
+func (t *Tracer) stallIfIdle(s *Span, now time.Duration) {
+	if s.state == StateOpen && !s.stalled && now-s.lastSent > t.stall {
+		s.stalled = true
+		t.removeLive(s)
+		t.rep.Stalled++
+	}
+}
+
+func (t *Tracer) addLive(s *Span) {
+	t.liveByKey[s.Key] = append(t.liveByKey[s.Key], s)
+}
+
+func (t *Tracer) removeLive(s *Span) {
+	peers := t.liveByKey[s.Key]
+	for i, p := range peers {
+		if p == s {
+			peers = append(peers[:i], peers[i+1:]...)
+			break
+		}
+	}
+	if len(peers) == 0 {
+		delete(t.liveByKey, s.Key)
+	} else {
+		t.liveByKey[s.Key] = peers
+	}
+}
+
+// findForRx attributes a receiver-side event. Truth is exact when
+// present; otherwise the latest span opened under the key is the best
+// witness (exact except under an active identifier collision, which the
+// Collided mark already flags).
+func (t *Tracer) findForRx(truth *frame.Truth, key uint64) *Span {
+	if truth != nil {
+		k := txKey{truth.Node, truth.Seq}
+		if s, ok := t.openTruth[k]; ok {
+			return s
+		}
+		if s, ok := t.closedTruth[k]; ok {
+			return s
+		}
+	}
+	return t.lastByKey[key]
+}
+
+// findForFate attributes a channel fate, which arrives at a delivery
+// instant possibly long after the span closed.
+func (t *Tracer) findForFate(truth *frame.Truth, sender radio.NodeID, key uint64) *Span {
+	if truth != nil {
+		k := txKey{truth.Node, truth.Seq}
+		if s, ok := t.openTruth[k]; ok {
+			return s
+		}
+		if s, ok := t.closedTruth[k]; ok {
+			return s
+		}
+	}
+	return t.bySenderKey[skey{sender, key}]
+}
+
+// recordFrag appends one transmitted fragment to its span.
+func (t *Tracer) recordFrag(s *Span, intro bool, offset, n int, now time.Duration) {
+	s.FragsSent++
+	s.fragAt[offset] = len(s.Frags)
+	s.Frags = append(s.Frags, Frag{Intro: intro, Offset: offset, Len: n, At: now})
+}
+
+// ---- results ----
+
+// Spans returns the recorded spans in creation order. The slice and the
+// spans are live until the run ends; callers must not mutate them.
+func (t *Tracer) Spans() []*Span { return t.spans }
+
+// WidthChanges returns the recorded width-controller moves.
+func (t *Tracer) WidthChanges() []WidthChange { return t.widths }
+
+// Report returns a copy of the lifecycle counts accumulated so far.
+func (t *Tracer) Report() Report { return t.rep }
