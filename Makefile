@@ -22,9 +22,9 @@ FUZZ_TARGETS := \
 COVER_PKGS := internal/density internal/adapt internal/oracle
 COVER_FLOOR := 80
 
-.PHONY: check vet build test race fuzz benchsmoke benchcompare bench profile cover trace-demo
+.PHONY: check vet build test race fuzz benchsmoke benchcompare bench profile cover trace-demo chaossmoke
 
-check: vet build race fuzz benchcompare cover trace-demo
+check: vet build race fuzz benchcompare cover trace-demo chaossmoke
 
 vet:
 	$(GO) vet ./...
@@ -32,11 +32,13 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order within each package, so
+# accidental inter-test state dependencies fail in CI instead of lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -shuffle=on -race ./...
 
 fuzz:
 	@for entry in $(FUZZ_TARGETS); do \
@@ -47,26 +49,41 @@ fuzz:
 
 # benchsmoke runs every benchmark once (so API drift breaks the build, not
 # the next measurement), then re-runs the gated families — wire codec,
-# medium delivery, engine event loop — at a real iteration count. Both
-# passes stream through one benchjson invocation, which dedupes by highest
-# iteration count and leaves BENCH_$(PR).json behind: smoke coverage for
-# everything, trustworthy ns/op for the benchmarks the perf gate reads.
-PR ?= 7
+# medium delivery, engine event loop — at a real iteration count with five
+# repeats. Both passes stream through one benchjson invocation, which keeps
+# the highest-iteration, fastest-repeat measurement per benchmark (minimum
+# over repeats: shared-host steal time only ever inflates a timing) and
+# leaves BENCH_$(PR).json behind: smoke coverage for everything,
+# trustworthy ns/op for the benchmarks the perf gate reads.
+PR ?= 8
 GATED_BENCH := ^Benchmark(AFFEncodeData|AFFDecodeData|Medium|ScheduleRun)
 GATED_PKGS := ./internal/frame/ ./internal/radio/ ./internal/sim/
 benchsmoke:
 	( $(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... && \
-	  $(GO) test -run '^$$' -bench '$(GATED_BENCH)' -benchtime 100x -benchmem $(GATED_PKGS) ) \
+	  $(GO) test -run '^$$' -bench '$(GATED_BENCH)' -benchtime 1000x -count 5 -benchmem $(GATED_PKGS) ) \
 	| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
 
 # benchcompare gates the fresh snapshot against the newest committed one
 # from an earlier PR: >20% growth in ns/op or allocs/op on a gated
 # benchmark (or a gated benchmark vanishing) fails the build. ns/op is
 # only trusted when both sides ran >= 10 iterations; allocs/op always is.
-benchcompare: benchsmoke
+# Timing on a shared host rides minutes-long steal-time waves that even
+# best-of-5 can't always dodge, so a failed comparison re-measures up to
+# twice more before failing for real. Retries can only rescue timing
+# noise: an allocs/op regression is deterministic and fails every
+# attempt, and a real ns/op regression survives quiet windows too.
+benchcompare:
 	@prev=$$(ls BENCH_*.json 2>/dev/null | grep -v "^BENCH_$(PR).json$$" | sort -t_ -k2 -n | tail -1); \
-	if [ -z "$$prev" ]; then echo "benchcompare: no earlier snapshot, skipping"; exit 0; fi; \
-	$(GO) run ./cmd/benchjson -compare $$prev BENCH_$(PR).json
+	if [ -z "$$prev" ]; then \
+	  $(MAKE) benchsmoke; \
+	  echo "benchcompare: no earlier snapshot, skipping"; exit 0; \
+	fi; \
+	for attempt in 1 2 3; do \
+	  $(MAKE) benchsmoke || exit 1; \
+	  if $(GO) run ./cmd/benchjson -compare $$prev BENCH_$(PR).json; then exit 0; fi; \
+	  echo "benchcompare: attempt $$attempt over threshold; re-measuring"; \
+	done; \
+	echo "benchcompare: regression persisted across 3 measurement attempts"; exit 1
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -105,3 +122,11 @@ trace-demo:
 		-policies fixed,adaptive -trials 2 -duration 10s \
 		-span-out profiles/spans.jsonl > profiles/dynamics.txt
 	$(GO) run ./cmd/retri-trace -in profiles/spans.jsonl -failed
+
+# chaossmoke is the short-horizon compound-fault gate: every profile x
+# policy x mode cell with soak checkpoints on, so a regression in the
+# degradation paths or an oracle violation under compound faults fails CI
+# in seconds rather than surfacing in a long soak run.
+chaossmoke:
+	$(GO) run ./cmd/retri-experiments -figure chaos -trials 2 -duration 15s -soak 5s > /dev/null
+	@echo "chaossmoke: all chaos cells ran with soak audits"

@@ -15,8 +15,10 @@
 // any custom b.ReportMetric units), and a derived ops_per_sec rate. When
 // the stream reports the same benchmark more than once — the smoke stage
 // runs everything once at 1x, then re-runs the gated families at a real
-// iteration count — the record with the most iterations wins, so the
-// snapshot carries the best measurement available.
+// iteration count with -count repeats — the record with the most
+// iterations wins, and among equal-iteration repeats the lowest ns/op
+// wins: on a shared machine timing noise is one-sided (steal time only
+// slows a run down), so the minimum over repeats is the honest estimate.
 //
 // With -compare, benchjson is a regression gate instead of a parser:
 //
@@ -132,7 +134,7 @@ func runParse(stdin io.Reader, stdout io.Writer, pr int, out string) error {
 			}
 			key := b.Package + " " + b.Name
 			if i, dup := seen[key]; dup {
-				if b.Iterations > snap.Benchmarks[i].Iterations {
+				if better(b, snap.Benchmarks[i]) {
 					snap.Benchmarks[i] = b
 				}
 				continue
@@ -150,6 +152,19 @@ func runParse(stdin io.Reader, stdout io.Writer, pr int, out string) error {
 		return err
 	}
 	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+// better reports whether measurement b should replace measurement cur for
+// the same benchmark: more iterations always wins; at equal iterations the
+// lower ns/op wins, because steal-time noise on a shared machine only ever
+// inflates a timing, never deflates it.
+func better(b, cur Benchmark) bool {
+	if b.Iterations != cur.Iterations {
+		return b.Iterations > cur.Iterations
+	}
+	bn, bOK := b.Metrics["ns/op"]
+	cn, cOK := cur.Metrics["ns/op"]
+	return bOK && cOK && bn < cn
 }
 
 // parseBenchLine parses one `BenchmarkName-8  N  V unit  V unit ...` line.

@@ -102,6 +102,39 @@ func TestParseDedupesKeepingMostIterations(t *testing.T) {
 	}
 }
 
+func TestParseDedupesKeepingMinTimeAcrossRepeats(t *testing.T) {
+	// With -count repeats at the same iteration count, the minimum ns/op
+	// wins: steal time on a shared box only ever slows a repeat down.
+	in := strings.Join([]string{
+		"pkg: retri/internal/frame",
+		"BenchmarkAFFEncodeData-8 \t 1000 \t 900 ns/op \t 40 B/op \t 2 allocs/op",
+		"BenchmarkAFFEncodeData-8 \t 1000 \t 610 ns/op \t 40 B/op \t 2 allocs/op",
+		"BenchmarkAFFEncodeData-8 \t 1000 \t 755 ns/op \t 40 B/op \t 2 allocs/op",
+	}, "\n")
+	out := filepath.Join(t.TempDir(), "b.json")
+	if err := run([]string{"-pr", "8", "-out", out}, strings.NewReader(in), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1 after dedupe", len(snap.Benchmarks))
+	}
+	if ns := snap.Benchmarks[0].Metrics["ns/op"]; ns != 610 {
+		t.Errorf("kept ns/op = %v, want the 610 minimum", ns)
+	}
+	// A higher-iteration run still beats a faster low-iteration one.
+	if !better(bench("p", "X", 1000, 900, 2), bench("p", "X", 100, 10, 2)) {
+		t.Error("iteration count no longer dominates the dedupe")
+	}
+}
+
 func TestCompareWithinThresholdPasses(t *testing.T) {
 	old := snapFile(t, "old.json", Snapshot{PR: 6, Benchmarks: []Benchmark{
 		bench("p/frame", "AFFEncodeData", 100, 1000, 2),

@@ -13,6 +13,8 @@
 //	retri-experiments -figure recovery -fault-script sched.txt
 //	retri-experiments -figure dynamics -scenarios waypoint,churn
 //	retri-experiments -figure dynamics -mobility-script moves.txt
+//	retri-experiments -figure chaos -chaos-profiles storm,cascade
+//	retri-experiments -figure chaos -soak 10s -duration 10m
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"retri/internal/chaos"
 	"retri/internal/energy"
 	"retri/internal/experiment"
 	"retri/internal/faults"
@@ -58,6 +61,9 @@ type options struct {
 	mobilityScript string
 	// Strategy list for -figure strategies.
 	strategies string
+	// Chaos knobs for -figure chaos.
+	chaosProfiles string
+	soak          time.Duration
 	// Observability outputs. All of them write to side files or stderr;
 	// stdout is byte-identical with or without them.
 	traceOut    string
@@ -75,7 +81,7 @@ type options struct {
 func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("retri-experiments", flag.ContinueOnError)
 	var o options
-	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling, strategies, recovery, dynamics or all")
+	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling, strategies, recovery, dynamics, chaos or all")
 	fs.StringVar(&o.ablation, "ablation", "", "ablation to run: window, hidden, mac, lengths, flood, estimator, lifetime, churn or all")
 	fs.IntVar(&o.trials, "trials", 10, "trials per configuration (figure 4 and ablations)")
 	fs.DurationVar(&o.duration, "duration", 2*time.Minute, "simulated time per trial")
@@ -100,6 +106,8 @@ func parseArgs(args []string) (options, error) {
 	fs.BoolVar(&o.oracle, "oracle", false, "attach the omniscient conformance oracle to -figure dynamics and recovery trials (strategies always audits)")
 	fs.StringVar(&o.mobilityScript, "mobility-script", "", "mobility schedule file for -figure dynamics (adds the script scenario)")
 	fs.StringVar(&o.strategies, "strategies", "all", "identifier strategies for -figure strategies: comma list of uniform, listening, sequential, permutation, perdest, timeprefix; or all")
+	fs.StringVar(&o.chaosProfiles, "chaos-profiles", "all", "compound-fault profiles for -figure chaos: comma list of calm, storm, cascade; or all")
+	fs.DurationVar(&o.soak, "soak", 0, "soak mode for -figure chaos: audit oracle invariants at this interval inside every trial (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -116,6 +124,12 @@ func parseArgs(args []string) (options, error) {
 	}
 	if _, err := experiment.ParseStrategies(o.strategies); err != nil {
 		return options{}, err
+	}
+	if _, err := chaos.ParseProfiles(o.chaosProfiles); err != nil {
+		return options{}, err
+	}
+	if o.soak < 0 {
+		return options{}, fmt.Errorf("invalid -soak %v: must be non-negative", o.soak)
 	}
 	if o.arqRetries < 0 {
 		return options{}, fmt.Errorf("invalid -arq-retries %d: must be non-negative", o.arqRetries)
@@ -263,6 +277,44 @@ func run(args []string) error {
 				return err
 			}
 			emit("Dynamics: identifier sizing under mobility and churn", useCSV, res)
+			return nil
+		},
+		"chaos": func() error {
+			cfg := experiment.DefaultChaosConfig()
+			cfg.Seed = o.seed
+			cfg.Trials = o.trials
+			cfg.Duration = o.duration
+			cfg.Parallelism = o.parallel
+			cfg.Obs = col.obs()
+			cfg.Hooks = col.hooks()
+			cfg.ARQ.RetryBudget = o.arqRetries
+			cfg.ARQ.RTO = o.arqRTO
+			cfg.ARQ.MaxRTO = o.arqMaxRTO
+			profiles, err := chaos.ParseProfiles(o.chaosProfiles)
+			if err != nil {
+				return err
+			}
+			cfg.Profiles = profiles
+			cfg.CheckpointEvery = o.soak
+			res, err := experiment.Chaos(cfg)
+			if err != nil {
+				return err
+			}
+			emit("Chaos: compound faults and graceful degradation", useCSV, res)
+			// The always-on audit is a gate, not a column: any safety
+			// violation in any cell fails the run so CI catches it.
+			for _, r := range res.Rows {
+				if r.Oracle == nil {
+					return fmt.Errorf("chaos %s: no oracle report attached", r.Label())
+				}
+				if err := r.Oracle.Check(); err != nil {
+					return fmt.Errorf("chaos %s: %w", r.Label(), err)
+				}
+				if r.SoakViolations > 0 {
+					return fmt.Errorf("chaos %s: %d soak checkpoint violations (first: %s)",
+						r.Label(), r.SoakViolations, r.FirstViolation)
+				}
+			}
 			return nil
 		},
 		"strategies": func() error {
@@ -429,9 +481,9 @@ func run(args []string) error {
 		return invoke(sel)
 	}
 
-	// "all" keeps its historical set; the recovery and dynamics figures
-	// are harnesses beyond the paper's own plots, so they run only when
-	// selected explicitly and existing outputs stay byte-identical.
+	// "all" keeps its historical set; the recovery, dynamics and chaos
+	// figures are harnesses beyond the paper's own plots, so they run only
+	// when selected explicitly and existing outputs stay byte-identical.
 	runErr := runSet(o.figure, "figure-", figures, []string{"1", "2", "3", "4", "scaling"})
 	if runErr == nil {
 		runErr = runSet(o.ablation, "ablation-", ablations, []string{"window", "hidden", "mac", "lengths", "flood", "estimator", "lifetime", "churn"})

@@ -8,6 +8,12 @@
 //	retri-trace -in spans.jsonl -tx 4:11      # causal chains for width 4, id 0xb
 //	retri-trace -in spans.jsonl -tx 11        # any width with id 0xb
 //	retri-trace -in spans.jsonl -failed       # what killed the non-delivered spans
+//
+// The -failed root causes include the graceful-degradation outcomes:
+// "reassembly-evicted" (a receiver's MaxPartials cap dropped the partial
+// state) and "retry-budget-exhausted" (the ARQ endpoint gave up the chain,
+// possibly early under loss-aware budget shedding).
+//
 //	retri-trace -in spans.jsonl -retries      # retry chain-length histogram
 //	retri-trace -in spans.jsonl -timeline     # per-second CSV time series
 package main

@@ -148,6 +148,44 @@ func TestFailedRootCauseSummary(t *testing.T) {
 	}
 }
 
+// TestFailedDegradationBuckets pins the graceful-degradation root causes:
+// spans killed by a receiver's MaxPartials cap or by loss-aware retry
+// shedding must surface as their own -failed buckets, not vanish into
+// "expired" or "abandoned".
+func TestFailedDegradationBuckets(t *testing.T) {
+	sec := int64(time.Second)
+	in := writeLedger(t, []span.Record{
+		{
+			Type: "span", Trial: "cell#0", Span: 0, Sender: 1,
+			Key: 0x5, Width: 4, ID: 0x5,
+			ARQSeq: -1, Retry: -1, Parent: -1,
+			QueuedNS: 1 * sec, OpenedNS: 1 * sec, ClosedNS: 2 * sec,
+			TotalLen: 8, State: "closed", Outcome: "reassembly-evicted", Evicted: 1,
+			FragsSent: 1,
+			Frags:     []span.Frag{{Intro: true, Len: 8, At: time.Second, Delivered: 1}},
+		},
+		{
+			Type: "span", Trial: "cell#0", Span: 1, Sender: 2,
+			Key: 0x9, Width: 4, ID: 0x9,
+			ARQSeq: 3, Retry: 2, Parent: 0,
+			QueuedNS: 2 * sec, OpenedNS: 2 * sec, ClosedNS: 3 * sec,
+			TotalLen: 8, State: "abandoned", Outcome: "retry-budget-exhausted", BudgetExhausted: true,
+			FragsSent: 1,
+			Frags:     []span.Frag{{Intro: true, Len: 8, At: 2 * time.Second, NotHeard: 1}},
+		},
+	}, nil)
+	out := runCLI(t, "-in", in, "-failed")
+	for _, want := range []string{
+		"2 spans, 2 failed (100.0%)",
+		"reassembly-evicted",
+		"retry-budget-exhausted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-failed output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRetriesHistogram(t *testing.T) {
 	in := testLedger(t)
 	out := runCLI(t, "-in", in, "-retries")

@@ -41,6 +41,17 @@ type Config struct {
 	// records width-change instants through it — and must not call back
 	// into the controller.
 	OnChange func(oldBits, newBits int)
+	// Overload is the density estimate at or above which the controller
+	// declares the estimator saturated and clamps straight to Max instead
+	// of stepping one bit at a time: under compound faults the estimate
+	// can swing across its whole range faster than one-bit tracking can
+	// follow, and oscillating mid-range widths collide more than a pinned
+	// maximum. The clamp releases with hysteresis once the estimate falls
+	// below OverloadExit. Zero disables (the default).
+	Overload float64
+	// OverloadExit is the estimate below which an overloaded controller
+	// resumes normal tracking (default 0.75 × Overload).
+	OverloadExit float64
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Initial == 0 {
 		c.Initial = c.Max
+	}
+	if c.Overload > 0 && c.OverloadExit == 0 {
+		c.OverloadExit = 0.75 * c.Overload
 	}
 	return c
 }
@@ -66,6 +80,12 @@ func (c Config) validate() error {
 	if c.Initial < c.Min || c.Initial > c.Max {
 		return fmt.Errorf("adapt: initial width %d outside [%d, %d]", c.Initial, c.Min, c.Max)
 	}
+	if c.Overload < 0 {
+		return fmt.Errorf("adapt: negative overload threshold %v", c.Overload)
+	}
+	if c.Overload > 0 && (c.OverloadExit <= 0 || c.OverloadExit > c.Overload) {
+		return fmt.Errorf("adapt: overload exit %v outside (0, %v]", c.OverloadExit, c.Overload)
+	}
 	return nil
 }
 
@@ -77,8 +97,11 @@ type Controller struct {
 	est density.TEstimator
 	cur int
 
+	overloaded bool
+
 	decisions int64
 	moves     int64
+	overloads int64
 }
 
 // New returns a controller reading density from est.
@@ -107,22 +130,47 @@ func (c *Controller) Target() int {
 // target when the gap reaches the deadband, otherwise hold. One-bit steps
 // rate-limit the response so a transient density spike cannot slam the
 // width across its whole range within a single estimator excursion.
+// While the overload clamp is engaged the width pins to Max instead —
+// saturation is the one regime where a one-bit walk is the wrong shape.
 func (c *Controller) Bits() int {
 	c.decisions++
-	target := c.Target()
-	gap := target - c.cur
 	old := c.cur
-	if gap >= c.cfg.Deadband {
-		c.cur++
-		c.moves++
-	} else if -gap >= c.cfg.Deadband {
-		c.cur--
-		c.moves++
+	if c.updateOverload() {
+		c.cur = c.cfg.Max
+	} else {
+		gap := c.Target() - c.cur
+		if gap >= c.cfg.Deadband {
+			c.cur++
+		} else if -gap >= c.cfg.Deadband {
+			c.cur--
+		}
 	}
-	if c.cur != old && c.cfg.OnChange != nil {
-		c.cfg.OnChange(old, c.cur)
+	if c.cur != old {
+		c.moves++
+		if c.cfg.OnChange != nil {
+			c.cfg.OnChange(old, c.cur)
+		}
 	}
 	return c.cur
+}
+
+// updateOverload advances the saturation latch: engage at or above
+// Overload, release below OverloadExit (hysteresis so estimator noise
+// around the threshold cannot flap the clamp).
+func (c *Controller) updateOverload() bool {
+	if c.cfg.Overload <= 0 {
+		return false
+	}
+	est := c.est.Estimate()
+	if c.overloaded {
+		if est < c.cfg.OverloadExit {
+			c.overloaded = false
+		}
+	} else if est >= c.cfg.Overload {
+		c.overloaded = true
+		c.overloads++
+	}
+	return c.overloaded
 }
 
 // Current returns the width without deciding (instrumentation).
@@ -133,9 +181,19 @@ func (c *Controller) Current() int { return c.cur }
 func (c *Controller) Decisions() int64 { return c.decisions }
 func (c *Controller) Moves() int64     { return c.moves }
 
-// Reset returns the width to its initial value, modelling a node crash
-// wiping RAM state. Counters belong to the harness and survive.
-func (c *Controller) Reset() { c.cur = c.cfg.Initial }
+// Overloads reports how many times the saturation clamp engaged.
+func (c *Controller) Overloads() int64 { return c.overloads }
+
+// Overloaded reports whether the clamp is currently engaged.
+func (c *Controller) Overloaded() bool { return c.overloaded }
+
+// Reset returns the width to its initial value and releases the overload
+// latch, modelling a node crash wiping RAM state. Counters belong to the
+// harness and survive.
+func (c *Controller) Reset() {
+	c.cur = c.cfg.Initial
+	c.overloaded = false
+}
 
 // Fixed is the degenerate policy: a constant width. It exists so the
 // adaptive machinery (in-band width format, mixed-width reassembly) can be

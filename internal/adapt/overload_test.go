@@ -1,0 +1,107 @@
+package adapt
+
+import "testing"
+
+func TestOverloadClampsToMax(t *testing.T) {
+	est := &stubEstimator{t: 2}
+	var changes [][2]int
+	c := newController(t, Config{
+		DataBits: 640, Min: 1, Max: 16, Overload: 100,
+		OnChange: func(o, n int) { changes = append(changes, [2]int{o, n}) },
+	}, est)
+
+	// Settle well below Max first.
+	for i := 0; i < 32; i++ {
+		c.Bits()
+	}
+	settled := c.Current()
+	if settled >= 16 {
+		t.Fatalf("controller settled at %d, want below Max for a meaningful clamp", settled)
+	}
+
+	// Saturate: the very next decision pins to Max in one move, not a
+	// one-bit walk.
+	est.t = 150
+	if got := c.Bits(); got != 16 {
+		t.Fatalf("Bits() = %d under saturation, want immediate clamp to 16", got)
+	}
+	if c.Overloads() != 1 || !c.Overloaded() {
+		t.Errorf("Overloads/Overloaded = %d/%v, want 1/true", c.Overloads(), c.Overloaded())
+	}
+	last := changes[len(changes)-1]
+	if last != [2]int{settled, 16} {
+		t.Errorf("OnChange saw %v for the clamp, want [%d 16]", last, settled)
+	}
+
+	// Inside the hysteresis band (exit defaults to 0.75×100 = 75) the
+	// clamp holds even though the estimate dipped below the entry level.
+	est.t = 90
+	if got := c.Bits(); got != 16 || !c.Overloaded() {
+		t.Errorf("Bits() = %d, overloaded = %v inside hysteresis band, want 16/true", got, c.Overloaded())
+	}
+
+	// Below the exit the controller resumes one-bit tracking downward.
+	est.t = 2
+	if got := c.Bits(); got != 15 || c.Overloaded() {
+		t.Errorf("Bits() = %d, overloaded = %v after release, want 15/false", got, c.Overloaded())
+	}
+	if c.Overloads() != 1 {
+		t.Errorf("Overloads = %d after release, want still 1", c.Overloads())
+	}
+
+	// Re-entry counts again.
+	est.t = 200
+	c.Bits()
+	if c.Overloads() != 2 {
+		t.Errorf("Overloads = %d after re-entry, want 2", c.Overloads())
+	}
+}
+
+func TestOverloadZeroDisables(t *testing.T) {
+	// With the clamp disabled, a saturated estimator exhibits exactly the
+	// pathology Overload exists to fix: Equation 4's efficiency is near
+	// zero at every width once T dwarfs the keyspace, the argmax collapses
+	// to a tiny width, and the controller walks DOWN into maximum
+	// collision pressure. This pins the (mis)behavior so the clamp's
+	// absence stays byte-identical for existing configurations.
+	est := &stubEstimator{t: 1e9}
+	c := newController(t, Config{DataBits: 640, Min: 1, Max: 16, Initial: 4}, est)
+	if got := c.Bits(); got != 3 {
+		t.Errorf("Bits() = %d with Overload disabled, want the pathological step down to 3", got)
+	}
+	if c.Overloads() != 0 || c.Overloaded() {
+		t.Errorf("overload machinery ran while disabled: %d/%v", c.Overloads(), c.Overloaded())
+	}
+}
+
+func TestOverloadResetReleasesLatch(t *testing.T) {
+	est := &stubEstimator{t: 500}
+	c := newController(t, Config{DataBits: 640, Min: 1, Max: 16, Overload: 100}, est)
+	c.Bits()
+	if !c.Overloaded() {
+		t.Fatal("clamp never engaged")
+	}
+	c.Reset()
+	if c.Overloaded() {
+		t.Error("Reset kept the overload latch — crash must wipe RAM state")
+	}
+	if c.Current() != 16 {
+		t.Errorf("Current = %d after Reset, want Initial (Max) 16", c.Current())
+	}
+	if c.Overloads() != 1 {
+		t.Errorf("Overloads = %d after Reset, want counter to survive", c.Overloads())
+	}
+}
+
+func TestOverloadValidation(t *testing.T) {
+	est := &stubEstimator{t: 1}
+	if _, err := New(Config{DataBits: 640, Min: 1, Max: 16, Overload: -1}, est); err == nil {
+		t.Error("negative Overload accepted")
+	}
+	if _, err := New(Config{DataBits: 640, Min: 1, Max: 16, Overload: 50, OverloadExit: 60}, est); err == nil {
+		t.Error("OverloadExit above Overload accepted")
+	}
+	if _, err := New(Config{DataBits: 640, Min: 1, Max: 16, Overload: 50}, est); err != nil {
+		t.Errorf("defaulted OverloadExit rejected: %v", err)
+	}
+}

@@ -51,6 +51,13 @@ type Config struct {
 	// 30s). Identifier reuse by later transactions depends on stale state
 	// not lingering.
 	ReassemblyTimeout time.Duration
+	// MaxPartials caps the number of concurrently-held partial packets —
+	// the reassembler's memory budget under fragment storms. When a
+	// fragment for a new identifier would exceed the cap, the partial
+	// with the oldest activity is deterministically evicted first and
+	// counted (Stats.CapEvictions). Zero or negative means unbounded,
+	// the historical behavior.
+	MaxPartials int
 	// AdaptiveWidth switches to the in-band-width wire format: every
 	// fragment spends 5 extra header bits announcing its identifier's
 	// width, letting each transaction pick any width up to Space.Bits()

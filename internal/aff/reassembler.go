@@ -23,6 +23,13 @@ type Stats struct {
 	Conflicts int64
 	// Timeouts counts partial packets evicted after inactivity.
 	Timeouts int64
+	// CapEvictions counts partial packets evicted to stay under the
+	// MaxPartials memory cap — graceful degradation, not idle timeout,
+	// so it is distinct from Timeouts.
+	CapEvictions int64
+	// PendingPeak is the high-water mark of concurrently-held partial
+	// packets, the peak partial-state occupancy the chaos sweep reports.
+	PendingPeak int64
 	// FragmentsIn counts well-formed fragments ingested.
 	FragmentsIn int64
 	// Malformed counts undecodable frames.
@@ -94,6 +101,13 @@ type Reassembler struct {
 	// because its checksum failed — the never-misdeliver rejection the
 	// span tracer records as a transaction outcome.
 	onBadSum func(id uint64)
+
+	// onCapEvict, when set, is told each identifier evicted by the
+	// MaxPartials cap, immediately before onExpire fires for the same
+	// identifier. The node layer uses the pairing to distinguish
+	// memory-pressure eviction from idle timeout in span outcomes while
+	// every onExpire consumer still hears about the abandoned state.
+	onCapEvict func(id uint64)
 }
 
 // pending accumulates one identifier's fragments.
@@ -174,6 +188,11 @@ func (r *Reassembler) SetExpiryHandler(fn func(id uint64)) { r.onExpire = fn }
 // collision most often surfaces at a receiver.
 func (r *Reassembler) SetChecksumFailHandler(fn func(id uint64)) { r.onBadSum = fn }
 
+// SetCapEvictHandler installs a callback invoked with each identifier the
+// MaxPartials cap evicted, fired immediately before the onExpire handler
+// for the same identifier.
+func (r *Reassembler) SetCapEvictHandler(fn func(id uint64)) { r.onCapEvict = fn }
+
 // Ingest processes one received frame.
 func (r *Reassembler) Ingest(frameBytes []byte) {
 	r.expire()
@@ -213,8 +232,7 @@ func (r *Reassembler) key(decodedWidth int, id uint64) uint64 {
 func (r *Reassembler) ingestIntro(key uint64, in *frame.Intro) {
 	p, ok := r.pending[key]
 	if !ok {
-		p = &pending{}
-		r.pending[key] = p
+		p = r.newPending(key)
 	}
 	r.touch(key, p)
 	if p.haveIntro {
@@ -245,8 +263,7 @@ func (r *Reassembler) ingestIntro(key uint64, in *frame.Intro) {
 func (r *Reassembler) ingestData(key uint64, d *frame.Data) {
 	p, ok := r.pending[key]
 	if !ok {
-		p = &pending{}
-		r.pending[key] = p
+		p = r.newPending(key)
 	}
 	r.touch(key, p)
 	if !p.haveIntro {
@@ -326,12 +343,55 @@ func (r *Reassembler) conflict(id uint64) {
 	}
 }
 
+// newPending makes room under the MaxPartials cap if needed, then
+// registers fresh state for key and tracks the occupancy high-water mark.
+func (r *Reassembler) newPending(key uint64) *pending {
+	if r.cfg.MaxPartials > 0 && len(r.pending) >= r.cfg.MaxPartials {
+		r.evictOldest()
+	}
+	p := &pending{}
+	r.pending[key] = p
+	if n := int64(len(r.pending)); n > r.stats.PendingPeak {
+		r.stats.PendingPeak = n
+	}
+	return p
+}
+
+// evictOldest removes the partial packet with the oldest activity. The
+// expiry queue supplies the order: entries are sorted by activity time,
+// and the first entry whose pending state saw no later activity names
+// the coldest identifier — deterministic for a given ingest order, O(1)
+// amortized like expire. The victim's onCapEvict fires first, then
+// onExpire, so downstream "transaction abandoned" consumers (span
+// tracer, turnover estimator) hear cap evictions exactly like timeouts.
+func (r *Reassembler) evictOldest() {
+	for r.expqHead < len(r.expq) {
+		e := r.expq[r.expqHead]
+		r.expqHead++
+		p, ok := r.pending[e.id]
+		if !ok || p.lastActivity != e.at {
+			continue
+		}
+		delete(r.pending, e.id)
+		r.stats.CapEvictions++
+		if r.onCapEvict != nil {
+			r.onCapEvict(e.id)
+		}
+		if r.onExpire != nil {
+			r.onExpire(e.id)
+		}
+		break
+	}
+	r.compactExpq()
+}
+
 // touch records activity for an identifier: it stamps the pending state
 // and appends an expiry-queue entry. The queue stays sorted because the
-// virtual clock is monotone.
+// virtual clock is monotone. The cap path needs the queue even with
+// timeouts disabled — it is the eviction order.
 func (r *Reassembler) touch(id uint64, p *pending) {
 	p.lastActivity = r.now()
-	if r.cfg.ReassemblyTimeout > 0 {
+	if r.cfg.ReassemblyTimeout > 0 || r.cfg.MaxPartials > 0 {
 		r.expq = append(r.expq, expEntry{id: id, at: p.lastActivity})
 	}
 }

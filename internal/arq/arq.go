@@ -70,6 +70,29 @@ type Config struct {
 	// and NACK observed sequence gaps. Senders sharing a broadcast domain
 	// must leave it off or they would acknowledge each other's traffic.
 	Ack bool
+
+	// LossAware enables graceful degradation under observed loss: the
+	// endpoint keeps an EWMA of attempt outcomes (timeouts and NACKs are
+	// losses, ACKs successes) and, while the estimate exceeds
+	// LossThreshold, widens every armed retry timeout by OverloadBackoff
+	// and sheds the retry budget to ShedBudget. Fresh-id-per-retry means
+	// every retransmission is new keyspace pressure; backing off harder
+	// and giving up sooner when the channel is drowning keeps retries
+	// from amplifying congestion into collapse. Off (the default), none
+	// of the machinery runs and behavior is byte-identical to before.
+	LossAware bool
+	// LossAlpha is the EWMA weight of each new outcome sample
+	// (default 0.2).
+	LossAlpha float64
+	// LossThreshold is the loss-rate estimate above which the endpoint
+	// treats the channel as overloaded (default 0.5).
+	LossThreshold float64
+	// ShedBudget is the effective retry budget while overloaded
+	// (default RetryBudget/2, minimum 1).
+	ShedBudget int
+	// OverloadBackoff additionally multiplies each armed timeout while
+	// overloaded (default 2).
+	OverloadBackoff float64
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +111,23 @@ func (c Config) withDefaults() Config {
 	if c.RetryBudget == 0 {
 		c.RetryBudget = 8
 	}
+	if c.LossAware {
+		if c.LossAlpha == 0 {
+			c.LossAlpha = 0.2
+		}
+		if c.LossThreshold == 0 {
+			c.LossThreshold = 0.5
+		}
+		if c.ShedBudget == 0 {
+			c.ShedBudget = c.RetryBudget / 2
+			if c.ShedBudget < 1 {
+				c.ShedBudget = 1
+			}
+		}
+		if c.OverloadBackoff == 0 {
+			c.OverloadBackoff = 2
+		}
+	}
 	return c
 }
 
@@ -105,6 +145,20 @@ func (c Config) Validate() error {
 	}
 	if c.RetryBudget < 0 {
 		return fmt.Errorf("arq: negative retry budget %d", c.RetryBudget)
+	}
+	if c.LossAware {
+		if c.LossAlpha <= 0 || c.LossAlpha > 1 {
+			return fmt.Errorf("arq: loss EWMA weight %v out of (0, 1]", c.LossAlpha)
+		}
+		if c.LossThreshold <= 0 || c.LossThreshold >= 1 {
+			return fmt.Errorf("arq: loss threshold %v out of (0, 1)", c.LossThreshold)
+		}
+		if c.ShedBudget < 0 || c.ShedBudget > c.RetryBudget {
+			return fmt.Errorf("arq: shed budget %d out of [0, %d]", c.ShedBudget, c.RetryBudget)
+		}
+		if c.OverloadBackoff < 1 {
+			return fmt.Errorf("arq: overload backoff %v would shrink timeouts", c.OverloadBackoff)
+		}
 	}
 	return nil
 }
@@ -139,6 +193,10 @@ type Counters struct {
 	SendErrors int64
 	// Malformed counts delivered packets too short to carry the header.
 	Malformed int64
+	// BudgetShed counts packets abandoned before the static RetryBudget
+	// because loss-aware shedding cut the budget — the retry-storm
+	// suppression tally.
+	BudgetShed int64
 }
 
 // Add folds o into c field by field, for aggregating endpoints.
@@ -155,6 +213,7 @@ func (c *Counters) Add(o Counters) {
 	c.RepeatedIDs += o.RepeatedIDs
 	c.SendErrors += o.SendErrors
 	c.Malformed += o.Malformed
+	c.BudgetShed += o.BudgetShed
 }
 
 // freshSender is the optional transport capability ARQ exploits: resend
@@ -180,6 +239,15 @@ type DeliverFunc func(token, seq uint32, payload []byte)
 // passive measurement taps.
 type AttemptObserver interface {
 	ARQAttempt(sender radio.NodeID, seq uint32, attempt int, hasPrev bool, prevKey, newKey uint64)
+}
+
+// AbandonObserver is the optional extension of AttemptObserver fired
+// when an outstanding packet's retry chain is given up — budget
+// exhausted, or relinquished early under loss-aware shedding. attempts
+// is the retransmission count at abandonment; lastKey is the final
+// attempt's identifier key when hasKey is set. span.Tracer satisfies it.
+type AbandonObserver interface {
+	ARQAbandon(sender radio.NodeID, seq uint32, attempts int, hasKey bool, lastKey uint64)
 }
 
 // txState is one outstanding (unacknowledged) packet.
@@ -215,6 +283,10 @@ type Endpoint struct {
 	deliver DeliverFunc
 	attObs  AttemptObserver
 	ctr     Counters
+
+	// lossEWMA is the loss-aware path's running loss-rate estimate,
+	// only maintained when cfg.LossAware.
+	lossEWMA float64
 }
 
 // NewEndpoint wires an endpoint over d, identified by token (a per-sender
@@ -318,9 +390,18 @@ func (e *Endpoint) transmit(st *txState) {
 	st.lastID, st.haveID = id, true
 }
 
-// arm schedules st's next timeout with the current RTO plus jitter.
+// arm schedules st's next timeout with the current RTO plus jitter,
+// widened by the overload factor while the loss-aware path judges the
+// channel saturated (wider gaps shed instantaneous retry pressure even
+// before the budget is cut).
 func (e *Endpoint) arm(st *txState) {
 	d := st.rto
+	if e.overloaded() {
+		d = time.Duration(float64(d) * e.cfg.OverloadBackoff)
+		if d > e.cfg.MaxRTO {
+			d = e.cfg.MaxRTO
+		}
+	}
 	if e.cfg.Jitter > 0 {
 		spread := 1 + e.cfg.Jitter*(2*e.rng.Float64()-1)
 		d = time.Duration(float64(d) * spread)
@@ -328,14 +409,59 @@ func (e *Endpoint) arm(st *txState) {
 	st.timer = e.eng.Schedule(d, func() { e.onTimeout(st) })
 }
 
+// observeLoss folds one attempt outcome into the loss EWMA.
+func (e *Endpoint) observeLoss(lost bool) {
+	if !e.cfg.LossAware {
+		return
+	}
+	sample := 0.0
+	if lost {
+		sample = 1
+	}
+	e.lossEWMA += e.cfg.LossAlpha * (sample - e.lossEWMA)
+}
+
+// overloaded reports whether loss-aware degradation is active.
+func (e *Endpoint) overloaded() bool {
+	return e.cfg.LossAware && e.lossEWMA > e.cfg.LossThreshold
+}
+
+// LossEstimate returns the loss-aware EWMA (0 when disabled), for
+// instrumentation.
+func (e *Endpoint) LossEstimate() float64 { return e.lossEWMA }
+
+// budget is the effective retry budget: the configured one, cut to
+// ShedBudget while overloaded.
+func (e *Endpoint) budget() int {
+	if e.overloaded() && e.cfg.ShedBudget < e.cfg.RetryBudget {
+		return e.cfg.ShedBudget
+	}
+	return e.cfg.RetryBudget
+}
+
+// abandonTx drops an outstanding packet, counting early (shed) abandons
+// separately and notifying the abandon observer.
+func (e *Endpoint) abandonTx(st *txState) {
+	delete(e.out, st.seq)
+	e.ctr.Abandoned++
+	if st.attempts < e.cfg.RetryBudget {
+		e.ctr.BudgetShed++
+	}
+	if e.attObs != nil {
+		if ab, ok := e.attObs.(AbandonObserver); ok {
+			ab.ARQAbandon(e.drv.Radio().ID(), st.seq, st.attempts, st.haveID, st.lastID)
+		}
+	}
+}
+
 // onTimeout retries or abandons an outstanding packet.
 func (e *Endpoint) onTimeout(st *txState) {
 	if e.out[st.seq] != st {
 		return // acknowledged in the meantime
 	}
-	if st.attempts >= e.cfg.RetryBudget {
-		delete(e.out, st.seq)
-		e.ctr.Abandoned++
+	e.observeLoss(true)
+	if st.attempts >= e.budget() {
+		e.abandonTx(st)
 		return
 	}
 	st.attempts++
@@ -419,6 +545,7 @@ func (e *Endpoint) onAck(token, seq uint32) {
 	st.timer.Cancel()
 	delete(e.out, seq)
 	e.ctr.Acked++
+	e.observeLoss(false)
 }
 
 // onNack retransmits an outstanding packet immediately (sender role). The
@@ -432,7 +559,8 @@ func (e *Endpoint) onNack(token, seq uint32) {
 	if !ok {
 		return
 	}
-	if st.attempts >= e.cfg.RetryBudget {
+	e.observeLoss(true)
+	if st.attempts >= e.budget() {
 		return // let the timer abandon it
 	}
 	st.timer.Cancel()

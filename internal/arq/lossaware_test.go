@@ -1,0 +1,171 @@
+package arq
+
+import (
+	"testing"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/sim"
+)
+
+// attemptLog records every attempt and abandonment with its virtual time.
+type attemptLog struct {
+	eng *sim.Engine
+
+	attemptAt  []time.Duration
+	attemptKey []uint64
+
+	abandoned  bool
+	abandonAt  time.Duration
+	abandonTry int
+	abandonKey uint64
+	hasKey     bool
+}
+
+func (l *attemptLog) ARQAttempt(sender radio.NodeID, seq uint32, attempt int, hasPrev bool, prevKey, newKey uint64) {
+	l.attemptAt = append(l.attemptAt, l.eng.Now())
+	l.attemptKey = append(l.attemptKey, newKey)
+}
+
+func (l *attemptLog) ARQAbandon(sender radio.NodeID, seq uint32, attempts int, hasKey bool, lastKey uint64) {
+	l.abandoned = true
+	l.abandonAt = l.eng.Now()
+	l.abandonTry = attempts
+	l.abandonKey = lastKey
+	l.hasKey = hasKey
+}
+
+func TestLossAwareShedsBudget(t *testing.T) {
+	// Total loss: every attempt times out. The EWMA (alpha 0.2) crosses the
+	// 0.5 threshold after the fourth loss, the budget drops to ShedBudget,
+	// and the chain is abandoned with 3 retransmissions instead of 8.
+	p := radio.DefaultParams()
+	p.FrameLoss = 1
+	r := newRig(t, p)
+	sender := r.endpoint(t, r.affNode(t, 1, 16), 1, Config{
+		Reliable: true, RetryBudget: 8,
+		LossAware: true, ShedBudget: 2,
+	})
+	r.affNode(t, 2, 16) // a peer exists but hears nothing
+
+	log := &attemptLog{eng: r.eng}
+	sender.SetAttemptObserver(log)
+	if _, err := sender.Send(payload(0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+
+	c := sender.Counters()
+	if c.Abandoned != 1 {
+		t.Fatalf("Abandoned = %d, want 1", c.Abandoned)
+	}
+	if c.BudgetShed != 1 {
+		t.Errorf("BudgetShed = %d, want 1 (abandoned before the static budget)", c.BudgetShed)
+	}
+	if c.Retransmits >= 8 {
+		t.Errorf("Retransmits = %d, want fewer than the static budget of 8", c.Retransmits)
+	}
+	if est := sender.LossEstimate(); est <= 0.5 {
+		t.Errorf("LossEstimate = %v at abandonment, want > threshold 0.5", est)
+	}
+	if !log.abandoned {
+		t.Fatal("AbandonObserver never fired")
+	}
+	if int64(log.abandonTry) != c.Retransmits {
+		t.Errorf("abandon reported %d attempts, counters say %d", log.abandonTry, c.Retransmits)
+	}
+	if !log.hasKey || log.abandonKey != log.attemptKey[len(log.attemptKey)-1] {
+		t.Errorf("abandon key = (%v, %d), want the final attempt's key %d",
+			log.hasKey, log.abandonKey, log.attemptKey[len(log.attemptKey)-1])
+	}
+}
+
+func TestLossAwareWidensTimeout(t *testing.T) {
+	// Backoff pinned to 1 isolates the overload widening: once the first
+	// timeout saturates the EWMA (alpha 1), the next armed gap must be
+	// OverloadBackoff times the base RTO, within the ±10% jitter.
+	p := radio.DefaultParams()
+	p.FrameLoss = 1
+	r := newRig(t, p)
+	sender := r.endpoint(t, r.affNode(t, 1, 16), 1, Config{
+		Reliable: true, RTO: 100 * time.Millisecond, Backoff: 1, RetryBudget: 3,
+		LossAware: true, LossAlpha: 1, LossThreshold: 0.5, ShedBudget: 1, OverloadBackoff: 4,
+	})
+	log := &attemptLog{eng: r.eng}
+	sender.SetAttemptObserver(log)
+	if _, err := sender.Send(payload(0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+
+	if len(log.attemptAt) != 2 || !log.abandoned {
+		t.Fatalf("attempts = %d, abandoned = %v; want 2 attempts then abandonment",
+			len(log.attemptAt), log.abandoned)
+	}
+	firstGap := log.attemptAt[1] - log.attemptAt[0]
+	if firstGap < 90*time.Millisecond || firstGap > 110*time.Millisecond {
+		t.Errorf("pre-overload gap %v outside 100ms ± 10%% jitter", firstGap)
+	}
+	finalGap := log.abandonAt - log.attemptAt[1]
+	if finalGap < 360*time.Millisecond || finalGap > 440*time.Millisecond {
+		t.Errorf("overloaded gap %v outside 400ms ± 10%% jitter (4× widening)", finalGap)
+	}
+}
+
+func TestLossAwareRecoversAfterAcks(t *testing.T) {
+	// A lossless follow-up stream of acknowledged packets must pull the
+	// EWMA back down and disengage the shed budget.
+	p := radio.DefaultParams()
+	r := newRig(t, p)
+	sender := r.endpoint(t, r.affNode(t, 1, 16), 1, Config{
+		Reliable: true, LossAware: true, LossAlpha: 0.5,
+	})
+	sink := r.endpoint(t, r.affNode(t, 2, 16), 0, Config{Ack: true})
+	_ = sink
+
+	for i := 0; i < 6; i++ {
+		at := time.Duration(i) * 200 * time.Millisecond
+		i := i
+		r.eng.ScheduleAt(at, func() {
+			if _, err := sender.Send(payload(i, 12)); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		})
+	}
+	r.eng.Run()
+
+	c := sender.Counters()
+	if c.Acked != 6 || c.Abandoned != 0 {
+		t.Fatalf("Acked/Abandoned = %d/%d, want 6/0 on a clean channel", c.Acked, c.Abandoned)
+	}
+	if est := sender.LossEstimate(); est > 0.1 {
+		t.Errorf("LossEstimate = %v after six clean ACKs, want near zero", est)
+	}
+	if c.BudgetShed != 0 {
+		t.Errorf("BudgetShed = %d on a clean channel, want 0", c.BudgetShed)
+	}
+}
+
+func TestLossAwareConfigValidation(t *testing.T) {
+	base := Config{Reliable: true, LossAware: true}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"alpha above one", func(c *Config) { c.LossAlpha = 1.5 }},
+		{"alpha negative", func(c *Config) { c.LossAlpha = -0.1 }},
+		{"threshold at one", func(c *Config) { c.LossThreshold = 1 }},
+		{"shed beyond budget", func(c *Config) { c.RetryBudget = 4; c.ShedBudget = 5 }},
+		{"overload backoff shrinks", func(c *Config) { c.OverloadBackoff = 0.5 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}

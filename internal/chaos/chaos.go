@@ -1,0 +1,394 @@
+// Package chaos composes the repo's fault and mobility machinery into
+// named compound-fault profiles: deterministic, seeded schedules that
+// layer crash/restart plans, link flaps, Gilbert–Elliott burst loss and
+// bit corruption from internal/faults on top of waypoint mobility and
+// duty-cycle churn from internal/mobility. A profile is the unit the
+// chaos experiment sweeps — calm, storm and cascade are three validated
+// intensity levels — and everything an applied profile does is drawn
+// from labelled xrand streams, so a trial replays bit for bit from its
+// seed at any parallelism.
+//
+// A profile splits across the trial's construction order. Channel damage
+// (burst loss, corruption) must exist before radio.NewMedium is built, so
+// InstallChannel runs first and patches radio.Params; both models are
+// gated on the fault onset instant so the pre-onset channel is clean.
+// Everything else — mobility from t=0, scheduled fault plans and the
+// cascade mass-crash from onset — is wired by Apply once the nodes exist.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"retri/internal/faults"
+	"retri/internal/mobility"
+	"retri/internal/radio"
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+// Profile is one named compound-fault intensity level: which mobility,
+// channel-damage and crash processes run together, and when the faults
+// switch on. Mobility fields act from t=0 (the network is dynamic before
+// it is faulty); every fault field acts from the onset instant, so
+// time-to-recover is measured against a well-defined cliff edge.
+type Profile struct {
+	// Name labels the profile in sweeps, tables and CSV output.
+	Name string
+
+	// Waypoint moves every sender with the random-waypoint model.
+	Waypoint bool
+	// MinSpeed, MaxSpeed and Pause parameterize Waypoint.
+	MinSpeed, MaxSpeed float64
+	Pause              time.Duration
+
+	// Duty, when non-nil, duty-cycles every sender: returning nodes wake
+	// with wiped RAM state mid-chaos.
+	Duty *mobility.DutyCycle
+
+	// GE, when non-nil, runs a Gilbert–Elliott burst-loss channel on
+	// every link from onset onward.
+	GE *faults.GEParams
+	// CorruptProb, when positive, flips payload bits in delivered frames
+	// from onset onward; the checksum layer must catch the damage.
+	CorruptProb float64
+
+	// Crash, when non-nil, crashes and restarts every node (sink
+	// included) stochastically from onset onward.
+	Crash *faults.CrashPlan
+	// Flap, when non-nil, flaps every sender—sink edge from onset onward.
+	Flap *faults.FlapPlan
+
+	// Onset is the fraction of the horizon at which the faults begin,
+	// in [0, 1). The pre-onset window establishes the healthy baseline
+	// the recovery metrics are measured against.
+	Onset float64
+
+	// CascadeFraction, when positive, crashes the ceil(fraction × N)
+	// lowest-id senders simultaneously at onset — correlated mass
+	// failure, the one shape stochastic per-node plans never produce —
+	// with restarts staggered CascadeDowntime apart so the survivors
+	// absorb a wave of cold rejoins, not one thundering herd.
+	CascadeFraction float64
+	// CascadeDowntime spaces the staggered cascade restarts. Required
+	// positive when CascadeFraction is set.
+	CascadeDowntime time.Duration
+}
+
+// Calm is the control profile: light waypoint drift, no faults. It pins
+// the degradation machinery's zero-cost path — every graceful-degradation
+// counter must read zero here.
+func Calm() Profile {
+	return Profile{
+		Name:     "calm",
+		Waypoint: true,
+		MinSpeed: 0.5,
+		MaxSpeed: 1.5,
+		Pause:    4 * time.Second,
+		Onset:    0.25,
+	}
+}
+
+// Storm layers burst loss, link flaps and duty-cycle churn over faster
+// mobility: the sustained-degradation regime where loss-aware backoff
+// and the reassembly cap earn their keep.
+func Storm() Profile {
+	ge := faults.DefaultGEParams()
+	return Profile{
+		Name:     "storm",
+		Waypoint: true,
+		MinSpeed: 1,
+		MaxSpeed: 3,
+		Pause:    2 * time.Second,
+		Duty:     &mobility.DutyCycle{MeanUp: 20 * time.Second, MeanDown: 4 * time.Second},
+		GE:       &ge,
+		Flap:     &faults.FlapPlan{MeanUp: 8 * time.Second, MeanDown: time.Second},
+		Onset:    0.25,
+	}
+}
+
+// Cascade is storm plus stochastic crash/restart, bit corruption and a
+// correlated mass-crash of half the senders at onset — the compound
+// worst case the oracle must still certify clean.
+func Cascade() Profile {
+	p := Storm()
+	p.Name = "cascade"
+	p.Crash = &faults.CrashPlan{MTBF: 15 * time.Second, MeanDowntime: time.Second}
+	p.CorruptProb = 0.02
+	p.CascadeFraction = 0.5
+	p.CascadeDowntime = 500 * time.Millisecond
+	return p
+}
+
+// Profiles lists the named profiles in sweep order.
+func Profiles() []Profile {
+	return []Profile{Calm(), Storm(), Cascade()}
+}
+
+// ProfileFor resolves a profile by name.
+func ProfileFor(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("chaos: unknown profile %q (want calm, storm or cascade)", name)
+}
+
+// ParseProfiles parses a comma-separated profile list for the CLI.
+func ParseProfiles(s string) ([]Profile, error) {
+	if s == "all" {
+		return Profiles(), nil
+	}
+	var out []Profile
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		p, err := ProfileFor(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chaos: empty profile list %q", s)
+	}
+	return out, nil
+}
+
+// Validate rejects profiles the composer cannot schedule.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("chaos: profile needs a name")
+	}
+	if p.Waypoint && (!(p.MinSpeed > 0) || p.MaxSpeed < p.MinSpeed || p.Pause < 0) {
+		return fmt.Errorf("chaos: %s waypoint speeds [%v, %v] pause %v invalid", p.Name, p.MinSpeed, p.MaxSpeed, p.Pause)
+	}
+	if p.Duty != nil {
+		if err := p.Duty.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.GE != nil {
+		if err := p.GE.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.CorruptProb < 0 || p.CorruptProb >= 1 {
+		return fmt.Errorf("chaos: %s corruption probability %v out of [0, 1)", p.Name, p.CorruptProb)
+	}
+	if p.Crash != nil {
+		if err := p.Crash.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Flap != nil {
+		if err := p.Flap.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Onset < 0 || p.Onset >= 1 {
+		return fmt.Errorf("chaos: %s onset fraction %v out of [0, 1)", p.Name, p.Onset)
+	}
+	if p.CascadeFraction < 0 || p.CascadeFraction > 1 {
+		return fmt.Errorf("chaos: %s cascade fraction %v out of [0, 1]", p.Name, p.CascadeFraction)
+	}
+	if p.CascadeFraction > 0 && p.CascadeDowntime <= 0 {
+		return fmt.Errorf("chaos: %s cascade needs a positive stagger, got %v", p.Name, p.CascadeDowntime)
+	}
+	return nil
+}
+
+// Faulty reports whether the profile injects any fault at all (calm does
+// not; its onset is a label with nothing behind it).
+func (p Profile) Faulty() bool {
+	return p.GE != nil || p.CorruptProb > 0 || p.Crash != nil || p.Flap != nil || p.CascadeFraction > 0
+}
+
+// OnsetTime is the absolute fault-onset instant for a horizon.
+func (p Profile) OnsetTime(horizon time.Duration) time.Duration {
+	return time.Duration(p.Onset * float64(horizon))
+}
+
+// Channel holds the profile's channel-damage models for post-run
+// accounting; fields are nil when the profile does not use them.
+type Channel struct {
+	GE      *faults.GilbertElliott
+	Flipper *faults.BitFlipper
+}
+
+// Drops reports burst-model drops so far (0 without a GE channel).
+func (c Channel) Drops() int64 {
+	if c.GE == nil {
+		return 0
+	}
+	return c.GE.Drops()
+}
+
+// Flips reports corrupted deliveries so far (0 without a flipper).
+func (c Channel) Flips() int64 {
+	if c.Flipper == nil {
+		return 0
+	}
+	return c.Flipper.Flips()
+}
+
+// InstallChannel builds the profile's loss and corruption models into
+// params before the medium exists, gated so they act only from the fault
+// onset onward. The returned Channel exposes their damage counters.
+func (p Profile) InstallChannel(params *radio.Params, horizon time.Duration, now func() time.Duration, src *xrand.Source) Channel {
+	var ch Channel
+	onset := p.OnsetTime(horizon)
+	if p.GE != nil {
+		ch.GE = faults.NewGilbertElliott(*p.GE, src.Stream("chaos", "ge"))
+		params.Loss = gatedLoss{inner: ch.GE, onset: onset}
+	}
+	if p.CorruptProb > 0 {
+		ch.Flipper = faults.NewBitFlipper(p.CorruptProb, src.Stream("chaos", "corrupt"))
+		params.Corrupt = &gatedCorrupter{inner: ch.Flipper, onset: onset, now: now}
+	}
+	return ch
+}
+
+// gatedLoss passes frames untouched before onset and delegates after:
+// the burst channel's Markov chain only advances on post-onset frames,
+// so the healthy baseline window stays genuinely clean.
+type gatedLoss struct {
+	inner radio.LossModel
+	onset time.Duration
+}
+
+func (g gatedLoss) Drop(from, to radio.NodeID, at time.Duration) bool {
+	if at < g.onset {
+		return false
+	}
+	return g.inner.Drop(from, to, at)
+}
+
+// gatedCorrupter is the same gate for payload damage; the Corrupter
+// interface carries no clock, so the gate reads the engine's.
+type gatedCorrupter struct {
+	inner radio.Corrupter
+	onset time.Duration
+	now   func() time.Duration
+}
+
+func (g *gatedCorrupter) Corrupt(payload []byte) ([]byte, bool) {
+	if g.now() < g.onset {
+		return payload, false
+	}
+	return g.inner.Corrupt(payload)
+}
+
+// Deps wires a profile into one trial's already-constructed simulation.
+// Callers register every node with the Injector (and senders with the
+// Churner when the profile duty-cycles) before Apply; the composer only
+// starts processes, it never attaches nodes.
+type Deps struct {
+	// Engine is the trial's event loop.
+	Engine *sim.Engine
+	// Disk is the placement surface mobility moves nodes on. Required
+	// when the profile uses Waypoint.
+	Disk *radio.UnitDisk
+	// Injector executes crashes, restarts and link flaps. Required when
+	// the profile uses Crash, Flap or Cascade.
+	Injector *faults.Injector
+	// Churner executes duty-cycle sleep/wake. Required when the profile
+	// sets Duty.
+	Churner *mobility.Churner
+	// Area bounds waypoint movement.
+	Area mobility.Area
+	// Horizon is the trial length; the onset fraction resolves against
+	// it and every started plan is bounded by its executor's horizon.
+	Horizon time.Duration
+	// Sink is the node the Flap plan pairs each sender against.
+	Sink radio.NodeID
+	// Senders are the mobile workload nodes, lowest id first; the
+	// cascade crashes a prefix of this slice.
+	Senders []radio.NodeID
+	// Src roots the profile's randomness; every process draws from a
+	// labelled child stream.
+	Src *xrand.Source
+}
+
+// Apply starts the profile's processes: mobility and churn immediately,
+// fault plans and the cascade at the onset instant. It returns the onset
+// time so the harness can measure recovery against it. Plan starts
+// inside scheduled callbacks follow the faults.Script convention of
+// discarding errors; Apply validates everything those calls check up
+// front, so the discarded errors are unreachable.
+func (p Profile) Apply(d Deps) (time.Duration, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if d.Engine == nil || d.Src == nil || d.Horizon <= 0 {
+		return 0, fmt.Errorf("chaos: %s needs an engine, a source and a positive horizon", p.Name)
+	}
+	if p.Waypoint && d.Disk == nil {
+		return 0, fmt.Errorf("chaos: %s moves nodes but has no disk", p.Name)
+	}
+	if (p.Crash != nil || p.Flap != nil || p.CascadeFraction > 0) && d.Injector == nil {
+		return 0, fmt.Errorf("chaos: %s injects faults but has no injector", p.Name)
+	}
+	if p.Duty != nil && d.Churner == nil {
+		return 0, fmt.Errorf("chaos: %s duty-cycles but has no churner", p.Name)
+	}
+
+	// Mobility and churn run from t=0: the network is dynamic before it
+	// is faulty, exactly as the paper's deployments were.
+	for _, id := range d.Senders {
+		label := fmt.Sprint(id)
+		if p.Waypoint {
+			wcfg := mobility.WaypointConfig{
+				Area:     d.Area,
+				MinSpeed: p.MinSpeed,
+				MaxSpeed: p.MaxSpeed,
+				Pause:    p.Pause,
+			}
+			if _, err := mobility.StartWaypoint(d.Engine, d.Disk, id, wcfg, d.Src.Stream("chaos", "mob", label), d.Horizon); err != nil {
+				return 0, err
+			}
+		}
+		if p.Duty != nil {
+			if err := d.Churner.StartDutyCycle(id, *p.Duty, d.Src.Stream("chaos", "duty", label)); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	onset := p.OnsetTime(d.Horizon)
+	if !p.Faulty() {
+		return onset, nil
+	}
+	d.Engine.ScheduleAt(onset, func() {
+		if p.Crash != nil {
+			_ = d.Injector.StartCrashPlan(d.Sink, *p.Crash, d.Src.Stream("chaos", "crash", "sink"))
+			for _, id := range d.Senders {
+				_ = d.Injector.StartCrashPlan(id, *p.Crash, d.Src.Stream("chaos", "crash", fmt.Sprint(id)))
+			}
+		}
+		if p.Flap != nil {
+			for _, id := range d.Senders {
+				_ = d.Injector.StartFlapPlan(d.Sink, id, *p.Flap, d.Src.Stream("chaos", "flap", fmt.Sprint(id)))
+			}
+		}
+		if p.CascadeFraction > 0 {
+			// ceil(fraction × N) lowest-id senders fall together.
+			n := (len(d.Senders)*int(p.CascadeFraction*1000) + 999) / 1000
+			if n > len(d.Senders) {
+				n = len(d.Senders)
+			}
+			for k := 0; k < n; k++ {
+				id := d.Senders[k]
+				_ = d.Injector.Crash(id)
+				d.Engine.Schedule(time.Duration(k+1)*p.CascadeDowntime, func() {
+					_ = d.Injector.Restart(id)
+				})
+			}
+		}
+	})
+	return onset, nil
+}

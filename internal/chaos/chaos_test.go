@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"retri/internal/faults"
+	"retri/internal/mobility"
+	"retri/internal/radio"
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+func TestNamedProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if Calm().Faulty() {
+		t.Error("calm declares faults; it is the control")
+	}
+	if !Storm().Faulty() || !Cascade().Faulty() {
+		t.Error("storm/cascade declare no faults")
+	}
+}
+
+func TestProfileForAndParse(t *testing.T) {
+	if _, err := ProfileFor("monsoon"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	got, err := ParseProfiles("storm, calm")
+	if err != nil || len(got) != 2 || got[0].Name != "storm" || got[1].Name != "calm" {
+		t.Errorf("ParseProfiles = %v, %v", got, err)
+	}
+	if _, err := ParseProfiles(","); err == nil {
+		t.Error("empty list accepted")
+	}
+	all, err := ParseProfiles("all")
+	if err != nil || len(all) != 3 {
+		t.Errorf("ParseProfiles(all) = %d profiles, %v", len(all), err)
+	}
+}
+
+func TestProfileValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"nameless", func(p *Profile) { p.Name = "" }},
+		{"waypoint speeds", func(p *Profile) { p.Waypoint = true; p.MinSpeed = 0 }},
+		{"onset at one", func(p *Profile) { p.Onset = 1 }},
+		{"corrupt prob", func(p *Profile) { p.CorruptProb = 1 }},
+		{"cascade without stagger", func(p *Profile) { p.CascadeFraction = 0.5; p.CascadeDowntime = 0 }},
+		{"cascade fraction", func(p *Profile) { p.CascadeFraction = 1.5; p.CascadeDowntime = time.Second }},
+	}
+	for _, tc := range cases {
+		p := Calm()
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, p)
+		}
+	}
+}
+
+// fakeControl counts crash/restart calls for one registered node.
+type fakeControl struct{ crashes, restarts int }
+
+func (f *fakeControl) Crash()   { f.crashes++ }
+func (f *fakeControl) Restart() { f.restarts++ }
+
+func TestChannelGatesAtOnset(t *testing.T) {
+	eng := sim.NewEngine()
+	p := Cascade() // GE + corruption, onset 0.25
+	params := radio.DefaultParams()
+	horizon := 40 * time.Second
+	ch := p.InstallChannel(&params, horizon, eng.Now, xrand.NewSource(7).Child("t"))
+	if params.Loss == nil || params.Corrupt == nil {
+		t.Fatal("channel models not installed")
+	}
+
+	onset := p.OnsetTime(horizon)
+	if onset != 10*time.Second {
+		t.Fatalf("onset = %v, want 10s", onset)
+	}
+	// Before onset nothing drops and nothing flips, no matter how often
+	// the channel is consulted.
+	for i := 0; i < 1000; i++ {
+		if params.Loss.Drop(1, 2, onset-time.Millisecond) {
+			t.Fatal("pre-onset drop")
+		}
+		if _, damaged := params.Corrupt.Corrupt([]byte{0xAA, 0x55}); damaged {
+			t.Fatal("pre-onset corruption")
+		}
+	}
+	if ch.Drops() != 0 || ch.Flips() != 0 {
+		t.Fatalf("pre-onset counters %d/%d, want 0/0", ch.Drops(), ch.Flips())
+	}
+	// After onset the burst channel and flipper act with their usual
+	// rates; with DefaultGEParams and 2% flips, 10k consultations cannot
+	// all pass.
+	var drops, flips int
+	for i := 0; i < 10000; i++ {
+		if params.Loss.Drop(1, 2, onset+time.Duration(i)*time.Millisecond) {
+			drops++
+		}
+	}
+	eng.ScheduleAt(onset, func() {
+		for i := 0; i < 10000; i++ {
+			if _, damaged := params.Corrupt.Corrupt([]byte{0xAA, 0x55}); damaged {
+				flips++
+			}
+		}
+	})
+	eng.Run()
+	if drops == 0 || flips == 0 {
+		t.Errorf("post-onset drops/flips = %d/%d, want both positive", drops, flips)
+	}
+	if ch.Drops() != int64(drops) || ch.Flips() != int64(flips) {
+		t.Errorf("Channel counters %d/%d disagree with observed %d/%d", ch.Drops(), ch.Flips(), drops, flips)
+	}
+}
+
+func TestApplySchedulesFaultsAtOnset(t *testing.T) {
+	eng := sim.NewEngine()
+	horizon := 40 * time.Second
+	disk := radio.NewUnitDisk(20)
+	inj := faults.NewInjector(eng, horizon)
+	flaky := faults.NewFlakyTopology(disk)
+	inj.SetFlaky(flaky)
+	churner := mobility.NewChurner(eng, horizon)
+	churner.SetDisk(disk)
+
+	senders := []radio.NodeID{1, 2, 3, 4}
+	ctls := make(map[radio.NodeID]*fakeControl)
+	sinkCtl := &fakeControl{}
+	inj.Register(0, sinkCtl)
+	for _, id := range senders {
+		c := &fakeControl{}
+		ctls[id] = c
+		inj.Register(id, c)
+		churner.Register(id, c)
+		disk.Place(id, radio.Point{X: float64(id), Y: float64(id)})
+	}
+
+	p := Cascade()
+	onset, err := p.Apply(Deps{
+		Engine: eng, Disk: disk, Injector: inj, Churner: churner,
+		Area: mobility.Area{W: 60, H: 60}, Horizon: horizon,
+		Sink: 0, Senders: senders, Src: xrand.NewSource(11).Child("t"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onset != 10*time.Second {
+		t.Fatalf("onset = %v, want 10s", onset)
+	}
+
+	// Nothing faulty may happen before onset.
+	preChecked := false
+	eng.ScheduleAt(onset-time.Millisecond, func() {
+		preChecked = true
+		c := inj.Counters()
+		if c.Crashes != 0 || c.LinkDowns != 0 {
+			t.Errorf("pre-onset fault counters %+v, want zero crashes and link downs", c)
+		}
+	})
+	eng.Run()
+	if !preChecked {
+		t.Fatal("pre-onset probe never ran")
+	}
+
+	// The cascade fells ceil(0.5 × 4) = 2 lowest-id senders at onset and
+	// every cascade victim is eventually restarted.
+	for _, id := range []radio.NodeID{1, 2} {
+		if ctls[id].crashes == 0 {
+			t.Errorf("cascade victim %d never crashed", id)
+		}
+		if ctls[id].restarts != ctls[id].crashes {
+			t.Errorf("node %d: %d crashes but %d restarts", id, ctls[id].crashes, ctls[id].restarts)
+		}
+	}
+	c := inj.Counters()
+	if c.Crashes < 2 {
+		t.Errorf("Crashes = %d, want at least the cascade's 2", c.Crashes)
+	}
+	if c.Crashes != c.Restarts {
+		t.Errorf("Crashes/Restarts = %d/%d, want every crash restarted", c.Crashes, c.Restarts)
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	run := func() (faults.Counters, mobility.ChurnCounters) {
+		eng := sim.NewEngine()
+		horizon := 30 * time.Second
+		disk := radio.NewUnitDisk(20)
+		inj := faults.NewInjector(eng, horizon)
+		flaky := faults.NewFlakyTopology(disk)
+		inj.SetFlaky(flaky)
+		churner := mobility.NewChurner(eng, horizon)
+		churner.SetDisk(disk)
+		senders := []radio.NodeID{1, 2, 3}
+		inj.Register(0, &fakeControl{})
+		for _, id := range senders {
+			c := &fakeControl{}
+			inj.Register(id, c)
+			churner.Register(id, c)
+			disk.Place(id, radio.Point{X: float64(id), Y: 1})
+		}
+		if _, err := Cascade().Apply(Deps{
+			Engine: eng, Disk: disk, Injector: inj, Churner: churner,
+			Area: mobility.Area{W: 50, H: 50}, Horizon: horizon,
+			Sink: 0, Senders: senders, Src: xrand.NewSource(42).Child("d"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return inj.Counters(), churner.Counters()
+	}
+	f1, c1 := run()
+	f2, c2 := run()
+	if f1 != f2 || c1 != c2 {
+		t.Errorf("replays diverge: %+v/%+v vs %+v/%+v", f1, c1, f2, c2)
+	}
+	if f1.Crashes == 0 {
+		t.Error("cascade replay crashed nothing")
+	}
+}
+
+func TestApplyRejectsMissingDeps(t *testing.T) {
+	eng := sim.NewEngine()
+	src := xrand.NewSource(1).Child("x")
+	base := Deps{Engine: eng, Horizon: time.Second, Src: src}
+	if _, err := Storm().Apply(base); err == nil {
+		t.Error("storm accepted without disk/injector/churner")
+	}
+	if _, err := Calm().Apply(base); err == nil {
+		t.Error("calm (waypoint) accepted without a disk")
+	}
+	if _, err := Calm().Apply(Deps{Disk: radio.NewUnitDisk(1), Horizon: time.Second, Src: src}); err == nil {
+		t.Error("nil engine accepted")
+	}
+}

@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"retri/internal/chaos"
+	"retri/internal/metrics"
+	"retri/internal/mobility"
+)
+
+// smallChaos is a sweep small enough to run repeatedly in tests while
+// still covering the control and the compound worst case, both width
+// arms, both modes, and the soak checkpoints.
+func smallChaos() ChaosConfig {
+	cfg := DefaultChaosConfig()
+	cfg.Senders = 3
+	cfg.Trials = 2
+	cfg.Duration = 12 * time.Second
+	cfg.Interval = 400 * time.Millisecond
+	calm, cascade := chaos.Calm(), chaos.Cascade()
+	cascade.Crash.MTBF = 5 * time.Second
+	cfg.Profiles = []chaos.Profile{calm, cascade}
+	cfg.CheckpointEvery = 2 * time.Second
+	return cfg
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*ChaosConfig)
+	}{
+		{"zero senders", func(c *ChaosConfig) { c.Senders = 0 }},
+		{"no profiles", func(c *ChaosConfig) { c.Profiles = nil }},
+		{"no policies", func(c *ChaosConfig) { c.Policies = nil }},
+		{"bad policy", func(c *ChaosConfig) { c.Policies = []WidthPolicyKind{"psychic"} }},
+		{"negative cap", func(c *ChaosConfig) { c.MaxPartials = -1 }},
+		{"negative overload", func(c *ChaosConfig) { c.Overload = -1 }},
+		{"checkpoint beyond horizon", func(c *ChaosConfig) { c.CheckpointEvery = c.Duration + time.Second }},
+		{"invalid profile", func(c *ChaosConfig) {
+			p := chaos.Calm()
+			p.Onset = 2
+			c.Profiles = []chaos.Profile{p}
+		}},
+		{"zero range", func(c *ChaosConfig) { c.Range = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultChaosConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+	}
+	if err := DefaultChaosConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestChaosOracleCleanAcrossCells is the sweep's core safety claim:
+// under every compound-fault cell — memory-cap evictions, shed retry
+// budgets, overload clamps, cascades and all — the omniscient audit
+// reports zero conservation, misdelivery and freshness violations, at
+// the end of each trial and at every mid-run soak checkpoint.
+func TestChaosOracleCleanAcrossCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	res, err := Chaos(smallChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*2*2 {
+		t.Fatalf("rows = %d, want 8 (2 profiles x 2 policies x 2 modes)", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Oracle == nil {
+			t.Fatalf("%s: no oracle report — the audit must be always-on", r.Label())
+		}
+		if err := r.Oracle.Check(); err != nil {
+			t.Errorf("%s: %v", r.Label(), err)
+		}
+		if r.Oracle.PacketsAudited == 0 {
+			t.Errorf("%s: oracle audited nothing", r.Label())
+		}
+		if r.SoakViolations != 0 {
+			t.Errorf("%s: %d soak checkpoint violations (first: %s)", r.Label(), r.SoakViolations, r.FirstViolation)
+		}
+		if r.Delivery.Mean <= 0 {
+			t.Errorf("%s: nothing delivered", r.Label())
+		}
+	}
+}
+
+// TestChaosCalmIsQuiet pins the degradation machinery's zero-cost path:
+// the calm control must never evict a partial, shed a budget, clamp a
+// width or see a retry storm, and it recovers instantly after its
+// (fault-free) onset marker.
+func TestChaosCalmIsQuiet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := smallChaos()
+	cfg.Profiles = []chaos.Profile{chaos.Calm()}
+	// A genuinely benign control: the 20x20 area's diagonal (~28 m) is
+	// inside the 30 m radio range, so roaming senders always hear the sink
+	// AND each other — no starvation and no hidden-terminal collisions —
+	// and the offered load is light enough that contention never looks
+	// like a loss spike to the ARQ machinery.
+	cfg.Area = mobility.Area{W: 20, H: 20}
+	cfg.Range = 30
+	cfg.Interval = time.Second
+	res, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.CapEvictions != 0 || r.BudgetShed != 0 || r.Overloads != 0 || r.Storms != 0 {
+			t.Errorf("%s: degradation engaged on the control: evict=%d shed=%d clamps=%d storms=%d",
+				r.Label(), r.CapEvictions, r.BudgetShed, r.Overloads, r.Storms)
+		}
+		if r.Recovered != r.Delivery.N {
+			t.Errorf("%s: %d/%d trials delivered after the onset marker", r.Label(), r.Recovered, r.Delivery.N)
+		}
+		if r.PeakPartials.Mean <= 0 {
+			t.Errorf("%s: peak partial occupancy never measured", r.Label())
+		}
+	}
+}
+
+// TestChaosParallelByteIdentical extends the parallel runner's core
+// guarantee to the chaos sweep: table, CSV and folded metrics of a
+// parallel run must match the sequential run exactly.
+func TestChaosParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	runOne := func(parallelism int) (ChaosResult, metrics.Snapshot) {
+		cfg := smallChaos()
+		cfg.Parallelism = parallelism
+		reg := metrics.NewRegistry()
+		cfg.Obs = &Obs{Metrics: reg}
+		res, err := Chaos(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg.Snapshot()
+	}
+	seq, seqSnap := runOne(1)
+	par, parSnap := runOne(4)
+
+	if got, want := par.CSV(), seq.CSV(); got != want {
+		t.Errorf("parallel CSV differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := par.Render(), seq.Render(); got != want {
+		t.Errorf("parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+	a, err := json.Marshal(seqSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("folded metrics snapshots differ between sequential and parallel runs")
+	}
+}
+
+// TestChaosCSVShape keeps the plotting contract stable.
+func TestChaosCSVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := smallChaos()
+	cfg.Profiles = []chaos.Profile{chaos.Calm()}
+	cfg.Baseline = false
+	res, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.CSV()), "\n")
+	if len(lines) != 1+len(res.Rows) {
+		t.Fatalf("CSV has %d lines, want header + %d rows", len(lines), len(res.Rows))
+	}
+	wantCols := len(strings.Split(lines[0], ","))
+	for i, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != wantCols {
+			t.Errorf("row %d has %d columns, want %d", i, got, wantCols)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "profile,policy,mode,delivery_ratio") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+}

@@ -679,6 +679,7 @@ func collectARQ(reg *metrics.Registry, label string, c arq.Counters) {
 	reg.Counter("arq_retransmits_total", label).Add(c.Retransmits)
 	reg.Counter("arq_acked_total", label).Add(c.Acked)
 	reg.Counter("arq_abandoned_total", label).Add(c.Abandoned)
+	reg.Counter("arq_budget_shed_total", label).Add(c.BudgetShed)
 	reg.Counter("arq_acks_sent_total", label).Add(c.AcksSent)
 	reg.Counter("arq_nacks_sent_total", label).Add(c.NacksSent)
 	reg.Counter("arq_delivered_total", label).Add(c.Delivered)

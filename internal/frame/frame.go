@@ -31,12 +31,13 @@ import (
 
 // Field widths shared by both formats.
 const (
-	kindBits     = 1
-	lenBits      = 16 // packets up to 64 KiB, the paper's driver limit
-	checksumBits = 16
-	offsetBits   = 16
-	truthBits    = 64 // 32-bit node + 32-bit sequence, instrumentation only
-	widthBits    = 5  // in-band identifier width, stored as IDBits-1 (1..32)
+	kindBits       = 1
+	lenBits        = 16 // packets up to 64 KiB, the paper's driver limit
+	checksumBits   = 16
+	offsetBits     = 16
+	truthBits      = 64 // 32-bit node + 32-bit sequence, instrumentation only
+	truthGuardBits = 8  // XOR-fold guard over the trailer, instrumentation only
+	widthBits      = 5  // in-band identifier width, stored as IDBits-1 (1..32)
 
 	// MaxPacketLen is the largest packet either format can describe.
 	MaxPacketLen = 1<<lenBits - 1
@@ -138,7 +139,7 @@ func (c AFFCodec) MaxPayload(mtu int) int {
 
 func (c AFFCodec) truthOverhead() int {
 	if c.Instrument {
-		return truthBits
+		return truthBits + truthGuardBits
 	}
 	return 0
 }
@@ -288,8 +289,14 @@ func writeTruth(w *bitio.Writer, on bool, t *Truth) {
 	}
 	mustWrite(w, uint64(node), 32)
 	mustWrite(w, uint64(seq), 32)
+	mustWrite(w, uint64(truthGuard(node, seq)), truthGuardBits)
 }
 
+// readTruth parses the instrumentation trailer. The trailer sits outside
+// the packet checksum's coverage, so a channel error here would otherwise
+// forge ground truth and make a perfectly good delivery look misdelivered
+// to the oracle. The guard byte detects any single-bit damage; a damaged
+// trailer decodes as nil — "unauditable" — never as a wrong identity.
 func readTruth(r *bitio.Reader, on bool) (*Truth, error) {
 	if !on {
 		return nil, nil
@@ -302,7 +309,25 @@ func readTruth(r *bitio.Reader, on bool) (*Truth, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
+	guard, err := r.ReadBits(truthGuardBits)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if uint8(guard) != truthGuard(uint32(node), uint32(seq)) {
+		return nil, nil
+	}
 	return &Truth{Node: uint32(node), Seq: uint32(seq)}, nil
+}
+
+// truthGuard folds the trailer into one byte. An XOR fold flips exactly
+// one guard bit for any single flipped trailer bit, so every single-bit
+// error is caught; the constant keeps an all-zero trailer from carrying an
+// all-zero (trivially forgeable) guard.
+func truthGuard(node, seq uint32) uint8 {
+	v := node ^ seq
+	v ^= v >> 16
+	v ^= v >> 8
+	return uint8(v) ^ 0xA5
 }
 
 // mustWrite panics on a width programming error; all widths in this

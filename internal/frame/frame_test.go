@@ -111,11 +111,47 @@ func TestAFFInstrumentNilTruthEncodesZero(t *testing.T) {
 func TestAFFInstrumentationCostsBits(t *testing.T) {
 	plain := AFFCodec{IDBits: 9}
 	inst := AFFCodec{IDBits: 9, Instrument: true}
-	if inst.IntroBits() != plain.IntroBits()+64 {
-		t.Errorf("instrumented intro = %d bits, want %d", inst.IntroBits(), plain.IntroBits()+64)
+	// 64 bits of (node, seq) ground truth plus the 8-bit trailer guard.
+	if inst.IntroBits() != plain.IntroBits()+72 {
+		t.Errorf("instrumented intro = %d bits, want %d", inst.IntroBits(), plain.IntroBits()+72)
 	}
-	if inst.DataHeaderBits() != plain.DataHeaderBits()+64 {
-		t.Errorf("instrumented data header = %d bits, want %d", inst.DataHeaderBits(), plain.DataHeaderBits()+64)
+	if inst.DataHeaderBits() != plain.DataHeaderBits()+72 {
+		t.Errorf("instrumented data header = %d bits, want %d", inst.DataHeaderBits(), plain.DataHeaderBits()+72)
+	}
+}
+
+// TestAFFTruthGuardCatchesEveryBitFlip flips each trailer bit of an
+// instrumented fragment in turn. The trailer is outside the packet
+// checksum's coverage, so without its own guard a flip there would forge
+// ground truth; with the guard every such fragment must decode with a nil
+// (unauditable) Truth, never a wrong one.
+func TestAFFTruthGuardCatchesEveryBitFlip(t *testing.T) {
+	c := AFFCodec{IDBits: 4, Instrument: true}
+	truth := &Truth{Node: 3, Seq: 41}
+	buf, _, err := c.EncodeData(Data{ID: 7, Offset: 16, Payload: []byte{1, 2}, Truth: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailerStart := c.DataHeaderBits() - (truthBits + truthGuardBits)
+	for bit := trailerStart; bit < c.DataHeaderBits(); bit++ {
+		damaged := append([]byte(nil), buf...)
+		damaged[bit/8] ^= 0x80 >> uint(bit%8)
+		got, err := c.Decode(damaged)
+		if err != nil {
+			t.Fatalf("bit %d: decode failed: %v", bit, err)
+		}
+		gd := got.(*Data)
+		if gd.Truth != nil {
+			t.Fatalf("bit %d: damaged trailer decoded as Truth %+v, want nil", bit, gd.Truth)
+		}
+	}
+	// Sanity: the clean frame still round-trips its truth.
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd := got.(*Data); gd.Truth == nil || *gd.Truth != *truth {
+		t.Fatalf("clean frame truth = %+v, want %+v", gd.Truth, truth)
 	}
 }
 
@@ -198,9 +234,10 @@ func TestAFFMaxPayload(t *testing.T) {
 	if got := c.MaxPayload(4); got != 0 {
 		t.Errorf("MaxPayload(4) = %d, want 0", got)
 	}
+	// Instrumented header: 26 + 72 trailer bits -> 13 bytes.
 	inst := AFFCodec{IDBits: 9, Instrument: true}
-	if got := inst.MaxPayload(27); got != 27-12 {
-		t.Errorf("instrumented MaxPayload(27) = %d, want 15", got)
+	if got := inst.MaxPayload(27); got != 27-13 {
+		t.Errorf("instrumented MaxPayload(27) = %d, want 14", got)
 	}
 }
 

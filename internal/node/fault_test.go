@@ -6,8 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"retri/internal/aff"
 	"retri/internal/core"
 	"retri/internal/faults"
+	"retri/internal/oracle"
 	"retri/internal/radio"
 	"retri/internal/staticaddr"
 	"retri/internal/xrand"
@@ -162,6 +164,102 @@ func TestStaticCrashWipesReassembly(t *testing.T) {
 	r.eng.Run()
 	if delivered != 1 {
 		t.Errorf("delivered %d after restart, want 1", delivered)
+	}
+}
+
+// fateTap invokes fn on every per-receiver reception verdict.
+type fateTap struct {
+	fn func(to radio.NodeID, f radio.Frame, fate radio.Fate)
+}
+
+func (ft *fateTap) FrameSent(radio.Frame) {}
+func (ft *fateTap) FrameFate(to radio.NodeID, f radio.Frame, fate radio.Fate) {
+	ft.fn(to, f, fate)
+}
+
+// TestCrashDuringPartialReassemblyAuditsClean crashes a receiver in the
+// middle of reassembling a packet, with the engine-driven expiry sweep
+// armed and the omniscient oracle watching. The crash must wipe the RAM
+// partial state and its expiry-queue timer together — no timeout or
+// eviction counter may fire for state that died with the node — and the
+// oracle must see no conservation or freshness violation from the
+// half-received transaction.
+func TestCrashDuringPartialReassemblyAuditsClean(t *testing.T) {
+	p := radio.DefaultParams()
+	loss := &dropNth{from: 1, n: 5}
+	p.Loss = loss
+	r := newRig(t, p)
+	cfg := affConfig(9)
+	cfg.Instrument = true
+	cfg.ReassemblyTimeout = 500 * time.Millisecond
+
+	orc, err := oracle.New(oracle.Config{AFF: cfg, Topo: radio.FullMesh{}, Now: r.eng.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.med.SetFrameObserver(orc)
+
+	tx := newAFFNode(t, r, 1, cfg, AFFOptions{})
+	delivered := 0
+	rxOpts := AFFOptions{Engine: r.eng}
+	rxOpts.OnDeliver = func(pkt aff.Packet) {
+		delivered++
+		orc.VerifyDelivered(2, pkt)
+	}
+	rx := newAFFNode(t, r, 2, cfg, rxOpts)
+
+	// Crash the receiver the moment it holds partial state, i.e. from
+	// within the run, mid-transaction.
+	crashed := false
+	r.med.SetFateObserver(&fateTap{fn: func(to radio.NodeID, _ radio.Frame, fate radio.Fate) {
+		if to == 2 && fate == radio.FateDelivered && !crashed && rx.Reassembler().PendingCount() > 0 {
+			crashed = true
+			r.eng.Schedule(0, rx.Crash)
+		}
+	}})
+
+	if err := tx.SendPacket(make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !crashed {
+		t.Fatal("scenario broken: the receiver never held partial state")
+	}
+	if rx.Reassembler().PendingCount() != 0 {
+		t.Error("crash left partial reassemblies")
+	}
+	st := rx.Reassembler().Stats()
+	if st.Timeouts != 0 || st.CapEvictions != 0 {
+		t.Errorf("wipe was miscounted: timeouts=%d evictions=%d, want 0/0 — "+
+			"a crash is neither an idle expiry nor a cap eviction", st.Timeouts, st.CapEvictions)
+	}
+	if delivered != 0 {
+		t.Fatalf("half-received packet was delivered %d times", delivered)
+	}
+
+	// The node rejoins with empty state and the next transaction flows
+	// end to end; the stale expiry timer from before the crash must not
+	// resurface against the new state. (The loss model is disarmed — a
+	// down radio is never consulted for drops, so its frame count did not
+	// advance while the node was dead.)
+	loss.n = 0
+	rx.Restart()
+	if err := tx.SendPacket(make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if delivered != 1 {
+		t.Errorf("restarted node delivered %d packets, want 1", delivered)
+	}
+	if st := rx.Reassembler().Stats(); st.Timeouts != 0 || st.CapEvictions != 0 {
+		t.Errorf("post-restart counters: timeouts=%d evictions=%d, want 0/0", st.Timeouts, st.CapEvictions)
+	}
+	rep := orc.Report()
+	if err := rep.Check(); err != nil {
+		t.Errorf("oracle audit after crash/restart: %v", err)
+	}
+	if rep.PacketsAudited == 0 || rep.Unaudited != 0 {
+		t.Errorf("audit coverage: audited=%d unaudited=%d, want the delivery audited", rep.PacketsAudited, rep.Unaudited)
 	}
 }
 

@@ -68,6 +68,10 @@ type SpanSink interface {
 	// RxExpired fires when a receiver's reassembly timeout evicts the
 	// partial state held under key.
 	RxExpired(receiver radio.NodeID, key uint64)
+	// RxEvicted fires when a receiver's MaxPartials cap evicts the
+	// partial state held under key — memory-pressure degradation,
+	// distinct from the idle timeout RxExpired reports.
+	RxEvicted(receiver radio.NodeID, key uint64)
 	// RxRejected fires when a receiver discards a transaction: checksum
 	// reports a failed verification at completion, otherwise an internal
 	// inconsistency (conflict) drop.
@@ -211,10 +215,37 @@ func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) 
 			opts.Estimator.Observe(key)
 		}
 	})
-	if co, ok := opts.Estimator.(density.CompletionObserver); ok {
+	co, isCO := opts.Estimator.(density.CompletionObserver)
+	if isCO {
 		// Turnover-aware estimators discount an identifier the moment its
 		// transaction is known over instead of holding it a full idle gap.
 		d.reasm.SetCompleteHandler(co.ObserveComplete)
+	}
+	if opts.Span != nil || (cfg.MaxPartials > 0 && isCO) {
+		// Cap eviction fires onCapEvict then onExpire for the same
+		// identifier; the latch below collapses the pair into the one
+		// distinct span signal. A turnover estimator also discounts the
+		// identifier — its partial state is gone, so holding it active
+		// would overcount density exactly when memory is scarcest.
+		capEvicting := false
+		d.reasm.SetCapEvictHandler(func(id uint64) {
+			if isCO {
+				co.ObserveComplete(id)
+			}
+			if opts.Span != nil {
+				capEvicting = true
+				opts.Span.RxEvicted(r.ID(), id)
+			}
+		})
+		if opts.Span != nil {
+			d.reasm.SetExpiryHandler(func(id uint64) {
+				if capEvicting {
+					capEvicting = false
+					return
+				}
+				opts.Span.RxExpired(r.ID(), id)
+			})
+		}
 	}
 	if opts.NotifyCollisions || opts.Span != nil {
 		d.reasm.SetConflictHandler(func(id uint64) {
@@ -227,7 +258,6 @@ func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) 
 		})
 	}
 	if opts.Span != nil {
-		d.reasm.SetExpiryHandler(func(id uint64) { opts.Span.RxExpired(r.ID(), id) })
 		d.reasm.SetChecksumFailHandler(func(id uint64) { opts.Span.RxRejected(r.ID(), id, true) })
 	}
 	r.SetHandler(d.onFrame)

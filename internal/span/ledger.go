@@ -46,12 +46,14 @@ type Record struct {
 	Collided bool   `json:"collided,omitempty"`
 	Revives  int    `json:"revives,omitempty"`
 
-	FragsSent        int `json:"frags_sent"`
-	Deliveries       int `json:"deliveries,omitempty"`
-	RejectedChecksum int `json:"rejected_checksum,omitempty"`
-	RejectedConflict int `json:"rejected_conflict,omitempty"`
-	Expired          int `json:"expired,omitempty"`
-	Anomalies        int `json:"anomalies,omitempty"`
+	FragsSent        int  `json:"frags_sent"`
+	Deliveries       int  `json:"deliveries,omitempty"`
+	RejectedChecksum int  `json:"rejected_checksum,omitempty"`
+	RejectedConflict int  `json:"rejected_conflict,omitempty"`
+	Expired          int  `json:"expired,omitempty"`
+	Evicted          int  `json:"evicted,omitempty"`
+	BudgetExhausted  bool `json:"budget_exhausted,omitempty"`
+	Anomalies        int  `json:"anomalies,omitempty"`
 
 	Frags  []Frag  `json:"frags,omitempty"`
 	Events []Event `json:"events,omitempty"`
@@ -96,6 +98,8 @@ func recordOf(trial string, s *Span) Record {
 		RejectedChecksum: s.RejectedChecksum,
 		RejectedConflict: s.RejectedConflict,
 		Expired:          s.Expired,
+		Evicted:          s.Evicted,
+		BudgetExhausted:  s.BudgetExhausted,
 		Anomalies:        s.Anomalies,
 		Frags:            s.Frags,
 		Events:           s.Events,

@@ -127,7 +127,7 @@ type Event struct {
 	At   time.Duration `json:"at_ns"`
 	Node radio.NodeID  `json:"node"`
 	// Kind is one of "delivered", "rejected-checksum",
-	// "rejected-conflict", "expired".
+	// "rejected-conflict", "expired", "evicted".
 	Kind string `json:"kind"`
 }
 
@@ -163,7 +163,9 @@ type Span struct {
 	RejectedChecksum int
 	RejectedConflict int
 	Expired          int
-	Anomalies        int // frames that violated fragmenter invariants
+	Evicted          int  // receivers that cap-evicted this span's partial state
+	BudgetExhausted  bool // ARQ abandoned the retry chain at this attempt
+	Anomalies        int  // frames that violated fragmenter invariants
 
 	state     State
 	stalled   bool
@@ -191,6 +193,14 @@ func (s *Span) Outcome() string {
 		return "collided"
 	case s.RejectedChecksum+s.RejectedConflict > 0:
 		return "rejected"
+	case s.Evicted > 0:
+		// Receiver-side graceful degradation: the MaxPartials cap evicted
+		// this span's partial state to stay under the memory budget.
+		return "reassembly-evicted"
+	case s.BudgetExhausted:
+		// Sender-side graceful degradation: the ARQ endpoint gave up the
+		// retry chain (possibly early, under loss-aware budget shedding).
+		return "retry-budget-exhausted"
 	case s.Expired > 0:
 		return "expired"
 	case s.state == StateAbandoned:
@@ -438,6 +448,33 @@ func (t *Tracer) RxExpired(receiver radio.NodeID, key uint64) {
 	}
 	s.Expired++
 	s.Events = append(s.Events, Event{At: t.now(), Node: receiver, Kind: "expired"})
+}
+
+// RxEvicted records a receiver's MaxPartials cap evicting partial
+// reassembly state — memory-pressure degradation, distinct from the idle
+// timeout RxExpired records.
+func (t *Tracer) RxEvicted(receiver radio.NodeID, key uint64) {
+	s := t.findForRx(nil, key)
+	if s == nil {
+		t.rep.OrphanEvents++
+		return
+	}
+	s.Evicted++
+	s.Events = append(s.Events, Event{At: t.now(), Node: receiver, Kind: "evicted"})
+}
+
+// ARQAbandon marks a retry chain's final attempt: the ARQ endpoint
+// exhausted (or, under loss-aware shedding, relinquished) its retry
+// budget for this sequence (arq.AbandonObserver). lastKey guards against
+// attributing the abandonment to an unrelated span when the stream's
+// bookkeeping and the tracer's disagree.
+func (t *Tracer) ARQAbandon(sender radio.NodeID, seq uint32, attempts int, hasKey bool, lastKey uint64) {
+	s := t.arqLast[arqKey{sender, seq}]
+	if s == nil || (hasKey && s.Key != lastKey) {
+		t.rep.OrphanEvents++
+		return
+	}
+	s.BudgetExhausted = true
 }
 
 // ARQAttempt annotates the span TxOpen just queued with its place in a

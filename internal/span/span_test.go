@@ -260,6 +260,102 @@ func TestRejectionAndExpiryEvents(t *testing.T) {
 	}
 }
 
+// TestEvictionOutcome pins the memory-pressure degradation path: a
+// MaxPartials cap eviction is recorded distinctly from idle expiry, names
+// the span's root cause, and still loses to later delivery evidence from
+// another receiver.
+func TestEvictionOutcome(t *testing.T) {
+	h := newHarness(t, true)
+	tr := &frame.Truth{Node: 1, Seq: 0}
+	h.open(1, 5, tr, "uniform", 0)
+	h.tr.FrameSent(h.intro(t, 1, 5, 2, tr))
+	h.tr.RxEvicted(2, 5)
+	s := h.tr.Spans()[0]
+	if s.Evicted != 1 || s.Expired != 0 {
+		t.Fatalf("rx counters = %+v, want one eviction and no expiries", s)
+	}
+	if s.Outcome() != "reassembly-evicted" {
+		t.Fatalf("outcome %q, want reassembly-evicted", s.Outcome())
+	}
+	if last := s.Events[len(s.Events)-1]; last.Kind != "evicted" || last.Node != 2 {
+		t.Fatalf("last event = %+v, want evicted@2", last)
+	}
+	// A surviving receiver completing the packet outranks the eviction.
+	h.tr.FrameSent(h.data(t, 1, 5, 0, []byte{1, 2}, tr))
+	h.tr.RxDelivered(3, aff.Packet{ID: 5, Data: []byte{1, 2}, Truth: tr})
+	if s.Outcome() != "delivered" {
+		t.Fatalf("outcome %q after delivery, want delivered", s.Outcome())
+	}
+	if h.tr.Report().OrphanEvents != 0 {
+		t.Fatalf("orphans = %d", h.tr.Report().OrphanEvents)
+	}
+}
+
+// TestBudgetExhaustedOutcome pins the sender-side degradation path: the
+// ARQ endpoint abandoning a chain marks its final attempt so -failed can
+// bucket it as retry-budget-exhausted.
+func TestBudgetExhaustedOutcome(t *testing.T) {
+	h := newHarness(t, true)
+	tr := &frame.Truth{Node: 1, Seq: 0}
+	h.open(1, 5, tr, "uniform", 0)
+	h.tr.ARQAttempt(1, 42, 0, false, 0, 5)
+	h.tr.FrameSent(h.intro(t, 1, 5, 2, tr))
+	h.tr.ARQAbandon(1, 42, 1, true, 5)
+	s := h.tr.Spans()[0]
+	if !s.BudgetExhausted {
+		t.Fatal("abandonment did not mark the final attempt")
+	}
+	if s.Outcome() != "retry-budget-exhausted" {
+		t.Fatalf("outcome %q, want retry-budget-exhausted", s.Outcome())
+	}
+	// A stale key must not attribute the abandonment to the wrong span.
+	h2 := newHarness(t, true)
+	h2.open(1, 5, tr, "uniform", 0)
+	h2.tr.ARQAttempt(1, 42, 0, false, 0, 5)
+	h2.tr.ARQAbandon(1, 42, 1, true, 9)
+	if h2.tr.Spans()[0].BudgetExhausted {
+		t.Fatal("abandonment with mismatched key was attributed anyway")
+	}
+	if h2.tr.Report().OrphanEvents != 1 {
+		t.Fatalf("orphans = %d, want 1", h2.tr.Report().OrphanEvents)
+	}
+}
+
+// TestLedgerCarriesDegradationFields keeps the on-disk contract for the
+// two degradation outcomes retri-trace -failed buckets on.
+func TestLedgerCarriesDegradationFields(t *testing.T) {
+	h := newHarness(t, true)
+	t0 := &frame.Truth{Node: 1, Seq: 0}
+	t1 := &frame.Truth{Node: 1, Seq: 1}
+	h.open(1, 5, t0, "uniform", 0)
+	h.tr.FrameSent(h.intro(t, 1, 5, 2, t0))
+	h.tr.RxEvicted(2, 5)
+	h.open(1, 9, t1, "uniform", 0)
+	h.tr.ARQAttempt(1, 7, 0, false, 0, 9)
+	h.tr.FrameSent(h.intro(t, 1, 9, 2, t1))
+	h.tr.ARQAbandon(1, 7, 1, true, 9)
+
+	l := NewLedger()
+	l.AddTrial("trial-0", h.tr)
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	recs, _, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Evicted != 1 || recs[0].Outcome != "reassembly-evicted" {
+		t.Fatalf("evicted record = %+v", recs[0])
+	}
+	if !recs[1].BudgetExhausted || recs[1].Outcome != "retry-budget-exhausted" {
+		t.Fatalf("exhausted record = %+v", recs[1])
+	}
+}
+
 func TestWidthChangeRecorded(t *testing.T) {
 	h := newHarness(t, true)
 	h.now = 7 * time.Millisecond
