@@ -22,9 +22,9 @@ FUZZ_TARGETS := \
 COVER_PKGS := internal/density internal/adapt internal/oracle
 COVER_FLOOR := 80
 
-.PHONY: check vet build test race fuzz benchsmoke benchcompare bench profile cover trace-demo chaossmoke
+.PHONY: check vet build test race fuzz benchsmoke benchcompare bench profile cover trace-demo chaossmoke scalesmoke
 
-check: vet build race fuzz benchcompare cover trace-demo chaossmoke
+check: vet build race fuzz benchcompare cover trace-demo chaossmoke scalesmoke
 
 vet:
 	$(GO) vet ./...
@@ -50,17 +50,21 @@ fuzz:
 # benchsmoke runs every benchmark once (so API drift breaks the build, not
 # the next measurement), then re-runs the gated families — wire codec,
 # medium delivery, engine event loop — at a real iteration count with five
-# repeats. Both passes stream through one benchjson invocation, which keeps
-# the highest-iteration, fastest-repeat measurement per benchmark (minimum
-# over repeats: shared-host steal time only ever inflates a timing) and
-# leaves BENCH_$(PR).json behind: smoke coverage for everything,
-# trustworthy ns/op for the benchmarks the perf gate reads.
-PR ?= 8
+# repeats, and the shard-engine family (whole-trial macro benchmarks, far
+# too heavy for 1000x) at a lighter count that still clears benchjson's
+# min-iters bar. All passes stream through one benchjson invocation, which
+# keeps the highest-iteration, fastest-repeat measurement per benchmark
+# (minimum over repeats: shared-host steal time only ever inflates a
+# timing) and leaves BENCH_$(PR).json behind: smoke coverage for
+# everything, trustworthy ns/op for the benchmarks the perf gate reads.
+PR ?= 9
 GATED_BENCH := ^Benchmark(AFFEncodeData|AFFDecodeData|Medium|ScheduleRun)
 GATED_PKGS := ./internal/frame/ ./internal/radio/ ./internal/sim/
+SHARD_BENCH := ^BenchmarkShard
 benchsmoke:
 	( $(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... && \
-	  $(GO) test -run '^$$' -bench '$(GATED_BENCH)' -benchtime 1000x -count 5 -benchmem $(GATED_PKGS) ) \
+	  $(GO) test -run '^$$' -bench '$(GATED_BENCH)' -benchtime 1000x -count 5 -benchmem $(GATED_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(SHARD_BENCH)' -benchtime 20x -count 3 -benchmem ./internal/shard/ ) \
 	| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
 
 # benchcompare gates the fresh snapshot against the newest committed one
@@ -130,3 +134,18 @@ trace-demo:
 chaossmoke:
 	$(GO) run ./cmd/retri-experiments -figure chaos -trials 2 -duration 15s -soak 5s > /dev/null
 	@echo "chaossmoke: all chaos cells ran with soak audits"
+
+# scalesmoke is the massive-population gate: one 10^5-node duty-cycled
+# trial per width arm on the region-sharded core, with oracle sampling
+# (misdelivery / freshness audits) always on — Check() fails the run on
+# any violation. The trial runs once sequentially and once on all CPUs;
+# stdout must be byte-identical, which is the sharded core's determinism
+# contract enforced end to end on every `make check`.
+scalesmoke:
+	mkdir -p profiles
+	$(GO) run ./cmd/retri-experiments -figure massive -nodes 100000 -duration 5s \
+		-parallel 1 > profiles/massive_p1.txt
+	$(GO) run ./cmd/retri-experiments -figure massive -nodes 100000 -duration 5s \
+		-parallel 0 > profiles/massive_p0.txt
+	cmp profiles/massive_p1.txt profiles/massive_p0.txt
+	@echo "scalesmoke: 100k-node sharded trial byte-stable across -parallel"

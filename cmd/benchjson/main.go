@@ -25,11 +25,13 @@
 //	benchjson -compare BENCH_6.json BENCH_7.json
 //
 // compares the snapshots' gated benchmarks (-match selects them) and
-// fails when ns/op or allocs/op grew more than -threshold percent, or
+// fails when ns/op or allocs/op grew more than their thresholds, or
 // when a gated benchmark disappeared. ns/op is only compared when both
 // sides ran at least -min-iters iterations — a 1x measurement is a smoke
 // signal, not a number — while allocs/op is deterministic and is always
-// compared.
+// compared, against its own -alloc-threshold. That threshold defaults to
+// 0: allocation counts are exact, so the gate is a ratchet — once a hot
+// path reaches N allocs/op it may never grow, not even by one.
 package main
 
 import (
@@ -68,8 +70,8 @@ type Snapshot struct {
 }
 
 // defaultMatch selects the gated benchmark families: the wire codec, the
-// radio medium delivery path, and the event engine.
-const defaultMatch = `^(AFFEncodeData|AFFDecodeData|Medium|ScheduleRun)`
+// radio medium delivery path, the event engine, and the sharded core.
+const defaultMatch = `^(AFFEncodeData|AFFDecodeData|Medium|ScheduleRun|Shard)`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -83,7 +85,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	pr := fs.Int("pr", 0, "PR number stamped into the snapshot")
 	out := fs.String("out", "", "output JSON path (required unless -compare)")
 	compare := fs.Bool("compare", false, "compare two snapshots (old.json new.json) instead of parsing; non-zero exit on regression")
-	threshold := fs.Float64("threshold", 20, "percent growth in ns/op or allocs/op that fails -compare")
+	threshold := fs.Float64("threshold", 20, "percent growth in ns/op that fails -compare")
+	allocThreshold := fs.Float64("alloc-threshold", 0, "percent growth in allocs/op that fails -compare (0 = ratchet: any growth fails)")
 	match := fs.String("match", defaultMatch, "regexp naming the benchmarks -compare gates")
 	minIters := fs.Int64("min-iters", 10, "minimum iterations on both sides before ns/op is trusted in -compare")
 	if err := fs.Parse(args); err != nil {
@@ -97,7 +100,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-match: %w", err)
 		}
-		return runCompare(stdout, fs.Arg(0), fs.Arg(1), re, *threshold, *minIters)
+		return runCompare(stdout, fs.Arg(0), fs.Arg(1), re, *threshold, *allocThreshold, *minIters)
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
@@ -216,10 +219,11 @@ func loadSnapshot(path string) (Snapshot, error) {
 }
 
 // runCompare gates new against old: every matched benchmark in old must
-// still exist in new, and its gated metrics must not have grown past the
-// threshold. The comparison table goes to stdout either way; regressions
-// come back as the error.
-func runCompare(w io.Writer, oldPath, newPath string, match *regexp.Regexp, threshold float64, minIters int64) error {
+// still exist in new, and its gated metrics must not have grown past
+// their thresholds — ns/op against threshold, allocs/op against
+// allocThreshold (default 0, an exact-count ratchet). The comparison
+// table goes to stdout either way; regressions come back as the error.
+func runCompare(w io.Writer, oldPath, newPath string, match *regexp.Regexp, threshold, allocThreshold float64, minIters int64) error {
 	oldSnap, err := loadSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -236,8 +240,8 @@ func runCompare(w io.Writer, oldPath, newPath string, match *regexp.Regexp, thre
 	matched := 0
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
-	fmt.Fprintf(bw, "benchjson compare: %s (pr %d) -> %s (pr %d), threshold %g%%\n",
-		oldPath, oldSnap.PR, newPath, newSnap.PR, threshold)
+	fmt.Fprintf(bw, "benchjson compare: %s (pr %d) -> %s (pr %d), ns/op threshold %g%%, allocs/op threshold %g%%\n",
+		oldPath, oldSnap.PR, newPath, newSnap.PR, threshold, allocThreshold)
 	for _, ob := range oldSnap.Benchmarks {
 		if !match.MatchString(ob.Name) {
 			continue
@@ -260,17 +264,21 @@ func runCompare(w io.Writer, oldPath, newPath string, match *regexp.Regexp, thre
 					key, metric, ob.Iterations, nb.Iterations, minIters)
 				continue
 			}
+			limit := threshold
+			if metric == "allocs/op" {
+				limit = allocThreshold
+			}
 			growth := 0.0
 			if ov > 0 {
 				growth = 100 * (nv - ov) / ov
 			} else if nv > 0 {
-				growth = threshold + 1 // zero -> nonzero is unbounded growth
+				growth = limit + 1 // zero -> nonzero is unbounded growth
 			}
 			verdict := "ok"
-			if growth > threshold {
+			if growth > limit {
 				verdict = "REGRESSION"
 				regressions = append(regressions, fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, threshold %g%%)",
-					key, metric, ov, nv, growth, threshold))
+					key, metric, ov, nv, growth, limit))
 			}
 			fmt.Fprintf(bw, "  %-55s %-9s %12.4g -> %-12.4g %+7.1f%%  %s\n",
 				key, metric, ov, nv, growth, verdict)

@@ -61,6 +61,18 @@ type options struct {
 	mobilityScript string
 	// Strategy list for -figure strategies.
 	strategies string
+	// Massive-population knobs for -figure massive.
+	nodes string
+	// shardWindow, when positive, runs dynamics and chaos trials under the
+	// region-sharded driver in single-tile mode with this lookahead.
+	shardWindow time.Duration
+	// trialsSet/durationSet/nodesSet record whether the user set the flag
+	// (or -quick resolved it): -figure massive keeps its own scale
+	// defaults — a 2-minute million-node trial is not a default anyone
+	// wants by accident — unless overridden explicitly.
+	trialsSet   bool
+	durationSet bool
+	nodesSet    bool
 	// Chaos knobs for -figure chaos.
 	chaosProfiles string
 	soak          time.Duration
@@ -106,6 +118,8 @@ func parseArgs(args []string) (options, error) {
 	fs.BoolVar(&o.oracle, "oracle", false, "attach the omniscient conformance oracle to -figure dynamics and recovery trials (strategies always audits)")
 	fs.StringVar(&o.mobilityScript, "mobility-script", "", "mobility schedule file for -figure dynamics (adds the script scenario)")
 	fs.StringVar(&o.strategies, "strategies", "all", "identifier strategies for -figure strategies: comma list of uniform, listening, sequential, permutation, perdest, timeprefix; or all")
+	fs.StringVar(&o.nodes, "nodes", "10000,100000,1000000", "population sizes for -figure massive, comma-separated")
+	fs.DurationVar(&o.shardWindow, "shard-window", 0, "run -figure dynamics/chaos trials under the sharded driver (single tile) with this lookahead window; 0 uses the legacy engine")
 	fs.StringVar(&o.chaosProfiles, "chaos-profiles", "all", "compound-fault profiles for -figure chaos: comma list of calm, storm, cascade; or all")
 	fs.DurationVar(&o.soak, "soak", 0, "soak mode for -figure chaos: audit oracle invariants at this interval inside every trial (0 disables)")
 	if err := fs.Parse(args); err != nil {
@@ -127,6 +141,12 @@ func parseArgs(args []string) (options, error) {
 	}
 	if _, err := chaos.ParseProfiles(o.chaosProfiles); err != nil {
 		return options{}, err
+	}
+	if _, err := experiment.ParsePopulations(o.nodes); err != nil {
+		return options{}, err
+	}
+	if o.shardWindow < 0 {
+		return options{}, fmt.Errorf("invalid -shard-window %v: must be non-negative", o.shardWindow)
 	}
 	if o.soak < 0 {
 		return options{}, fmt.Errorf("invalid -soak %v: must be non-negative", o.soak)
@@ -152,6 +172,9 @@ func parseArgs(args []string) (options, error) {
 			o.duration = 20 * time.Second
 		}
 	}
+	o.trialsSet = set["trials"]
+	o.durationSet = set["duration"]
+	o.nodesSet = set["nodes"]
 	if o.parallel <= 0 {
 		o.parallel = runtime.GOMAXPROCS(0)
 	}
@@ -264,6 +287,7 @@ func run(args []string) error {
 			}
 			cfg.Policies = policies
 			cfg.Oracle = o.oracle
+			cfg.ShardWindow = o.shardWindow
 			if o.mobilityScript != "" {
 				script, err := loadMobilityScript(o.mobilityScript)
 				if err != nil {
@@ -296,6 +320,7 @@ func run(args []string) error {
 			}
 			cfg.Profiles = profiles
 			cfg.CheckpointEvery = o.soak
+			cfg.ShardWindow = o.shardWindow
 			res, err := experiment.Chaos(cfg)
 			if err != nil {
 				return err
@@ -316,6 +341,51 @@ func run(args []string) error {
 				}
 			}
 			return nil
+		},
+		"massive": func() error {
+			cfg := experiment.DefaultMassiveConfig()
+			cfg.Seed = o.seed
+			cfg.Parallelism = o.parallel
+			cfg.Hooks = col.hooks()
+			// Massive keeps its own scale defaults (a million-node trial
+			// at the generic 2-minute default is a footgun); explicit
+			// flags still win, and -quick shrinks to a laptop-sized pass.
+			if o.trialsSet {
+				cfg.Trials = o.trials
+			}
+			if o.durationSet {
+				cfg.Duration = o.duration
+			} else if o.quick {
+				cfg.Duration = 5 * time.Second
+			}
+			if o.nodesSet || o.quick {
+				pops, err := experiment.ParsePopulations(o.nodes)
+				if err != nil {
+					return err
+				}
+				if o.nodesSet {
+					cfg.Populations = pops
+				} else {
+					cfg.Populations = []int{2_000, 20_000}
+				}
+			}
+			policies, err := experiment.ParseWidthPolicies(o.policies)
+			if err != nil {
+				return err
+			}
+			// The sharded sensor model has no idle-gap estimator; the plain
+			// "adaptive" arm and the default "all" both resolve to the
+			// turnover estimator it does implement.
+			cfg.Policies = massivePolicies(policies)
+			res, err := experiment.Massive(cfg)
+			if err != nil {
+				return err
+			}
+			emit("Massive population: width tracks T, not N", useCSV, res)
+			// Wall-clock throughput is real but nondeterministic, so it
+			// goes to stderr: stdout stays byte-stable across -parallel.
+			fmt.Fprint(os.Stderr, res.PerfNote())
+			return res.Check()
 		},
 		"strategies": func() error {
 			cfg := experiment.DefaultStrategiesConfig()
@@ -492,6 +562,24 @@ func run(args []string) error {
 		runErr = err
 	}
 	return runErr
+}
+
+// massivePolicies maps the -policies selection onto the arms the sharded
+// sensor model implements: "adaptive" folds into "adaptive-turnover" (the
+// model's only estimator), duplicates collapse, order is preserved.
+func massivePolicies(in []experiment.WidthPolicyKind) []experiment.WidthPolicyKind {
+	var out []experiment.WidthPolicyKind
+	seen := make(map[experiment.WidthPolicyKind]bool)
+	for _, p := range in {
+		if p == experiment.WidthAdaptive {
+			p = experiment.WidthAdaptiveTurnover
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // loadFaultScript parses a fault schedule file, wrapping parse errors

@@ -22,6 +22,7 @@ import (
 	"retri/internal/oracle"
 	"retri/internal/radio"
 	"retri/internal/runner"
+	"retri/internal/shard"
 	"retri/internal/sim"
 	"retri/internal/stats"
 	"retri/internal/xrand"
@@ -82,6 +83,10 @@ type ChaosConfig struct {
 	// of only at the end, so a long horizon cannot hide a transient
 	// violation behind later counters.
 	CheckpointEvery time.Duration
+	// ShardWindow, when positive, runs each trial's engine under the
+	// region-sharded driver in single-tile adopted mode with this
+	// lookahead window; output is byte-identical to the legacy path.
+	ShardWindow time.Duration
 	// Params overrides the radio parameters when non-nil.
 	Params *radio.Params
 	// Parallelism, Obs and Hooks behave exactly as in Figure4Config.
@@ -161,6 +166,9 @@ func (cfg ChaosConfig) Validate() error {
 	}
 	if cfg.CheckpointEvery < 0 || cfg.CheckpointEvery > cfg.Duration {
 		return fmt.Errorf("experiment: soak checkpoint period %v outside [0, %v]", cfg.CheckpointEvery, cfg.Duration)
+	}
+	if cfg.ShardWindow < 0 {
+		return fmt.Errorf("experiment: chaos shard window %v must be non-negative", cfg.ShardWindow)
 	}
 	if err := cfg.ARQ.Validate(); err != nil {
 		return err
@@ -609,7 +617,11 @@ func RunChaosTrial(cfg ChaosConfig, profile chaos.Profile, policy WidthPolicyKin
 		}
 	}
 
-	eng.Run()
+	if cfg.ShardWindow > 0 {
+		shard.DrainAdopted(eng, cfg.ShardWindow)
+	} else {
+		eng.Run()
+	}
 
 	out := ChaosOutcome{
 		Offered:        offered,

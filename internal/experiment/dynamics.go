@@ -19,6 +19,7 @@ import (
 	"retri/internal/oracle"
 	"retri/internal/radio"
 	"retri/internal/runner"
+	"retri/internal/shard"
 	"retri/internal/sim"
 	"retri/internal/stats"
 	"retri/internal/workload"
@@ -191,6 +192,13 @@ type DynamicsConfig struct {
 	// audited, and each row carries a merged oracle.Report. The oracle is
 	// strictly passive — enabling it leaves the simulation byte-identical.
 	Oracle bool
+	// ShardWindow, when positive, runs each trial's engine under the
+	// region-sharded driver (internal/shard) in single-tile adopted mode
+	// with this lookahead window instead of calling Run directly. The
+	// windowed replay preserves the event sequence and final clock
+	// exactly, so output is byte-identical to the legacy path — this is
+	// the equivalence bridge the sharded core is tested against.
+	ShardWindow time.Duration
 	// Parallelism, Obs and Hooks behave exactly as in Figure4Config.
 	Parallelism int
 	Obs         *Obs
@@ -236,6 +244,9 @@ func (cfg DynamicsConfig) Validate() error {
 	}
 	if cfg.PacketSize < 1 {
 		return fmt.Errorf("experiment: dynamics packet size %d must be positive", cfg.PacketSize)
+	}
+	if cfg.ShardWindow < 0 {
+		return fmt.Errorf("experiment: dynamics shard window %v must be non-negative", cfg.ShardWindow)
 	}
 	if cfg.FixedBits < 1 || cfg.FixedBits > 32 {
 		return fmt.Errorf("experiment: fixed width %d outside [1, 32]", cfg.FixedBits)
@@ -739,7 +750,11 @@ func RunDynamicsTrial(cfg DynamicsConfig, scenario DynScenario, policy WidthPoli
 		})
 	}
 
-	eng.Run()
+	if cfg.ShardWindow > 0 {
+		shard.DrainAdopted(eng, cfg.ShardWindow)
+	} else {
+		eng.Run()
+	}
 
 	out := DynamicsOutcome{
 		TruthDelivered: truth.Stats().Delivered,

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the acceptance contract for the sharded core's adopted
+// mode: running an existing sweep's engines under the shard driver
+// (single-tile, windowed, barrier-ticked) must leave the rendered output
+// byte-for-byte identical to the legacy eng.Run() path — including
+// energy meters, oracle reports and soak checkpoints, all of which are
+// sensitive to the exact final clock.
+
+// TestDynamicsShardWindowParity: the dynamics sweep, with the oracle
+// attached, is byte-identical with and without ShardWindow, at more than
+// one window size.
+func TestDynamicsShardWindowParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	cfg := smallDynamics()
+	cfg.Oracle = true
+	ref, err := Dynamics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, win := range []time.Duration{500 * time.Microsecond, 3 * time.Millisecond, 40 * time.Millisecond} {
+		cfg.ShardWindow = win
+		got, err := Dynamics(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Render() != got.Render() {
+			t.Errorf("window %v: Render diverged\n--- legacy:\n%s--- sharded:\n%s", win, ref.Render(), got.Render())
+		}
+		if ref.CSV() != got.CSV() {
+			t.Errorf("window %v: CSV diverged", win)
+		}
+	}
+}
+
+// TestChaosShardWindowParity: the chaos sweep — compound faults, ARQ,
+// soak checkpoints — is byte-identical under the windowed driver.
+func TestChaosShardWindowParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	cfg := smallChaos()
+	ref, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ShardWindow = 2 * time.Millisecond
+	got, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Render() != got.Render() {
+		t.Errorf("Render diverged\n--- legacy:\n%s--- sharded:\n%s", ref.Render(), got.Render())
+	}
+	if ref.CSV() != got.CSV() {
+		t.Errorf("CSV diverged")
+	}
+	// The oracle gate must agree too: same violations (none) either way.
+	for i, r := range got.Rows {
+		if r.Oracle == nil {
+			t.Fatalf("row %d: no oracle report under ShardWindow", i)
+		}
+		if err := r.Oracle.Check(); err != nil {
+			t.Errorf("row %d: oracle violation under ShardWindow: %v", i, err)
+		}
+	}
+}
+
+// TestShardWindowValidation: negative windows are rejected by both sweeps.
+func TestShardWindowValidation(t *testing.T) {
+	d := DefaultDynamicsConfig()
+	d.ShardWindow = -time.Millisecond
+	if err := d.Validate(); err == nil {
+		t.Error("dynamics accepted a negative shard window")
+	}
+	c := DefaultChaosConfig()
+	c.ShardWindow = -time.Millisecond
+	if err := c.Validate(); err == nil {
+		t.Error("chaos accepted a negative shard window")
+	}
+}

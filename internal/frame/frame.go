@@ -163,7 +163,7 @@ func (c AFFCodec) EncodeIntro(in Intro) ([]byte, int, error) {
 	if in.TotalLen < 0 || in.TotalLen > MaxPacketLen {
 		return nil, 0, fmt.Errorf("%w: total length %d", ErrBadField, in.TotalLen)
 	}
-	w := bitio.NewWriter()
+	w := getWriter()
 	mustWrite(w, kindIntro, kindBits)
 	c.writeWidth(w)
 	mustWrite(w, in.ID, c.IDBits)
@@ -172,7 +172,7 @@ func (c AFFCodec) EncodeIntro(in Intro) ([]byte, int, error) {
 	writeTruth(w, c.Instrument, in.Truth)
 	bits := w.Len()
 	w.Align()
-	return w.Bytes(), bits, nil
+	return seal(w), bits, nil
 }
 
 // EncodeData serializes a data fragment, returning the frame bytes and the
@@ -191,7 +191,7 @@ func (c AFFCodec) EncodeData(d Data) ([]byte, int, error) {
 	if len(d.Payload) == 0 {
 		return nil, 0, fmt.Errorf("%w: empty data fragment", ErrBadField)
 	}
-	w := bitio.NewWriter()
+	w := getWriter()
 	mustWrite(w, kindData, kindBits)
 	c.writeWidth(w)
 	mustWrite(w, d.ID, c.IDBits)
@@ -199,7 +199,8 @@ func (c AFFCodec) EncodeData(d Data) ([]byte, int, error) {
 	writeTruth(w, c.Instrument, d.Truth)
 	w.Align()
 	w.WriteBytes(d.Payload)
-	return w.Bytes(), w.Len(), nil
+	bits := w.Len()
+	return seal(w), bits, nil
 }
 
 // Decode parses a fragment. It returns *Intro or *Data.

@@ -1,0 +1,38 @@
+package frame
+
+import (
+	"sync"
+
+	"retri/internal/bitio"
+)
+
+// Encoders are the hottest allocation site in a trial: every fragment of
+// every transaction builds a bit-packed buffer, and the zero-value
+// bitio.Writer grows it through the append size ladder — seven
+// allocations for a typical instrumented frame. The pool below keeps
+// warmed writers around so an encode costs exactly one allocation: the
+// sealed output buffer.
+//
+// Sealing copies rather than aliasing: encoded frames outlive the encode
+// call by design (the medium holds them in flight, receivers retain
+// decoded payloads), so the writer's internal buffer can never be handed
+// out. The copy is exact-size, which also keeps frames from pinning a
+// writer-sized backing array.
+var writerPool = sync.Pool{New: func() any { return bitio.NewWriter() }}
+
+// getWriter returns an empty pooled writer.
+func getWriter() *bitio.Writer {
+	w := writerPool.Get().(*bitio.Writer)
+	w.Reset()
+	return w
+}
+
+// seal copies the writer's packed bytes into an exact-size buffer and
+// returns the writer to the pool. The writer must not be used afterwards.
+func seal(w *bitio.Writer) []byte {
+	src := w.Bytes()
+	out := make([]byte, len(src))
+	copy(out, src)
+	writerPool.Put(w)
+	return out
+}

@@ -88,7 +88,7 @@ func (c StaticCodec) EncodeIntro(in StaticIntro) ([]byte, int, error) {
 	if in.TotalLen < 0 || in.TotalLen > MaxPacketLen {
 		return nil, 0, fmt.Errorf("%w: total length %d", ErrBadField, in.TotalLen)
 	}
-	w := bitio.NewWriter()
+	w := getWriter()
 	mustWrite(w, kindIntro, kindBits)
 	mustWrite(w, in.Src, c.AddrBits)
 	mustWrite(w, in.Seq, c.SeqBits)
@@ -96,7 +96,7 @@ func (c StaticCodec) EncodeIntro(in StaticIntro) ([]byte, int, error) {
 	mustWrite(w, uint64(in.Checksum), checksumBits)
 	bits := w.Len()
 	w.Align()
-	return w.Bytes(), bits, nil
+	return seal(w), bits, nil
 }
 
 // EncodeData serializes a data fragment, returning the frame bytes and the
@@ -114,14 +114,15 @@ func (c StaticCodec) EncodeData(d StaticData) ([]byte, int, error) {
 	if len(d.Payload) == 0 {
 		return nil, 0, fmt.Errorf("%w: empty data fragment", ErrBadField)
 	}
-	w := bitio.NewWriter()
+	w := getWriter()
 	mustWrite(w, kindData, kindBits)
 	mustWrite(w, d.Src, c.AddrBits)
 	mustWrite(w, d.Seq, c.SeqBits)
 	mustWrite(w, uint64(d.Offset), offsetBits)
 	w.Align()
 	w.WriteBytes(d.Payload)
-	return w.Bytes(), w.Len(), nil
+	bits := w.Len()
+	return seal(w), bits, nil
 }
 
 // Decode parses a fragment, returning *StaticIntro or *StaticData.

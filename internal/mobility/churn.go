@@ -162,6 +162,18 @@ func (p DutyCycle) Validate() error {
 	return nil
 }
 
+// AwakeFraction is the cycle's stationary probability of being awake,
+// MeanUp/(MeanUp+MeanDown) — the factor that converts a spatial node
+// density into the awake density the paper's T rides on. Zero for a
+// degenerate (unvalidated) cycle.
+func (p DutyCycle) AwakeFraction() float64 {
+	total := p.MeanUp + p.MeanDown
+	if total <= 0 {
+		return 0
+	}
+	return float64(p.MeanUp) / float64(total)
+}
+
 // StartDutyCycle runs the cycle for a registered node until the horizon,
 // drawing from rng. No new sleep begins at or after the horizon, and an
 // in-progress sleep always ends with a wake, so a bounded run finishes

@@ -212,6 +212,24 @@ func TestChurnerMembership(t *testing.T) {
 	}
 }
 
+// TestDutyCycleAwakeFraction: the stationary awake probability, including
+// the degenerate zero-value cycle.
+func TestDutyCycleAwakeFraction(t *testing.T) {
+	cases := []struct {
+		d    DutyCycle
+		want float64
+	}{
+		{DutyCycle{MeanUp: time.Second, MeanDown: 3 * time.Second}, 0.25},
+		{DutyCycle{MeanUp: 200 * time.Millisecond, MeanDown: 9800 * time.Millisecond}, 0.02},
+		{DutyCycle{}, 0},
+	}
+	for _, c := range cases {
+		if got := c.d.AwakeFraction(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("AwakeFraction(%v/%v) = %v, want %v", c.d.MeanUp, c.d.MeanDown, got, c.want)
+		}
+	}
+}
+
 // TestDutyCycleEndsAwake: the horizon contract — no new sleep starts at or
 // after the horizon and in-progress sleeps always wake, so a bounded run
 // finishes with the node up.

@@ -206,9 +206,15 @@ type Medium struct {
 	nodes map[NodeID]*Radio
 	// order lists attached IDs in attachment order so delivery iteration
 	// (and therefore random-loss draw order) is deterministic.
-	order    []NodeID
-	onAir    []*transmission
-	waiters  []*Radio
+	order   []NodeID
+	onAir   []*transmission
+	waiters []*Radio
+	// free recycles transmission records. A record is recycled only by
+	// prune, which drops it only when its airtime ended strictly before a
+	// later transmission's start — so its completion event has already
+	// fired and no scheduled closure still holds it. This keeps the
+	// per-frame hot path (begin) allocation-free in steady state.
+	free     []*transmission
 	ctr      Counters
 	tracer   trace.Tracer
 	observer FrameObserver
@@ -380,7 +386,15 @@ func (m *Medium) kickWaiters() {
 // begin puts a frame on the air and schedules its delivery.
 func (m *Medium) begin(r *Radio, f Frame) {
 	now := m.eng.Now()
-	t := &transmission{
+	var t *transmission
+	if n := len(m.free); n > 0 {
+		t = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+	} else {
+		t = new(transmission)
+	}
+	*t = transmission{
 		from:  r.id,
 		frame: f,
 		start: now,
@@ -496,15 +510,20 @@ func (m *Medium) collidedAt(t *transmission, id NodeID) bool {
 }
 
 // prune drops transmissions that can no longer overlap anything delivered
-// at or after the given start time.
+// at or after the given start time, recycling them onto the freelist.
+// Dropped records are collected inside the in-place filter — the tail
+// slots after compaction may alias kept entries, so they are only
+// cleared, never recycled.
 func (m *Medium) prune(before time.Duration) {
 	kept := m.onAir[:0]
 	for _, o := range m.onAir {
 		if o.end > before {
 			kept = append(kept, o)
+		} else {
+			o.frame = Frame{} // drop the payload reference before reuse
+			m.free = append(m.free, o)
 		}
 	}
-	// Zero the tail so pruned transmissions can be collected.
 	for i := len(kept); i < len(m.onAir); i++ {
 		m.onAir[i] = nil
 	}

@@ -2,7 +2,6 @@ package radio
 
 import (
 	"math"
-	"sort"
 )
 
 // NodeID identifies a radio on a medium. IDs are assigned by the caller and
@@ -178,6 +177,32 @@ func (u *UnitDisk) Place(id NodeID, p Point) {
 	u.gridAdd(id, p)
 }
 
+// Placement pairs a node with a position for batch moves.
+type Placement struct {
+	ID NodeID
+	At Point
+}
+
+// MoveAll applies a batch of placements: the mobility-step fast path for
+// large populations. The grid is synchronized once up front, then every
+// entry takes Place's incremental path — a move within one cell costs two
+// map operations, a cell crossing four. Entries are applied in order, so
+// a duplicate ID ends up at its last position.
+func (u *UnitDisk) MoveAll(batch []Placement) {
+	u.syncGrid()
+	for _, m := range batch {
+		if old, ok := u.positions[m.ID]; ok {
+			if u.cellOf(old) == u.cellOf(m.At) {
+				u.positions[m.ID] = m.At
+				continue
+			}
+			u.gridRemove(m.ID, old)
+		}
+		u.positions[m.ID] = m.At
+		u.gridAdd(m.ID, m.At)
+	}
+}
+
 // Remove forgets a node's position and frees its grid slot. A node that
 // has churned out of the network keeps no topology state; Connected
 // reports false for it until the next Place.
@@ -213,13 +238,25 @@ func (u *UnitDisk) Connected(from, to NodeID) bool {
 // 3×3 cell block around the node's cell; with cells the size of the radio
 // range that block covers every possible neighbor.
 func (u *UnitDisk) Neighbors(id NodeID) []NodeID {
+	out := u.NeighborsAppend(id, nil)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// NeighborsAppend appends id's in-range neighbors to out and returns the
+// extended slice, sorted ascending over the appended region. With a
+// caller-reused buffer the query is allocation-free — the tile-scoped
+// form the sharded core's per-window neighbor scans use.
+func (u *UnitDisk) NeighborsAppend(id NodeID, out []NodeID) []NodeID {
 	u.syncGrid()
 	p, ok := u.positions[id]
 	if !ok {
-		return nil
+		return out
 	}
+	base := len(out)
 	center := u.cellOf(p)
-	var out []NodeID
 	for dx := int32(-1); dx <= 1; dx++ {
 		for dy := int32(-1); dy <= 1; dy++ {
 			cell, ok := u.cells[cellKey{center.x + dx, center.y + dy}]
@@ -236,7 +273,14 @@ func (u *UnitDisk) Neighbors(id NodeID) []NodeID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Insertion sort: neighbor sets are small (tens of nodes) and
+	// sort.Slice's closure would be this query's only allocation.
+	fresh := out[base:]
+	for i := 1; i < len(fresh); i++ {
+		for j := i; j > 0 && fresh[j] < fresh[j-1]; j-- {
+			fresh[j], fresh[j-1] = fresh[j-1], fresh[j]
+		}
+	}
 	return out
 }
 

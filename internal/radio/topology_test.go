@@ -181,6 +181,83 @@ func TestUnitDiskNeighborsMatchesConnected(t *testing.T) {
 	check()
 }
 
+// TestUnitDiskMoveAll: the batch move must be equivalent to a sequence of
+// Place calls — same positions, same grid (checked through Neighbors) —
+// including cell crossings, first-time placements, duplicate IDs and a
+// stale grid from a direct Range mutation.
+func TestUnitDiskMoveAll(t *testing.T) {
+	seq := NewUnitDisk(7)
+	bat := NewUnitDisk(7)
+	init := []Point{{0, 0}, {3, 4}, {10, 10}, {-5, 2}, {6.9, 0}}
+	for i, p := range init {
+		seq.Place(NodeID(i), p)
+		bat.Place(NodeID(i), p)
+	}
+	moves := []Placement{
+		{ID: 0, At: Point{X: 20, Y: 20}},  // cell crossing
+		{ID: 1, At: Point{X: 3.5, Y: 4}},  // within-cell move
+		{ID: 5, At: Point{X: 1, Y: 1}},    // first placement via batch
+		{ID: 0, At: Point{X: 2, Y: 2}},    // duplicate ID: last wins
+		{ID: 3, At: Point{X: -12, Y: -1}}, // negative-coordinate crossing
+	}
+	bat.Range = 9 // stale grid: MoveAll must resync before indexing
+	seq.Range = 9
+	for _, m := range moves {
+		seq.Place(m.ID, m.At)
+	}
+	bat.MoveAll(moves)
+	for id := NodeID(0); id <= 5; id++ {
+		sp, sok := seq.Position(id)
+		bp, bok := bat.Position(id)
+		if sok != bok || sp != bp {
+			t.Errorf("node %d: sequential (%v,%v) vs batch (%v,%v)", id, sp, sok, bp, bok)
+		}
+		sn, bn := seq.Neighbors(id), bat.Neighbors(id)
+		if len(sn) != len(bn) {
+			t.Fatalf("node %d: neighbors %v vs %v", id, sn, bn)
+		}
+		for i := range sn {
+			if sn[i] != bn[i] {
+				t.Fatalf("node %d: neighbors %v vs %v", id, sn, bn)
+			}
+		}
+	}
+}
+
+// TestUnitDiskNeighborsAppend: the append form must extend the given
+// buffer in place, sort only the appended region, and agree with
+// Neighbors; an unplaced node appends nothing.
+func TestUnitDiskNeighborsAppend(t *testing.T) {
+	u := NewUnitDisk(10)
+	for i, p := range []Point{{0, 0}, {3, 0}, {6, 0}, {9, 0}, {30, 30}} {
+		u.Place(NodeID(i), p)
+	}
+	prefix := []NodeID{99, 98} // must survive untouched and unsorted
+	out := u.NeighborsAppend(1, prefix)
+	if out[0] != 99 || out[1] != 98 {
+		t.Fatalf("prefix disturbed: %v", out)
+	}
+	got := out[2:]
+	want := u.Neighbors(1)
+	if len(got) != len(want) {
+		t.Fatalf("NeighborsAppend %v vs Neighbors %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NeighborsAppend %v vs Neighbors %v", got, want)
+		}
+	}
+	if more := u.NeighborsAppend(77, out); len(more) != len(out) {
+		t.Errorf("unplaced node appended %d entries", len(more)-len(out))
+	}
+	// Reuse without reallocation: a second query into the same buffer.
+	buf := out[:0]
+	buf = u.NeighborsAppend(0, buf)
+	if len(buf) != u.NeighborCount(0) {
+		t.Errorf("reused buffer query returned %d, want %d", len(buf), u.NeighborCount(0))
+	}
+}
+
 func TestPointDist(t *testing.T) {
 	d := Point{X: 1, Y: 2}.Dist(Point{X: 4, Y: 6})
 	if math.Abs(d-5) > 1e-12 {

@@ -1,0 +1,109 @@
+package shard
+
+// Geometry partitions a rectangular world into a TX x TY grid of square
+// tiles of side Tile. The world spans [0, TX*Tile) x [0, TY*Tile). Each
+// tile is one region of the sharded engine; with the tile side no smaller
+// than the radio range, a transmission can only be audible inside the 3x3
+// tile block around its origin, which is what bounds the boundary-exchange
+// fan-out.
+type Geometry struct {
+	TX, TY int
+	Tile   float64
+}
+
+// SquareGeometry returns a near-square grid of n tiles (TX*TY >= n,
+// TX >= TY) with the given tile side.
+func SquareGeometry(n int, tile float64) Geometry {
+	if n < 1 {
+		n = 1
+	}
+	tx := 1
+	for tx*tx < n {
+		tx++
+	}
+	ty := (n + tx - 1) / tx
+	return Geometry{TX: tx, TY: ty, Tile: tile}
+}
+
+// Tiles reports the tile count.
+func (g Geometry) Tiles() int { return g.TX * g.TY }
+
+// W and H report the world extent.
+func (g Geometry) W() float64 { return float64(g.TX) * g.Tile }
+func (g Geometry) H() float64 { return float64(g.TY) * g.Tile }
+
+// Rect returns tile i's bounds [x0, x1) x [y0, y1).
+func (g Geometry) Rect(i int) (x0, y0, x1, y1 float64) {
+	cx, cy := i%g.TX, i/g.TX
+	x0 = float64(cx) * g.Tile
+	y0 = float64(cy) * g.Tile
+	return x0, y0, x0 + g.Tile, y0 + g.Tile
+}
+
+// TileOf returns the tile index owning point (x, y), clamping points on or
+// beyond the outer edge into the border tile so callers need not special-
+// case the world boundary.
+func (g Geometry) TileOf(x, y float64) int {
+	cx := int(x / g.Tile)
+	cy := int(y / g.Tile)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.TX {
+		cx = g.TX - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.TY {
+		cy = g.TY - 1
+	}
+	return cy*g.TX + cx
+}
+
+// TilesTouching appends to into the indices of every tile whose rectangle
+// intersects the closed disk of radius r around (x, y) — the set of tiles
+// that might hold a receiver in range of a transmission at that point.
+// Indices are appended in ascending order, so routing is deterministic.
+func (g Geometry) TilesTouching(x, y, r float64, into []int32) []int32 {
+	lox, hix := int((x-r)/g.Tile), int((x+r)/g.Tile)
+	loy, hiy := int((y-r)/g.Tile), int((y+r)/g.Tile)
+	if x-r < 0 {
+		lox = 0
+	}
+	if y-r < 0 {
+		loy = 0
+	}
+	if hix >= g.TX {
+		hix = g.TX - 1
+	}
+	if hiy >= g.TY {
+		hiy = g.TY - 1
+	}
+	for cy := loy; cy <= hiy; cy++ {
+		for cx := lox; cx <= hix; cx++ {
+			// Rect-disk intersection: clamp the center into the rect and
+			// compare the residual distance against r.
+			x0 := float64(cx) * g.Tile
+			y0 := float64(cy) * g.Tile
+			dx := clampResidual(x, x0, x0+g.Tile)
+			dy := clampResidual(y, y0, y0+g.Tile)
+			if dx*dx+dy*dy <= r*r {
+				into = append(into, int32(cy*g.TX+cx))
+			}
+		}
+	}
+	return into
+}
+
+// clampResidual returns the distance from v to the interval [lo, hi]
+// (zero when inside).
+func clampResidual(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo - v
+	}
+	if v > hi {
+		return v - hi
+	}
+	return 0
+}

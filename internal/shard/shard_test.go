@@ -1,0 +1,258 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"retri/internal/mobility"
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+// --- geometry ---
+
+// TestGeometryTiling: every point maps to the tile whose rect contains it.
+func TestGeometryTiling(t *testing.T) {
+	g := SquareGeometry(12, 10)
+	if g.Tiles() < 12 {
+		t.Fatalf("SquareGeometry(12): only %d tiles", g.Tiles())
+	}
+	for i := 0; i < g.Tiles(); i++ {
+		x0, y0, x1, y1 := g.Rect(i)
+		cx, cy := (x0+x1)/2, (y0+y1)/2
+		if got := g.TileOf(cx, cy); got != i {
+			t.Errorf("TileOf(center of %d) = %d", i, got)
+		}
+	}
+	// Out-of-world points clamp to border tiles rather than panicking.
+	if got := g.TileOf(-5, -5); got != 0 {
+		t.Errorf("TileOf(-5,-5) = %d, want 0", got)
+	}
+	if got := g.TileOf(g.W()+1, g.H()+1); got != g.Tiles()-1 {
+		t.Errorf("TileOf(beyond) = %d, want %d", got, g.Tiles()-1)
+	}
+}
+
+// TestTilesTouching: the routed set must contain every tile that holds a
+// point within range, for senders at centers, edges and corners.
+func TestTilesTouching(t *testing.T) {
+	g := SquareGeometry(9, 10) // 3x3 world
+	cases := []struct {
+		x, y float64
+		want []int32
+	}{
+		{15, 15, []int32{0, 1, 2, 3, 4, 5, 6, 7, 8}}, // center of middle tile: full 3x3 (r == tile side)
+		{5, 5, []int32{0, 1, 3, 4}},                  // center of corner tile
+		{0.5, 0.5, []int32{0, 1, 3}},                 // deep corner: diagonal tile 4's corner (10,10) is ~13.4 away, out of range
+	}
+	for _, c := range cases {
+		got := g.TilesTouching(c.x, c.y, 10, nil)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("TilesTouching(%g,%g): got %v want %v", c.x, c.y, got, c.want)
+		}
+	}
+	// Conservative completeness on a grid of probe points: if any point p
+	// in tile j is within r of (x, y), j must be in the routed set.
+	g2 := SquareGeometry(16, 7)
+	const r = 7.0
+	for _, src := range [][2]float64{{3, 3}, {13.9, 7.1}, {20, 20}, {27.9, 0.1}} {
+		routed := map[int32]bool{}
+		for _, ti := range g2.TilesTouching(src[0], src[1], r, nil) {
+			routed[ti] = true
+		}
+		for px := 0.0; px < g2.W(); px += 1.7 {
+			for py := 0.0; py < g2.H(); py += 1.7 {
+				dx, dy := px-src[0], py-src[1]
+				if dx*dx+dy*dy <= r*r && !routed[int32(g2.TileOf(px, py))] {
+					t.Fatalf("sender (%g,%g): in-range point (%g,%g) in unrouted tile %d",
+						src[0], src[1], px, py, g2.TileOf(px, py))
+				}
+			}
+		}
+	}
+}
+
+// --- adopted legacy engine ---
+
+// TestDrainAdoptedMatchesRun: windowed execution of a legacy engine must
+// preserve the event sequence and the final clock exactly, including
+// events that schedule more events across window boundaries.
+func TestDrainAdoptedMatchesRun(t *testing.T) {
+	build := func() (*sim.Engine, *[]string) {
+		eng := sim.NewEngine()
+		var order []string
+		add := func(name string, d time.Duration) { eng.Schedule(d, func() { order = append(order, name) }) }
+		add("a", 3*time.Millisecond)
+		add("b", 3*time.Millisecond) // same instant: scheduling order must hold
+		eng.Schedule(5*time.Millisecond, func() {
+			order = append(order, "c")
+			// Cascades landing inside, at, and beyond the next barrier.
+			eng.Schedule(1500*time.Microsecond, func() { order = append(order, "c1") })
+			eng.Schedule(7*time.Millisecond, func() { order = append(order, "c2") })
+		})
+		add("d", 40*time.Millisecond)
+		return eng, &order
+	}
+
+	ref, refOrder := build()
+	ref.Run()
+
+	win, winOrder := build()
+	stats := DrainAdopted(win, 2*time.Millisecond)
+	if !reflect.DeepEqual(*refOrder, *winOrder) {
+		t.Fatalf("event order diverged:\nrun:   %v\nshard: %v", *refOrder, *winOrder)
+	}
+	if ref.Now() != win.Now() {
+		t.Fatalf("final clock diverged: run %v, shard %v", ref.Now(), win.Now())
+	}
+	if ref.Processed() != win.Processed() {
+		t.Fatalf("processed diverged: run %d, shard %d", ref.Processed(), win.Processed())
+	}
+	if stats.Windows == 0 {
+		t.Fatal("no windows executed")
+	}
+}
+
+// --- sensor cluster ---
+
+func testConfig(nodes, perTile int) SensorConfig {
+	return SensorConfig{
+		Nodes:        nodes,
+		NodesPerTile: perTile,
+		Range:        10,
+		Duty:         mobility.DutyCycle{MeanUp: 400 * time.Millisecond, MeanDown: 600 * time.Millisecond},
+		SendGap:      60 * time.Millisecond,
+		Fragments:    3,
+		FrameAir:     2 * time.Millisecond,
+		FragGap:      time.Millisecond,
+		DataBits:     384,
+		Adaptive:     true,
+		MinBits:      2,
+		MaxBits:      24,
+		FrameLoss:    0.02,
+		ProbeEvery:   100 * time.Millisecond,
+		AuditEvery:   1, // audit everything in tests
+	}
+}
+
+func runCluster(t *testing.T, cfg SensorConfig, seed uint64, workers int, horizon time.Duration) (Counters, RunStats) {
+	t.Helper()
+	cl, err := NewCluster(cfg, xrand.NewSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(cfg.FrameAir, workers, cl.Regions()...)
+	defer eng.Close()
+	eng.Router = cl
+	eng.OnBarrier = cl.OnBarrier
+	eng.Run(horizon)
+	return cl.Counters(), eng.Stats()
+}
+
+// TestClusterDeterminism: a multi-tile trial must produce identical
+// counters at every worker count — the byte-stability contract. Run under
+// -race this also exercises the absence of cross-tile data races.
+func TestClusterDeterminism(t *testing.T) {
+	cfg := testConfig(600, 40) // 15 tiles, forced boundary traffic
+	ref, refStats := runCluster(t, cfg, 7, 1, time.Second)
+	if ref.Offered == 0 || ref.TruthPairs == 0 {
+		t.Fatalf("degenerate trial: %+v", ref)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got, gotStats := runCluster(t, cfg, 7, workers, time.Second)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: counters diverge\nref: %+v\ngot: %+v", workers, ref, got)
+		}
+		if refStats != gotStats {
+			t.Errorf("workers=%d: driver stats diverge: %+v vs %+v", workers, refStats, gotStats)
+		}
+	}
+}
+
+// TestClusterSeedSensitivity: different seeds must give different worlds.
+func TestClusterSeedSensitivity(t *testing.T) {
+	cfg := testConfig(200, 40)
+	a, _ := runCluster(t, cfg, 1, 2, time.Second)
+	b, _ := runCluster(t, cfg, 2, 2, time.Second)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("seeds 1 and 2 produced identical counters")
+	}
+}
+
+// TestClusterInvariants: audited runs must uphold the paper's invariants
+// and basic conservation between the reassemblers.
+func TestClusterInvariants(t *testing.T) {
+	cfg := testConfig(600, 40)
+	ctr, stats := runCluster(t, cfg, 11, 4, time.Second)
+	if ctr.Misdeliveries != 0 {
+		t.Errorf("never-misdeliver violated %d times", ctr.Misdeliveries)
+	}
+	if ctr.FreshnessViolations != 0 {
+		t.Errorf("identifier freshness violated %d times", ctr.FreshnessViolations)
+	}
+	if ctr.Delivered > ctr.TruthPairs {
+		t.Errorf("delivered %d > physically complete %d", ctr.Delivered, ctr.TruthPairs)
+	}
+	if ctr.AuditedDeliveries != ctr.Delivered {
+		t.Errorf("AuditEvery=1 but audited %d of %d deliveries", ctr.AuditedDeliveries, ctr.Delivered)
+	}
+	if cr := ctr.CollisionRate(); cr < 0 || cr > 1 {
+		t.Errorf("collision rate %g out of range", cr)
+	}
+	if ctr.Probes == 0 || ctr.MeanT() < 1 {
+		t.Errorf("probes broken: %d probes, meanT %g", ctr.Probes, ctr.MeanT())
+	}
+	if stats.Exchanged == 0 {
+		t.Error("no records crossed the barrier in a multi-tile trial")
+	}
+	if w := ctr.MeanWidth(); w < float64(cfg.MinBits) || w > float64(cfg.MaxBits) {
+		t.Errorf("mean width %g outside [%d, %d]", w, cfg.MinBits, cfg.MaxBits)
+	}
+}
+
+// TestClusterFixedWidthArm: the fixed arm must report exactly FixedBits.
+func TestClusterFixedWidthArm(t *testing.T) {
+	cfg := testConfig(200, 40)
+	cfg.Adaptive = false
+	cfg.FixedBits = 8
+	ctr, _ := runCluster(t, cfg, 5, 2, time.Second)
+	if ctr.Offered == 0 {
+		t.Fatal("no transactions offered")
+	}
+	if w := ctr.MeanWidth(); w != 8 {
+		t.Errorf("fixed arm mean width %g, want 8", w)
+	}
+}
+
+// TestSensorConfigValidate rejects the corners the model cannot represent.
+func TestSensorConfigValidate(t *testing.T) {
+	good := testConfig(100, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*SensorConfig){
+		func(c *SensorConfig) { c.Nodes = 0 },
+		func(c *SensorConfig) { c.NodesPerTile = 0 },
+		func(c *SensorConfig) { c.Range = 0 },
+		func(c *SensorConfig) { c.SendGap = 0 },
+		func(c *SensorConfig) { c.Fragments = 0 },
+		func(c *SensorConfig) { c.Fragments = 17 },
+		func(c *SensorConfig) { c.FrameAir = 0 },
+		func(c *SensorConfig) { c.FragGap = -1 },
+		func(c *SensorConfig) { c.DataBits = 0 },
+		func(c *SensorConfig) { c.MinBits = 0 },
+		func(c *SensorConfig) { c.MinBits = 12; c.MaxBits = 4 },
+		func(c *SensorConfig) { c.Adaptive = false; c.FixedBits = 0 },
+		func(c *SensorConfig) { c.FrameLoss = 1 },
+		func(c *SensorConfig) { c.AuditEvery = -1 },
+		func(c *SensorConfig) { c.Duty.MeanUp = 0 },
+	}
+	for i, mut := range bad {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

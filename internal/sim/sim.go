@@ -209,6 +209,19 @@ func (e *Engine) RunFor(d time.Duration) {
 	e.RunUntil(e.now + d)
 }
 
+// NextAt reports the timestamp of the earliest pending event, if any. The
+// sharded driver (internal/shard) uses it to window a legacy engine without
+// ever advancing the clock past the last event actually executed — which is
+// what keeps windowed replay byte-identical to Run (listening-energy meters
+// accrue up to Now, so overshooting the final event would change them).
+func (e *Engine) NextAt() (time.Duration, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // peek returns the earliest uncancelled event without executing it.
 func (e *Engine) peek() *event {
 	for len(e.events) > 0 {
