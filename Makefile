@@ -13,18 +13,21 @@ FUZZ_TARGETS := \
 	./internal/frame/:FuzzStaticDecode \
 	./internal/frame/:FuzzAFFBitFlip \
 	./internal/frame/:FuzzStaticBitFlip \
-	./internal/mobility/:FuzzMobilityScript
+	./internal/mobility/:FuzzMobilityScript \
+	./internal/flood/:FuzzRelayEnvelope
 
 # Packages whose statement coverage `make cover` gates, with the floor in
 # percent. The density/adapt/oracle chain is the correctness core of the
 # adaptive-width story: the estimators feed the controller, and the oracle
 # is the harness that judges both, so holes there are holes in the proof.
-COVER_PKGS := internal/density internal/adapt internal/oracle
+# dynaddr is the conventional baseline the comparisons lean on — an
+# untested baseline would make every "RETRI avoids this" claim soft.
+COVER_PKGS := internal/density internal/adapt internal/oracle internal/dynaddr
 COVER_FLOOR := 80
 
-.PHONY: check vet build test race fuzz benchsmoke benchcompare bench profile cover trace-demo chaossmoke scalesmoke
+.PHONY: check vet build test race fuzz benchsmoke benchcompare bench profile cover trace-demo chaossmoke scalesmoke multihopsmoke
 
-check: vet build race fuzz benchcompare cover trace-demo chaossmoke scalesmoke
+check: vet build race fuzz benchcompare cover trace-demo chaossmoke scalesmoke multihopsmoke
 
 vet:
 	$(GO) vet ./...
@@ -57,7 +60,7 @@ fuzz:
 # (minimum over repeats: shared-host steal time only ever inflates a
 # timing) and leaves BENCH_$(PR).json behind: smoke coverage for
 # everything, trustworthy ns/op for the benchmarks the perf gate reads.
-PR ?= 9
+PR ?= 10
 GATED_BENCH := ^Benchmark(AFFEncodeData|AFFDecodeData|Medium|ScheduleRun)
 GATED_PKGS := ./internal/frame/ ./internal/radio/ ./internal/sim/
 SHARD_BENCH := ^BenchmarkShard
@@ -149,3 +152,17 @@ scalesmoke:
 		-parallel 0 > profiles/massive_p0.txt
 	cmp profiles/massive_p1.txt profiles/massive_p0.txt
 	@echo "scalesmoke: 100k-node sharded trial byte-stable across -parallel"
+
+# multihopsmoke is the multi-hop regional-dynamics gate: all three arms
+# (fixed, adaptive-turnover, dynaddr) on a short trial with the always-on
+# oracle audit — any misdelivery or freshness violation on the relayed
+# wire fails the run — once sequentially and once on all CPUs, with
+# byte-identical stdout as the determinism contract.
+multihopsmoke:
+	mkdir -p profiles
+	$(GO) run ./cmd/retri-experiments -figure multihop -trials 2 -duration 10s \
+		-parallel 1 > profiles/multihop_p1.txt
+	$(GO) run ./cmd/retri-experiments -figure multihop -trials 2 -duration 10s \
+		-parallel 0 > profiles/multihop_p0.txt
+	cmp profiles/multihop_p1.txt profiles/multihop_p0.txt
+	@echo "multihopsmoke: all arms audited, byte-stable across -parallel"

@@ -15,6 +15,8 @@
 //	retri-experiments -figure dynamics -mobility-script moves.txt
 //	retri-experiments -figure chaos -chaos-profiles storm,cascade
 //	retri-experiments -figure chaos -soak 10s -duration 10m
+//	retri-experiments -figure multihop -regions 4
+//	retri-experiments -figure multihop -arms fixed,dynaddr -quick
 package main
 
 import (
@@ -76,6 +78,9 @@ type options struct {
 	// Chaos knobs for -figure chaos.
 	chaosProfiles string
 	soak          time.Duration
+	// Multihop knobs for -figure multihop.
+	multihopArms string
+	regions      int
 	// Observability outputs. All of them write to side files or stderr;
 	// stdout is byte-identical with or without them.
 	traceOut    string
@@ -93,7 +98,7 @@ type options struct {
 func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("retri-experiments", flag.ContinueOnError)
 	var o options
-	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling, strategies, recovery, dynamics, chaos or all")
+	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 2, 3, 4, scaling, strategies, recovery, dynamics, chaos, multihop or all")
 	fs.StringVar(&o.ablation, "ablation", "", "ablation to run: window, hidden, mac, lengths, flood, estimator, lifetime, churn or all")
 	fs.IntVar(&o.trials, "trials", 10, "trials per configuration (figure 4 and ablations)")
 	fs.DurationVar(&o.duration, "duration", 2*time.Minute, "simulated time per trial")
@@ -122,6 +127,8 @@ func parseArgs(args []string) (options, error) {
 	fs.DurationVar(&o.shardWindow, "shard-window", 0, "run -figure dynamics/chaos trials under the sharded driver (single tile) with this lookahead window; 0 uses the legacy engine")
 	fs.StringVar(&o.chaosProfiles, "chaos-profiles", "all", "compound-fault profiles for -figure chaos: comma list of calm, storm, cascade; or all")
 	fs.DurationVar(&o.soak, "soak", 0, "soak mode for -figure chaos: audit oracle invariants at this interval inside every trial (0 disables)")
+	fs.StringVar(&o.multihopArms, "arms", "all", "protocol arms for -figure multihop: comma list of fixed, adaptive-turnover, dynaddr; or all")
+	fs.IntVar(&o.regions, "regions", 3, "per-region width table grid for -figure multihop: the field splits into regions x regions cells")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -145,8 +152,14 @@ func parseArgs(args []string) (options, error) {
 	if _, err := experiment.ParsePopulations(o.nodes); err != nil {
 		return options{}, err
 	}
+	if _, err := experiment.ParseMultihopArms(o.multihopArms); err != nil {
+		return options{}, err
+	}
 	if o.shardWindow < 0 {
 		return options{}, fmt.Errorf("invalid -shard-window %v: must be non-negative", o.shardWindow)
+	}
+	if o.regions < 1 || o.regions > 16 {
+		return options{}, fmt.Errorf("invalid -regions %d: want a grid side in [1, 16]", o.regions)
 	}
 	if o.soak < 0 {
 		return options{}, fmt.Errorf("invalid -soak %v: must be non-negative", o.soak)
@@ -338,6 +351,51 @@ func run(args []string) error {
 				if r.SoakViolations > 0 {
 					return fmt.Errorf("chaos %s: %d soak checkpoint violations (first: %s)",
 						r.Label(), r.SoakViolations, r.FirstViolation)
+				}
+			}
+			return nil
+		},
+		"multihop": func() error {
+			cfg := experiment.DefaultMultihopConfig()
+			cfg.Seed = o.seed
+			cfg.Parallelism = o.parallel
+			cfg.Obs = col.obs()
+			cfg.Hooks = col.hooks()
+			cfg.ShardWindow = o.shardWindow
+			cfg.Regions = o.regions
+			// Multihop keeps its own trial count (each 2-minute trial
+			// saturates a 250 kb/s channel); explicit flags still win, and
+			// -quick shrinks to a smoke-sized pass.
+			if o.trialsSet {
+				cfg.Trials = o.trials
+			}
+			if o.durationSet || o.quick {
+				cfg.Duration = o.duration
+			}
+			if o.quick && !o.trialsSet {
+				cfg.Trials = 1
+			}
+			arms, err := experiment.ParseMultihopArms(o.multihopArms)
+			if err != nil {
+				return err
+			}
+			cfg.Arms = arms
+			res, err := experiment.Multihop(cfg)
+			if err != nil {
+				return err
+			}
+			emit("Multi-hop regional dynamics", useCSV, res)
+			// The oracle rides every AFF trial; any wire-format violation
+			// fails the run so CI catches it.
+			for _, r := range res.Rows {
+				if r.Arm == experiment.MultihopDynaddr {
+					continue
+				}
+				if r.Oracle == nil {
+					return fmt.Errorf("multihop %s: no oracle report attached", r.Arm)
+				}
+				if err := r.Oracle.Check(); err != nil {
+					return fmt.Errorf("multihop %s: %w", r.Arm, err)
 				}
 			}
 			return nil

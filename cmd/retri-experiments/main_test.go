@@ -536,3 +536,38 @@ func TestRunFaultScriptErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseMultihopFlags(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.multihopArms != "all" || o.regions != 3 {
+		t.Errorf("defaults = (%q, %d), want (all, 3)", o.multihopArms, o.regions)
+	}
+	if _, err := parseArgs([]string{"-arms", "fixed,dynaddr"}); err != nil {
+		t.Errorf("valid arm list rejected: %v", err)
+	}
+	if _, err := parseArgs([]string{"-arms", "telepathic"}); err == nil || !strings.Contains(err.Error(), "telepathic") {
+		t.Errorf("unknown arm: err = %v", err)
+	}
+	if _, err := parseArgs([]string{"-regions", "0"}); err == nil {
+		t.Error("zero region grid accepted")
+	}
+	if _, err := parseArgs([]string{"-regions", "17"}); err == nil {
+		t.Error("oversized region grid accepted")
+	}
+}
+
+func TestRunMultihopTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	args := []string{"-figure", "multihop", "-trials", "1", "-duration", "4s", "-regions", "2"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-format", "csv", "-parallel", "2", "-arms", "fixed,dynaddr")); err != nil {
+		t.Fatal(err)
+	}
+}

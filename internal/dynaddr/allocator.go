@@ -49,6 +49,11 @@ type Config struct {
 	// AnnounceInterval spaces keepalive ANNOUNCEs once assigned; zero
 	// disables them.
 	AnnounceInterval time.Duration
+	// Horizon, when positive, stops the keepalive chain from scheduling
+	// past it, so a bounded experiment's event queue drains — the same
+	// freeze-at-horizon idiom mobility timers follow. Zero keeps
+	// keepalives running forever.
+	Horizon time.Duration
 	// HeardTTL is how long a heard address is considered in use.
 	HeardTTL time.Duration
 }
@@ -98,6 +103,13 @@ type Allocator struct {
 	nonce      uint16
 	claimsLeft int
 	claimTimer *sim.Timer
+	// announceGen invalidates keepalive chains across re-acquisitions: a
+	// stale chain from an earlier assignment must not double the
+	// announce rate of the current one.
+	announceGen int
+	// send transmits one encoded control frame; defaults to the radio,
+	// replaceable so a multi-hop relay can envelope control traffic.
+	send func(payload []byte, bits int) error
 
 	// heard maps addresses believed in use to their last-heard time.
 	heard map[uint64]time.Duration
@@ -110,7 +122,7 @@ type Allocator struct {
 // each time an address is acquired.
 func NewAllocator(eng *sim.Engine, r *radio.Radio, cfg Config, rng *rand.Rand, onAssigned func(addr uint64)) *Allocator {
 	cfg = cfg.withDefaults()
-	return &Allocator{
+	a := &Allocator{
 		eng:        eng,
 		r:          r,
 		rng:        rng,
@@ -120,6 +132,17 @@ func NewAllocator(eng *sim.Engine, r *radio.Radio, cfg Config, rng *rand.Rand, o
 		heard:      make(map[uint64]time.Duration),
 		onAssigned: onAssigned,
 	}
+	a.send = r.Send
+	return a
+}
+
+// SetSend replaces the control-frame transmit path (e.g. to envelope
+// control traffic through a multi-hop relay). Nil restores the radio.
+func (a *Allocator) SetSend(fn func(payload []byte, bits int) error) {
+	if fn == nil {
+		fn = a.r.Send
+	}
+	a.send = fn
 }
 
 // State reports the allocator's lifecycle position.
@@ -149,7 +172,17 @@ func (a *Allocator) Release() {
 		a.claimTimer.Cancel()
 		a.claimTimer = nil
 	}
+	a.announceGen++
 	a.state = Unassigned
+}
+
+// Reset is Release plus amnesia: the heard-address table — RAM state — is
+// wiped, modelling a crash rather than a graceful power-down. The node
+// must relearn which addresses are taken, which is exactly what makes
+// churned re-allocation expensive.
+func (a *Allocator) Reset() {
+	a.Release()
+	a.heard = make(map[uint64]time.Duration)
 }
 
 // beginClaim draws a candidate not recently heard and starts advertising.
@@ -211,8 +244,12 @@ func (a *Allocator) sendClaim() {
 }
 
 func (a *Allocator) scheduleAnnounce() {
+	if a.cfg.Horizon > 0 && a.eng.Now()+a.cfg.AnnounceInterval >= a.cfg.Horizon {
+		return
+	}
+	gen := a.announceGen
 	a.eng.Schedule(a.cfg.AnnounceInterval, func() {
-		if a.state != Assigned {
+		if a.state != Assigned || a.announceGen != gen {
 			return
 		}
 		a.transmit(Control{Kind: MsgAnnounce, Addr: a.addr, Nonce: a.nonce})
@@ -227,7 +264,7 @@ func (a *Allocator) transmit(m Control) {
 	if err != nil {
 		return
 	}
-	if err := a.r.Send(payload, bits); err != nil {
+	if err := a.send(payload, bits); err != nil {
 		return
 	}
 	a.stats.ControlBits += int64(bits)

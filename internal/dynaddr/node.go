@@ -16,6 +16,16 @@ import (
 // not.
 var ErrNoAddress = errors.New("dynaddr: no address assigned yet")
 
+// Relay is the multi-hop forwarding service SetRelay plugs in
+// (flood.Relay satisfies it): WrapOutgoing envelopes outgoing frames
+// with the hop budget, UnwrapIncoming dedups and rebroadcasts received
+// copies, Reset wipes the dedup table on a crash.
+type Relay interface {
+	WrapOutgoing(payload []byte, bits int) ([]byte, int)
+	UnwrapIncoming(f radio.Frame) (inner []byte, deliver bool)
+	Reset()
+}
+
 // Node is a complete dynamically addressed stack: the claim-listen-defend
 // allocator plus the short-address fragmentation driver, demultiplexed
 // over one radio.
@@ -24,10 +34,14 @@ type Node struct {
 	r     *radio.Radio
 	alloc *Allocator
 	codec codec
+	relay Relay
 
 	fragCfg staticaddr.Config
 	frag    *staticaddr.Fragmenter
 	reasm   *staticaddr.Reassembler
+	// deliveredBase carries delivery counts across the reassembler
+	// rebuilds a crash forces (staticaddr reassemblers are not resettable).
+	deliveredBase int64
 
 	handler func(data []byte)
 	sent    int64
@@ -54,13 +68,30 @@ func NewNode(eng *sim.Engine, r *radio.Radio, cfg Config, rng *rand.Rand) (*Node
 		},
 	}
 	n.alloc = NewAllocator(eng, r, cfg, rng, n.onAssigned)
-	n.reasm = staticaddr.NewReassembler(n.fragCfg, r.Now, func(p staticaddr.Packet) {
-		if n.handler != nil {
-			n.handler(p.Data)
-		}
-	})
+	n.reasm = staticaddr.NewReassembler(n.fragCfg, r.Now, n.deliver)
 	r.SetHandler(n.onFrame)
 	return n, nil
+}
+
+func (n *Node) deliver(p staticaddr.Packet) {
+	if n.handler != nil {
+		n.handler(p.Data)
+	}
+}
+
+// SetRelay extends the stack across multiple hops: control and data
+// frames are wrapped in the relay's hop-scope envelope, and received
+// frames pass through its dedup/rebroadcast path before demultiplexing.
+// Must be called before Start and before any traffic — the envelope byte
+// shrinks the data MTU, so the fragmenter geometry changes.
+func (n *Node) SetRelay(rl Relay) {
+	n.relay = rl
+	n.fragCfg.MTU--
+	n.reasm = staticaddr.NewReassembler(n.fragCfg, n.r.Now, n.deliver)
+	n.alloc.SetSend(func(p []byte, bits int) error {
+		wp, wb := rl.WrapOutgoing(p, bits)
+		return n.r.Send(wp, wb)
+	})
 }
 
 func mtuOf(r *radio.Radio) int {
@@ -84,8 +115,33 @@ func (n *Node) SetPacketHandler(h func(data []byte)) { n.handler = h }
 // PacketsSent reports data packets accepted for transmission.
 func (n *Node) PacketsSent() int64 { return n.sent }
 
-// PacketsDelivered reports data packets reassembled at this node.
-func (n *Node) PacketsDelivered() int64 { return n.reasm.Stats().Delivered }
+// PacketsDelivered reports data packets reassembled at this node,
+// including by reassemblers retired across crashes.
+func (n *Node) PacketsDelivered() int64 { return n.deliveredBase + n.reasm.Stats().Delivered }
+
+// Crash models a node failure: the radio goes down (dropping its
+// transmit queue) and all RAM state is wiped — the owned address, any
+// claim in progress, the heard-address table, partial reassemblies, and
+// the relay's duplicate-suppression table.
+func (n *Node) Crash() {
+	n.r.SetUp(false)
+	n.alloc.Reset()
+	n.frag = nil
+	n.deliveredBase += n.reasm.Stats().Delivered
+	n.reasm = staticaddr.NewReassembler(n.fragCfg, n.r.Now, n.deliver)
+	if n.relay != nil {
+		n.relay.Reset()
+	}
+}
+
+// Restart powers the radio back up and begins re-claiming an address
+// from scratch. Data stays unsendable (ErrNoAddress) until the claim
+// phase completes — the availability gap, and the re-allocation traffic
+// it triggers, are exactly the churn costs RETRI avoids by construction.
+func (n *Node) Restart() {
+	n.r.SetUp(true)
+	n.alloc.Start()
+}
 
 // Reassembler exposes the data reassembler for stats.
 func (n *Node) Reassembler() *staticaddr.Reassembler { return n.reasm }
@@ -102,6 +158,9 @@ func (n *Node) SendPacket(p []byte) error {
 	}
 	for _, fr := range tx.Fragments {
 		payload, bits := wrapData(fr.Bytes, fr.Bits)
+		if n.relay != nil {
+			payload, bits = n.relay.WrapOutgoing(payload, bits)
+		}
 		if err := n.r.Send(payload, bits); err != nil {
 			return fmt.Errorf("dynaddr: send fragment: %w", err)
 		}
@@ -125,7 +184,15 @@ func (n *Node) onAssigned(addr uint64) {
 // onFrame demultiplexes received frames between the allocator and the
 // data reassembler.
 func (n *Node) onFrame(f radio.Frame) {
-	ctrl, data, isControl, err := n.codec.decode(f.Payload)
+	payload := f.Payload
+	if n.relay != nil {
+		inner, deliver := n.relay.UnwrapIncoming(f)
+		if !deliver {
+			return
+		}
+		payload = inner
+	}
+	ctrl, data, isControl, err := n.codec.decode(payload)
 	if err != nil {
 		return
 	}

@@ -1,0 +1,198 @@
+package dynaddr
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"retri/internal/radio"
+	"retri/internal/sim"
+	"retri/internal/xrand"
+)
+
+// TestChurnReallocationStorm quantifies the per-rejoin price of dynamic
+// allocation — the Section 2.3 cost the multihop dynaddr arm measures at
+// scale. A full mesh acquires addresses, then a subset crash-restarts in
+// waves; every rejoin must pay a full claim phase (ClaimCount CLAIMs plus
+// their control bits), must refuse data with ErrNoAddress until it
+// completes, and the crashed nodes' amnesia (the wiped heard table) makes
+// re-draws of taken addresses — hence conflicts — possible again.
+func TestChurnReallocationStorm(t *testing.T) {
+	const (
+		population = 8
+		churners   = 4
+		waves      = 3
+	)
+	eng := sim.NewEngine()
+	src := xrand.NewSource(41).Child("storm")
+	med := radio.NewMedium(eng, radio.FullMesh{}, radio.DefaultParams(), src.Stream("m"))
+	cfg := Config{AddrBits: 4} // tight space: amnesia re-draws collide
+	nodes := make([]*Node, population)
+	for i := range nodes {
+		r := med.MustAttach(radio.NodeID(i))
+		n, err := NewNode(eng, r, cfg, src.Stream("n", fmt.Sprint(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start()
+		nodes[i] = n
+	}
+	eng.Run()
+	for i, n := range nodes {
+		if _, ok := n.Allocator().Addr(); !ok {
+			t.Fatalf("node %d unassigned after initial convergence", i)
+		}
+	}
+	baseline := make([]Stats, population)
+	for i, n := range nodes {
+		baseline[i] = n.Allocator().Stats()
+	}
+
+	// Waves of crash-restart churn on the first half of the population.
+	var denied int
+	for w := 0; w < waves; w++ {
+		for i := 0; i < churners; i++ {
+			nodes[i].Crash()
+		}
+		for i := 0; i < churners; i++ {
+			n := nodes[i]
+			n.Restart()
+			if n.Allocator().State() != Claiming {
+				t.Fatalf("wave %d: node %d not claiming after restart", w, i)
+			}
+			// The availability gap: data is refused mid-claim.
+			if err := n.SendPacket([]byte{0xAB}); err == nil {
+				t.Fatalf("wave %d: node %d sent data without an address", w, i)
+			} else if err == ErrNoAddress {
+				denied++
+			}
+		}
+		eng.Run()
+		for i := 0; i < churners; i++ {
+			if _, ok := nodes[i].Allocator().Addr(); !ok {
+				t.Fatalf("wave %d: node %d never re-acquired", w, i)
+			}
+		}
+	}
+	if denied != waves*churners {
+		t.Errorf("ErrNoAddress on %d mid-claim sends, want %d", denied, waves*churners)
+	}
+
+	// Per-rejoin accounting: each of the waves re-acquisitions pays at
+	// least a full claim phase; conflicts (amnesia re-draws of taken
+	// addresses, defended by survivors) add more.
+	ccount := int64(cfg.withDefaults().ClaimCount)
+	for i := 0; i < churners; i++ {
+		st := nodes[i].Allocator().Stats()
+		rejoins := st.Acquisitions - baseline[i].Acquisitions
+		if rejoins != waves {
+			t.Errorf("node %d re-acquired %d times, want %d", i, rejoins, waves)
+		}
+		claims := st.ClaimsSent - baseline[i].ClaimsSent
+		if claims < rejoins*ccount {
+			t.Errorf("node %d paid %d claims for %d rejoins, want >= %d",
+				i, claims, rejoins, rejoins*ccount)
+		}
+		bits := st.ControlBits - baseline[i].ControlBits
+		frameBits := int64(codec{addrBits: cfg.AddrBits}.controlBits())
+		if bits < claims*frameBits {
+			t.Errorf("node %d control bits %d below %d claims' worth", i, bits, claims)
+		}
+		if claims > rejoins*ccount && st.Conflicts == baseline[i].Conflicts {
+			t.Errorf("node %d paid %d extra claims but recorded no conflicts", i, claims-rejoins*ccount)
+		}
+	}
+	// The stable half never re-claims; their only new traffic is defends.
+	for i := churners; i < population; i++ {
+		st := nodes[i].Allocator().Stats()
+		if st.Acquisitions != baseline[i].Acquisitions {
+			t.Errorf("stable node %d re-acquired", i)
+		}
+	}
+}
+
+// TestResetWipesHeardTable: Reset models a crash — unlike Release, the
+// heard-address table is forgotten, so the next candidate draw can pick
+// an address the node itself had heard as taken.
+func TestResetWipesHeardTable(t *testing.T) {
+	eng := sim.NewEngine()
+	src := xrand.NewSource(42).Child("reset")
+	med := radio.NewMedium(eng, radio.FullMesh{}, radio.DefaultParams(), src.Stream("m"))
+	r := med.MustAttach(1)
+	a := NewAllocator(eng, r, Config{AddrBits: 4}, src.Stream("a"), nil)
+	for addr := uint64(0); addr < 16; addr++ {
+		a.HandleControl(Control{Kind: MsgAnnounce, Addr: addr, Nonce: 1})
+	}
+	if len(a.heard) != 16 {
+		t.Fatalf("heard %d addresses, want 16", len(a.heard))
+	}
+	a.Release()
+	if len(a.heard) != 16 {
+		t.Error("Release wiped the heard table; only Reset models amnesia")
+	}
+	a.Reset()
+	if len(a.heard) != 0 {
+		t.Errorf("Reset left %d heard addresses", len(a.heard))
+	}
+	if a.State() != Unassigned {
+		t.Errorf("state %v after Reset", a.State())
+	}
+}
+
+// TestAnnounceGenerationInvalidation: a keepalive chain from an earlier
+// assignment must die when the address is released and re-acquired, or
+// the announce rate would double with every churn cycle.
+func TestAnnounceGenerationInvalidation(t *testing.T) {
+	eng := sim.NewEngine()
+	src := xrand.NewSource(43).Child("gen")
+	med := radio.NewMedium(eng, radio.FullMesh{}, radio.DefaultParams(), src.Stream("m"))
+	r := med.MustAttach(1)
+	n, err := NewNode(eng, r, Config{AddrBits: 10, AnnounceInterval: time.Second}, src.Stream("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	eng.RunUntil(3 * time.Second)
+	n.Crash()
+	n.Restart()
+	eng.RunUntil(4 * time.Second) // re-acquired; fresh chain running
+	mark := n.Allocator().Stats().AnnouncesSent
+	eng.RunUntil(10 * time.Second)
+	got := n.Allocator().Stats().AnnouncesSent - mark
+	// One live chain over ~6s at 1s spacing: ~6 announces. A doubled
+	// chain would send ~12.
+	if got > 8 {
+		t.Errorf("%d announces in 6s at 1s interval: stale keepalive chain survived the crash", got)
+	}
+	if got < 4 {
+		t.Errorf("%d announces in 6s at 1s interval: live chain missing", got)
+	}
+}
+
+// TestHorizonStopsKeepalives: with a horizon set, the announce chain stops
+// scheduling past it and the event queue drains — the property the
+// multihop experiment's bounded trials depend on. Without it, eng.Run()
+// on an assigned node with keepalives would never return.
+func TestHorizonStopsKeepalives(t *testing.T) {
+	eng := sim.NewEngine()
+	src := xrand.NewSource(44).Child("horizon")
+	med := radio.NewMedium(eng, radio.FullMesh{}, radio.DefaultParams(), src.Stream("m"))
+	r := med.MustAttach(1)
+	horizon := 10 * time.Second
+	n, err := NewNode(eng, r, Config{AddrBits: 10, AnnounceInterval: time.Second, Horizon: horizon}, src.Stream("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	eng.Run() // must terminate: the chain stops at the horizon
+	if now := eng.Now(); now > horizon+time.Second {
+		t.Errorf("queue drained at %v, far past the %v horizon", now, horizon)
+	}
+	st := n.Allocator().Stats()
+	if st.AnnouncesSent < 5 {
+		t.Errorf("AnnouncesSent = %d before the horizon, want a steady chain", st.AnnouncesSent)
+	}
+	if _, ok := n.Allocator().Addr(); !ok {
+		t.Error("address lost at the horizon")
+	}
+}

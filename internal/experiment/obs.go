@@ -114,6 +114,19 @@ func newTrialSpan(o *Obs, t *TrialObs, affCfg aff.Config, now func() time.Durati
 	return sp
 }
 
+// newTrialSpanRelay is newTrialSpan for multi-hop trials: unwrap strips
+// the relay envelope before frames are decoded against the AFF wire
+// format, so relayed copies attribute (and dedup) correctly.
+func newTrialSpanRelay(o *Obs, t *TrialObs, affCfg aff.Config, now func() time.Duration,
+	unwrap func(payload []byte) ([]byte, bool)) *span.Tracer {
+	if o == nil || o.Spans == nil || t == nil {
+		return nil
+	}
+	sp := span.MustNew(span.Config{AFF: affCfg, Now: now, Unwrap: unwrap})
+	t.Spans = sp
+	return sp
+}
+
 // heapBuckets histograms event-loop sizes across trials; trials range
 // from a few thousand events (quick ablations) to tens of millions
 // (full-length continuous workloads).

@@ -278,3 +278,57 @@ func TestRecoveryRenderAndCSVShape(t *testing.T) {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 }
+
+// TestRecoveryOracleConformance pins the paper's fresh-identifier-per-
+// retransmission invariant under the omniscient oracle: with the oracle
+// attached, every AFF row — including the reliable rows whose ARQ layer
+// actually retransmitted through crashes and burst loss — must audit real
+// traffic with zero freshness violations (no identifier reuse across
+// retransmissions), zero misdeliveries and zero conservation violations.
+// Static rows carry no report: there is no AFF wire format to audit.
+func TestRecoveryOracleConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := smallRecovery()
+	cfg.Oracle = true
+	res, err := Recovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var audited, retransmitted bool
+	for _, r := range res.Rows {
+		if r.Scheme.Kind != "aff" {
+			if r.Oracle != nil {
+				t.Errorf("%s: static row carries an oracle report", r.Label())
+			}
+			continue
+		}
+		if r.Oracle == nil {
+			t.Fatalf("%s: AFF row missing oracle report", r.Label())
+		}
+		if err := r.Oracle.Check(); err != nil {
+			t.Errorf("%s: conformance violation: %v", r.Label(), err)
+		}
+		if r.Oracle.FreshnessViolations != 0 {
+			t.Errorf("%s: %d identifier reuses across retransmissions", r.Label(), r.Oracle.FreshnessViolations)
+		}
+		if r.Oracle.PacketsAudited > 0 {
+			audited = true
+		}
+		// The invariant is only interesting if retries happened: the
+		// reliable rows must have drawn fresh identifiers for them.
+		if r.Reliable && r.Retransmits > 0 {
+			retransmitted = true
+			if r.FreshIDs == 0 {
+				t.Errorf("%s: %d retransmits but no fresh identifiers", r.Label(), r.Retransmits)
+			}
+		}
+	}
+	if !audited {
+		t.Error("no AFF row audited any packets")
+	}
+	if !retransmitted {
+		t.Error("no reliable row retransmitted; the sweep exercised nothing")
+	}
+}

@@ -76,10 +76,10 @@ func StartGroup(eng *sim.Engine, disk *radio.UnitDisk, members []radio.NodeID, c
 		eng:     eng,
 		tick:    wcfg.Tick,
 		horizon: horizon,
-		pos:     wcfg.Area.randPoint(rng),
+		pos:     wcfg.randPoint(rng),
 		place: func(ref radio.Point) {
 			for i, id := range g.members {
-				g.placeMember(disk, wcfg.Area, id, ref, g.offsets[i])
+				g.placeMember(disk, wcfg, id, ref, g.offsets[i])
 			}
 		},
 	}
@@ -88,6 +88,6 @@ func StartGroup(eng *sim.Engine, disk *radio.UnitDisk, members []radio.NodeID, c
 	return g, nil
 }
 
-func (g *Group) placeMember(disk *radio.UnitDisk, area Area, id radio.NodeID, ref, off radio.Point) {
-	disk.Place(id, area.clamp(radio.Point{X: ref.X + off.X, Y: ref.Y + off.Y}))
+func (g *Group) placeMember(disk *radio.UnitDisk, wcfg WaypointConfig, id radio.NodeID, ref, off radio.Point) {
+	disk.Place(id, wcfg.clamp(radio.Point{X: ref.X + off.X, Y: ref.Y + off.Y}))
 }

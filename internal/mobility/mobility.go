@@ -63,6 +63,12 @@ func (a Area) clamp(p radio.Point) radio.Point {
 type WaypointConfig struct {
 	// Area bounds all positions.
 	Area Area
+	// Origin shifts the roaming region to [Origin.X, Origin.X+Area.W] ×
+	// [Origin.Y, Origin.Y+Area.H], so a walker (or a group reference) can
+	// be confined to a sub-region of a larger field — e.g. a dense cluster
+	// roaming only the core of a deployment. The zero value keeps the
+	// legacy origin-anchored region.
+	Origin radio.Point
 	// MinSpeed and MaxSpeed bound the per-leg speed in units per second.
 	MinSpeed, MaxSpeed float64
 	// Pause is the dwell time at each waypoint (0 for continuous motion).
@@ -88,7 +94,24 @@ func (c WaypointConfig) validate() error {
 	if c.Pause < 0 {
 		return fmt.Errorf("mobility: negative pause %v", c.Pause)
 	}
+	if math.IsInf(c.Origin.X, 0) || math.IsInf(c.Origin.Y, 0) ||
+		math.IsNaN(c.Origin.X) || math.IsNaN(c.Origin.Y) {
+		return fmt.Errorf("mobility: origin %v must be finite", c.Origin)
+	}
 	return nil
+}
+
+// randPoint draws a uniform position in the (origin-shifted) roaming
+// region.
+func (c WaypointConfig) randPoint(rng *rand.Rand) radio.Point {
+	p := c.Area.randPoint(rng)
+	return radio.Point{X: p.X + c.Origin.X, Y: p.Y + c.Origin.Y}
+}
+
+// clamp pulls a point back inside the (origin-shifted) roaming region.
+func (c WaypointConfig) clamp(p radio.Point) radio.Point {
+	q := c.Area.clamp(radio.Point{X: p.X - c.Origin.X, Y: p.Y - c.Origin.Y})
+	return radio.Point{X: q.X + c.Origin.X, Y: q.Y + c.Origin.Y}
 }
 
 // speed draws a uniform per-leg speed.
@@ -174,7 +197,7 @@ func (w *Walker) loop(cfg WaypointConfig, rng *rand.Rand) {
 	if w.stopped || w.eng.Now() >= w.horizon {
 		return
 	}
-	dst := cfg.Area.randPoint(rng)
+	dst := cfg.randPoint(rng)
 	w.glide(dst, cfg.speed(rng), func() {
 		if cfg.Pause > 0 {
 			if w.eng.Now()+cfg.Pause >= w.horizon {
@@ -205,7 +228,7 @@ func StartWaypoint(eng *sim.Engine, disk *radio.UnitDisk, id radio.NodeID, cfg W
 	}
 	start, ok := disk.Position(id)
 	if !ok {
-		start = cfg.Area.randPoint(rng)
+		start = cfg.randPoint(rng)
 	}
 	w := &Walker{
 		eng:     eng,

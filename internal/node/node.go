@@ -81,6 +81,19 @@ type SpanSink interface {
 	RxDelivered(receiver radio.NodeID, p aff.Packet)
 }
 
+// FragmentRelay is the multi-hop forwarding service AFFOptions.Relay
+// plugs in (flood.Relay satisfies it). WrapOutgoing envelopes one
+// outgoing fragment with the hop budget; UnwrapIncoming strips a
+// received frame's envelope, schedules any rebroadcast internally, and
+// reports whether the inner fragment should be delivered up the local
+// stack (false for duplicate copies already heard). Reset wipes the
+// duplicate-suppression table — RAM state, gone on a crash.
+type FragmentRelay interface {
+	WrapOutgoing(payload []byte, bits int) ([]byte, int)
+	UnwrapIncoming(f radio.Frame) (inner []byte, deliver bool)
+	Reset()
+}
+
 // AFFOptions tunes the address-free driver beyond its aff.Config.
 type AFFOptions struct {
 	// Estimator, when set, is fed every heard identifier and can drive an
@@ -119,6 +132,13 @@ type AFFOptions struct {
 	// receiver's reassembly expiries, rejections and deliveries. Like
 	// OnDeliver it is a passive measurement tap.
 	Span SpanSink
+	// Relay, when set, extends the stack across multiple hops: outgoing
+	// fragments are wrapped in the relay's hop-scope envelope, and
+	// received frames pass through its unwrap/dedup/rebroadcast path
+	// before reassembly. The envelope costs one byte per frame, charged
+	// against the MTU like the collision-notification discriminator.
+	// Not combinable with NotifyCollisions (two competing prefixes).
+	Relay FragmentRelay
 }
 
 // AFFDriver is the address-free fragmentation stack on one radio.
@@ -161,9 +181,19 @@ func NewAFF(r *radio.Radio, cfg aff.Config, sel core.Selector, opts AFFOptions) 
 		// cannot express. Nobody has needed the combination yet.
 		return nil, errors.New("node: NotifyCollisions is not supported with AdaptiveWidth")
 	}
+	if opts.Relay != nil && opts.NotifyCollisions {
+		return nil, errors.New("node: Relay is not supported with NotifyCollisions")
+	}
 	if opts.NotifyCollisions {
 		// The discriminator bit rides in front of every fragment; the
 		// fragmenter must leave it room within the radio MTU.
+		if cfg.MTU == 0 {
+			cfg.MTU = 27
+		}
+		cfg.MTU--
+	}
+	if opts.Relay != nil {
+		// The relay envelope rides in front of every fragment.
 		if cfg.MTU == 0 {
 			cfg.MTU = 27
 		}
@@ -371,6 +401,9 @@ func (d *AFFDriver) sendTx(tx aff.Transaction) error {
 		if d.opts.NotifyCollisions {
 			payload, bits = wrapDiscriminated(discFragment, payload, bits)
 		}
+		if d.opts.Relay != nil {
+			payload, bits = d.opts.Relay.WrapOutgoing(payload, bits)
+		}
 		if err := d.r.Send(payload, bits); err != nil {
 			return fmt.Errorf("node: send fragment: %w", err)
 		}
@@ -393,6 +426,9 @@ func (d *AFFDriver) Crash() {
 	}
 	if rs, ok := d.opts.Width.(interface{ Reset() }); ok {
 		rs.Reset()
+	}
+	if d.opts.Relay != nil {
+		d.opts.Relay.Reset()
 	}
 	d.hasOwnKey = false
 	if d.sweep != nil {
@@ -433,6 +469,13 @@ func (d *AFFDriver) armSweep() {
 // discriminator bit when the notification extension is active.
 func (d *AFFDriver) onFrame(f radio.Frame) {
 	payload := f.Payload
+	if d.opts.Relay != nil {
+		inner, deliver := d.opts.Relay.UnwrapIncoming(f)
+		if !deliver {
+			return
+		}
+		payload = inner
+	}
 	if d.opts.NotifyCollisions {
 		kind, inner, ok := unwrapDiscriminated(payload)
 		if !ok {

@@ -64,8 +64,20 @@ type Config struct {
 	// Retain keeps closed transactions around for the delivery audit
 	// (receivers complete reassembly when the final fragment lands, but a
 	// fragment lost earlier may leave them waiting on a retransmission
-	// that never comes). Zero selects StallTimeout.
+	// that never comes). Zero selects StallTimeout. Under multi-hop
+	// relaying, size it to cover the worst relay latency as well: a
+	// relayed copy airing after its transaction has been forgotten would
+	// be misread as a brand-new transaction.
 	Retain time.Duration
+	// Unwrap, when set, strips a transport envelope (the flood relay's
+	// hop-scope header) from every observed frame before AFF decoding;
+	// ok=false counts the frame Unaudited. Nil observes raw payloads.
+	Unwrap func(payload []byte) (inner []byte, ok bool)
+	// Visible, when set, overrides Topo for the density audit: whether a
+	// transaction originated by sender is audible at v. Under multi-hop
+	// relaying that is hop-limited reachability, not one-hop
+	// connectivity. Nil falls back to Topo.
+	Visible func(sender, v radio.NodeID) bool
 }
 
 // txKey identifies one true transaction: the instrumentation trailer's
@@ -95,11 +107,13 @@ type tx struct {
 
 // Oracle implements radio.FrameObserver and the conformance audits.
 type Oracle struct {
-	codec  frame.AFFCodec
-	topo   radio.Topology
-	now    func() time.Duration
-	stall  time.Duration
-	retain time.Duration
+	codec   frame.AFFCodec
+	topo    radio.Topology
+	now     func() time.Duration
+	stall   time.Duration
+	retain  time.Duration
+	unwrap  func(payload []byte) ([]byte, bool)
+	visible func(sender, v radio.NodeID) bool
 
 	open   map[txKey]*tx
 	closed map[txKey]*tx
@@ -157,6 +171,8 @@ func New(cfg Config) (*Oracle, error) {
 		now:       cfg.Now,
 		stall:     cfg.StallTimeout,
 		retain:    cfg.Retain,
+		unwrap:    cfg.Unwrap,
+		visible:   cfg.Visible,
 		open:      make(map[txKey]*tx),
 		closed:    make(map[txKey]*tx),
 		openByKey: make(map[uint64]int),
@@ -174,11 +190,23 @@ func (o *Oracle) reassemblyKey(decodedWidth int, id uint64) uint64 {
 	return aff.WidthKey(decodedWidth, id)
 }
 
-// FrameSent ingests a transmission: ground truth advances.
+// FrameSent ingests a transmission: ground truth advances. The sender is
+// attributed from the Truth trailer's originator, not the radio that put
+// the frame on air: relays re-broadcast fragments under their own radio
+// identity, and in single-hop figures the two coincide by construction.
 func (o *Oracle) FrameSent(f radio.Frame) {
 	now := o.now()
 	o.prune(now)
-	decoded, err := o.codec.Decode(f.Payload)
+	payload := f.Payload
+	if o.unwrap != nil {
+		inner, ok := o.unwrap(payload)
+		if !ok {
+			o.rep.Unaudited++
+			return
+		}
+		payload = inner
+	}
+	decoded, err := o.codec.Decode(payload)
 	if err != nil {
 		o.rep.Unaudited++
 		return
@@ -190,7 +218,18 @@ func (o *Oracle) FrameSent(f radio.Frame) {
 			o.rep.Unaudited++
 			return
 		}
-		t := o.lookup(txKey{fr.Truth.Node, fr.Truth.Seq}, f.From, o.reassemblyKey(fr.IDBits, fr.ID), now)
+		k := txKey{fr.Truth.Node, fr.Truth.Seq}
+		key := o.reassemblyKey(fr.IDBits, fr.ID)
+		if t, ok := o.closed[k]; ok {
+			// A relay re-airing the introduction of a transaction whose
+			// originator already finished (or walked away from) it: verify
+			// the copy against ground truth without reopening anything.
+			if t.key != key || (t.haveLen && (t.totalLen != fr.TotalLen || t.checksum != fr.Checksum)) {
+				o.rep.ConservationViolations++
+			}
+			return
+		}
+		t := o.lookup(k, radio.NodeID(fr.Truth.Node), key, now)
 		if !t.haveLen {
 			t.haveLen = true
 			t.totalLen = fr.TotalLen
@@ -203,14 +242,32 @@ func (o *Oracle) FrameSent(f radio.Frame) {
 			o.rep.Unaudited++
 			return
 		}
-		t := o.lookup(txKey{fr.Truth.Node, fr.Truth.Seq}, f.From, o.reassemblyKey(fr.IDBits, fr.ID), now)
+		k := txKey{fr.Truth.Node, fr.Truth.Seq}
+		key := o.reassemblyKey(fr.IDBits, fr.ID)
+		end := fr.Offset + len(fr.Payload)
+		if t, ok := o.closed[k]; ok {
+			// A relayed copy of a retired transaction's data fragment must
+			// match the bytes its originator actually sent.
+			if t.key != key || !t.haveLen || end > t.totalLen {
+				o.rep.ConservationViolations++
+				return
+			}
+			for i, b := range fr.Payload {
+				at := fr.Offset + i
+				if !t.covered[at] || t.buf[at] != b {
+					o.rep.ConservationViolations++
+					return
+				}
+			}
+			return
+		}
+		t := o.lookup(k, radio.NodeID(fr.Truth.Node), key, now)
 		if !t.haveLen {
 			// The fragmenter always airs the introduction first, so a data
 			// fragment for an unknown transaction means a protocol bug.
 			o.rep.ConservationViolations++
 			return
 		}
-		end := fr.Offset + len(fr.Payload)
 		if end > t.totalLen {
 			o.rep.ConservationViolations++
 			return
@@ -340,7 +397,16 @@ func (o *Oracle) FrameDelivered(to radio.NodeID, f radio.Frame, corrupted bool) 
 		o.rep.CorruptedDeliveries++
 		return
 	}
-	decoded, err := o.codec.Decode(f.Payload)
+	payload := f.Payload
+	if o.unwrap != nil {
+		inner, ok := o.unwrap(payload)
+		if !ok {
+			o.rep.Unaudited++
+			return
+		}
+		payload = inner
+	}
+	decoded, err := o.codec.Decode(payload)
 	if err != nil {
 		o.rep.Unaudited++
 		return
@@ -429,6 +495,10 @@ func (o *Oracle) VisibleT(v radio.NodeID) int {
 		case t.sender == v:
 			n++
 			own = true
+		case o.visible != nil:
+			if o.visible(t.sender, v) {
+				n++
+			}
 		case o.topo == nil || o.topo.Connected(t.sender, v):
 			n++
 		}
@@ -453,19 +523,22 @@ func (o *Oracle) OpenCount() int {
 // Equation 4's T is an average concurrency, and scoring against the raw
 // count — which flickers between consecutive transactions on fragment
 // timescales — would charge the controller for noise no causal estimator
-// is meant to follow.
-func (o *Oracle) Probe(v radio.NodeID, estimate float64, achieved, dataBits, minBits, maxBits int) {
+// is meant to follow. It returns the smoothed truth and the optimal
+// width it scored against, so callers building per-region tables reuse
+// the exact quantities the conformance report was charged with.
+func (o *Oracle) Probe(v radio.NodeID, estimate float64, achieved, dataBits, minBits, maxBits int) (trueT float64, optimal int) {
 	inst := float64(o.VisibleT(v))
-	trueT, ok := o.smoothT[v]
+	t, ok := o.smoothT[v]
 	if ok {
-		trueT = smoothAlpha*inst + (1-smoothAlpha)*trueT
+		t = smoothAlpha*inst + (1-smoothAlpha)*t
 	} else {
-		trueT = inst
+		t = inst
 	}
-	o.smoothT[v] = trueT
-	o.rep.EstErrors = append(o.rep.EstErrors, estimate-trueT)
-	h := OptimalWidth(dataBits, trueT, minBits, maxBits)
+	o.smoothT[v] = t
+	o.rep.EstErrors = append(o.rep.EstErrors, estimate-t)
+	h := OptimalWidth(dataBits, t, minBits, maxBits)
 	o.rep.WidthGaps = append(o.rep.WidthGaps, float64(achieved-h))
+	return t, h
 }
 
 // Report returns a copy of the conformance report accumulated so far. The

@@ -57,6 +57,11 @@ type Config struct {
 	// Retain keeps closed transactions findable for late receiver-side
 	// events. Zero selects StallTimeout.
 	Retain time.Duration
+	// Unwrap, when set, strips a transport envelope (the flood relay's
+	// hop-scope header) from every observed frame before AFF decoding,
+	// mirroring the oracle's hook; ok=false counts the frame
+	// Unattributed. Nil observes raw payloads.
+	Unwrap func(payload []byte) (inner []byte, ok bool)
 }
 
 // txKey is the instrumentation trailer's (node, sequence) pair.
@@ -271,6 +276,7 @@ type Tracer struct {
 	now        func() time.Duration
 	stall      time.Duration
 	retain     time.Duration
+	unwrap     func(payload []byte) ([]byte, bool)
 
 	spans  []*Span
 	widths []WidthChange
@@ -334,6 +340,7 @@ func New(cfg Config) (*Tracer, error) {
 		now:         cfg.Now,
 		stall:       cfg.StallTimeout,
 		retain:      cfg.Retain,
+		unwrap:      cfg.Unwrap,
 		queuedTruth: make(map[txKey]*Span),
 		openTruth:   make(map[txKey]*Span),
 		closedTruth: make(map[txKey]*Span),
@@ -510,7 +517,16 @@ func (t *Tracer) NoteWidthChange(node radio.NodeID, oldBits, newBits int) {
 func (t *Tracer) FrameSent(f radio.Frame) {
 	now := t.now()
 	t.prune(now)
-	decoded, err := t.codec.Decode(f.Payload)
+	payload := f.Payload
+	if t.unwrap != nil {
+		inner, ok := t.unwrap(payload)
+		if !ok {
+			t.rep.Unattributed++
+			return
+		}
+		payload = inner
+	}
+	decoded, err := t.codec.Decode(payload)
 	if err != nil {
 		t.rep.Unattributed++
 		return
@@ -526,6 +542,10 @@ func (t *Tracer) FrameSent(f radio.Frame) {
 		if !s.haveLen {
 			s.haveLen = true
 			s.TotalLen = fr.TotalLen
+		}
+		if _, dup := s.fragAt[-1]; dup {
+			// A relay re-airing the introduction: the span already has it.
+			return
 		}
 		s.introSent = true
 		t.recordFrag(s, true, -1, 0, now)
@@ -548,6 +568,11 @@ func (t *Tracer) FrameSent(f radio.Frame) {
 			t.rep.Anomalies++
 			return
 		}
+		if _, dup := s.fragAt[fr.Offset]; dup {
+			// A relayed copy of a fragment already recorded at its first
+			// airing: fates still attribute to that record.
+			return
+		}
 		t.recordFrag(s, false, fr.Offset, len(fr.Payload), now)
 		if end == s.TotalLen {
 			t.close(s, now)
@@ -560,7 +585,15 @@ func (t *Tracer) FrameSent(f radio.Frame) {
 // fates arrive at delivery instants, not send instants, and must not
 // perturb the open/stalled bookkeeping the oracle parity rests on.
 func (t *Tracer) FrameFate(to radio.NodeID, f radio.Frame, fate radio.Fate) {
-	decoded, err := t.codec.Decode(f.Payload)
+	payload := f.Payload
+	if t.unwrap != nil {
+		inner, ok := t.unwrap(payload)
+		if !ok {
+			return
+		}
+		payload = inner
+	}
+	decoded, err := t.codec.Decode(payload)
 	if err != nil {
 		return
 	}
@@ -636,6 +669,12 @@ func (t *Tracer) lookupTruth(k txKey, sender radio.NodeID, key, id uint64, width
 			t.rep.Revived++
 		}
 		s.lastSent = now
+		return s
+	}
+	if s, ok := t.closedTruth[k]; ok {
+		// A relay re-airing a fragment of a retired span: attribute the
+		// copy without touching lifecycle state — the originator's story
+		// already ended.
 		return s
 	}
 	if prev, ok := t.current[sender]; ok && prev != k {
